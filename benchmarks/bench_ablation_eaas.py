@@ -1,0 +1,89 @@
+"""Ablation — the three energy-aware adaptive schemes, one at a time.
+
+BEES carries three EAAS knobs: EAC (bitmap compression in AFE), EDR
+(the detection threshold in ARD), and EAU (resolution compression in
+AIU).  The paper only evaluates all-on (BEES) vs. all-off (BEES-EA);
+this ablation pins each knob individually at a low battery level to
+attribute the savings.
+
+Expected shape: every variant costs more than full BEES at low Ebat;
+EAU is the biggest single lever (it shrinks the dominant image-upload
+bytes), EAC the smallest in joules but the one protecting extraction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.client import BeesScheme
+from repro.core.config import BeesConfig
+from repro.core.policies import (
+    LinearPolicy,
+    eac_policy,
+    eau_policy,
+    edr_policy,
+    ssmm_cut_policy,
+)
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+from common import disaster_batch
+
+EBAT = 0.1
+REDUNDANCY = 0.25
+
+
+def _variants():
+    """BEES configurations with one adaptive knob disabled each."""
+    fixed_eac = LinearPolicy.fixed(eac_policy()(1.0))
+    fixed_edr = LinearPolicy.fixed(edr_policy()(1.0))
+    fixed_cut = LinearPolicy.fixed(ssmm_cut_policy()(1.0))
+    fixed_eau = LinearPolicy.fixed(eau_policy()(1.0))
+    return {
+        "BEES (all adaptive)": BeesConfig(),
+        "no EAC": BeesConfig(eac=fixed_eac),
+        "no EDR": BeesConfig(edr=fixed_edr, ssmm_cut=fixed_cut),
+        "no EAU": BeesConfig(eau=fixed_eau),
+        "BEES-EA (none)": BeesConfig.ea_disabled(),
+    }
+
+
+def run_ablation():
+    data, batch = disaster_batch(seed=6)
+    partners = data.cross_batch_partners(batch, REDUNDANCY, seed=106)
+    results = {}
+    for name, config in _variants().items():
+        scheme = BeesScheme(config=config)
+        device = Smartphone()
+        device.battery.recharge(EBAT)
+        report = scheme.process_batch(device, build_server(scheme, partners), batch)
+        results[name] = report
+    return results
+
+
+def test_ablation_eaas(benchmark, emit):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        f"Ablation — EAAS knobs at Ebat = {int(EBAT * 100)}%",
+        format_table(
+            ["variant", "energy (J)", "bytes sent (MB)", "uploaded"],
+            [
+                [
+                    name,
+                    f"{report.total_energy_j:.1f}",
+                    f"{report.bytes_sent / 1024**2:.2f}",
+                    report.n_uploaded,
+                ]
+                for name, report in results.items()
+            ],
+        ),
+    )
+    full = results["BEES (all adaptive)"].total_energy_j
+    # Disabling any knob costs energy at low battery.
+    for name in ("no EAC", "no EDR", "no EAU", "BEES-EA (none)"):
+        assert results[name].total_energy_j >= full * 0.98
+    # All-off is (within channel noise) the most expensive variant.
+    most = max(report.total_energy_j for report in results.values())
+    assert results["BEES-EA (none)"].total_energy_j >= 0.98 * most
+    # EAU is the single biggest lever: removing it costs more than
+    # removing EAC.
+    assert results["no EAU"].total_energy_j > results["no EAC"].total_energy_j

@@ -1,0 +1,80 @@
+"""Ablation — SSMM's adaptive budget vs. fixed budgets.
+
+The paper argues a fixed selection budget (as in prior image-collection
+summarization work) is "inefficient in our application situation, since
+the budget should be the number of non-redundant images which is
+different from batch to batch".  This bench quantifies that: batches
+with different redundancy structure are summarized under the adaptive
+component-count rule and under fixed budgets, scoring each summary by
+distinct-scenes kept (information) and images uploaded (cost).
+
+Expected shape: the adaptive rule keeps exactly one representative per
+distinct scene on every batch; any fixed budget either wastes uploads
+on duplicate-heavy batches or drops unique content on diverse ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.ssmm import select_unique_subset, similarity_matrix
+from repro.datasets.disaster import DisasterDataset
+from repro.features.orb import OrbExtractor
+
+BATCH = 24
+CUT = 0.019
+#: (label, n_inbatch_similar) — batches from diverse to duplicate-heavy.
+BATCH_SHAPES = [("diverse", 0), ("mixed", 6), ("duplicate-heavy", 12)]
+FIXED_BUDGETS = (6, 12, 18)
+
+
+def run_ablation():
+    data = DisasterDataset()
+    extractor = OrbExtractor()
+    rows = []
+    for label, n_similar in BATCH_SHAPES:
+        batch = data.make_batch(
+            n_images=BATCH, n_inbatch_similar=n_similar, seed=7, scene_offset=n_similar * 500
+        )
+        features = [extractor.extract(image) for image in batch]
+        weights = similarity_matrix(features)
+        distinct_scenes = len({image.group_id for image in batch})
+
+        def score(budget):
+            result = select_unique_subset(
+                features, CUT, budget=budget, weights=weights
+            )
+            kept_scenes = len({batch[i].group_id for i in result.selected})
+            return len(result.selected), kept_scenes
+
+        entries = {"adaptive": score("components")}
+        for budget in FIXED_BUDGETS:
+            entries[f"fixed-{budget}"] = score(budget)
+        rows.append((label, distinct_scenes, entries))
+    return rows
+
+
+def test_ablation_ssmm_budget(benchmark, emit):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = []
+    for label, distinct, entries in rows:
+        for rule, (uploads, kept) in entries.items():
+            table.append([label, distinct, rule, uploads, kept])
+    emit(
+        "Ablation — SSMM adaptive budget vs. fixed budgets",
+        format_table(
+            ["batch", "distinct scenes", "budget rule", "uploads", "scenes kept"],
+            table,
+        ),
+    )
+    for label, distinct, entries in rows:
+        uploads, kept = entries["adaptive"]
+        # The adaptive rule keeps (essentially) one image per scene.
+        assert kept >= 0.9 * distinct
+        assert uploads <= distinct + 1
+    # A small fixed budget drops content on the diverse batch...
+    diverse = rows[0][2]
+    assert diverse["fixed-6"][1] < rows[0][1]
+    # ... while a large fixed budget over-uploads on the duplicate-heavy
+    # batch relative to the adaptive rule.
+    heavy = rows[2][2]
+    assert heavy["fixed-18"][0] > heavy["adaptive"][0]

@@ -1,0 +1,102 @@
+"""Extension — behaviour under network outages.
+
+The paper's motivation is damaged infrastructure, but its evaluation
+uses a steadily-fluctuating link.  This bench injects Gilbert-model
+outage bursts (the uplink collapses to a trickle for stretches of
+transfers) and sweeps outage severity: as the network degrades, every
+avoided upload is worth more, so BEES' delay advantage over Direct
+Upload *grows* with severity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.baselines import DirectUpload
+from repro.core.client import BeesScheme
+from repro.network.link import Uplink
+from repro.network.outage import OutageChannel
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+from common import disaster_batch
+
+OUTAGE_LEVELS = (0.0, 0.1, 0.25)
+REDUNDANCY = 0.5
+
+
+def run_outage_sweep():
+    data, batch = disaster_batch(seed=8)
+    partners = data.cross_batch_partners(batch, REDUNDANCY, seed=108)
+    results = {}
+    for outage in OUTAGE_LEVELS:
+        per_scheme = {}
+        for scheme in (DirectUpload(), BeesScheme()):
+            device = Smartphone(
+                uplink=Uplink(
+                    channel=OutageChannel(
+                        outage_probability=outage,
+                        recovery_probability=0.4,
+                        seed=11,
+                    )
+                )
+            )
+            report = scheme.process_batch(device, build_server(scheme, partners), batch)
+            per_scheme[scheme.name] = report
+        results[outage] = per_scheme
+    return results
+
+
+def test_ext_outage(benchmark, emit):
+    results = benchmark.pedantic(run_outage_sweep, rounds=1, iterations=1)
+    rows = []
+    for outage, reports in results.items():
+        direct = reports["Direct Upload"]
+        bees = reports["BEES"]
+        rows.append(
+            [
+                f"{outage:.2f}",
+                f"{direct.average_image_seconds:.1f} s"
+                + (" (battery died)" if direct.halted else ""),
+                f"{bees.average_image_seconds:.1f} s"
+                + (" (battery died)" if bees.halted else ""),
+                f"{direct.average_image_seconds - bees.average_image_seconds:.1f} s",
+                f"{direct.total_energy_j:.0f} J",
+                f"{bees.total_energy_j:.0f} J",
+            ]
+        )
+    emit(
+        "Extension — delay & energy under outage bursts (50% redundancy)",
+        format_table(
+            [
+                "outage prob",
+                "Direct delay",
+                "BEES delay",
+                "delay gap",
+                "Direct energy",
+                "BEES energy",
+            ],
+            rows,
+        ),
+    )
+    # BEES wins at every severity.
+    for reports in results.values():
+        assert (
+            reports["BEES"].average_image_seconds
+            < reports["Direct Upload"].average_image_seconds
+        )
+    # The absolute delay gap explodes once outages appear.
+    ordered = [results[outage] for outage in OUTAGE_LEVELS]
+    gap_healthy = (
+        ordered[0]["Direct Upload"].average_image_seconds
+        - ordered[0]["BEES"].average_image_seconds
+    )
+    gap_degraded = (
+        ordered[1]["Direct Upload"].average_image_seconds
+        - ordered[1]["BEES"].average_image_seconds
+    )
+    assert gap_degraded > 3 * gap_healthy
+    # At the worst severity Direct Upload cannot even finish the batch
+    # on a full battery, while BEES completes it.
+    worst = ordered[-1]
+    assert worst["Direct Upload"].halted
+    assert not worst["BEES"].halted

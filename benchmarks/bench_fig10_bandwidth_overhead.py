@@ -1,0 +1,59 @@
+"""Figure 10 — network bandwidth overhead vs. redundancy ratio.
+
+Paper protocol (Section IV-B4): the Figure-7 runs, scored by total
+bytes pushed up the uplink (features, thumbnails, and images).
+
+Expected shape: Direct flat; SmartEye/MRC fall with the ratio, MRC "a
+little more" than SmartEye (thumbnail feedback); BEES far below all —
+the paper reports 77.4-79.2% below SmartEye.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_bytes, format_table
+
+from common import REDUNDANCY_RATIOS, run_comparison
+
+
+def run_figure10():
+    return {ratio: run_comparison(ratio, seed=2) for ratio in REDUNDANCY_RATIOS}
+
+
+def test_fig10_bandwidth_overhead(benchmark, emit):
+    sweep = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    scheme_names = list(next(iter(sweep.values())).keys())
+    emit(
+        "Figure 10 — bandwidth overhead vs. cross-batch redundancy ratio",
+        format_table(
+            ["redundancy"] + scheme_names,
+            [
+                [f"{int(ratio * 100)}%"]
+                + [format_bytes(sweep[ratio][name].bytes_sent) for name in scheme_names]
+                for ratio in REDUNDANCY_RATIOS
+            ],
+        ),
+    )
+
+    for ratio in REDUNDANCY_RATIOS:
+        reports = sweep[ratio]
+        # BEES sends the least at every ratio.
+        bees = reports["BEES"].bytes_sent
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert bees < reports[name].bytes_sent
+
+    # Smart schemes send less as redundancy rises; Direct is flat.
+    for name in ("SmartEye", "MRC", "BEES"):
+        series = [sweep[ratio][name].bytes_sent for ratio in REDUNDANCY_RATIOS]
+        assert series == sorted(series, reverse=True)
+    direct = [sweep[ratio]["Direct Upload"].bytes_sent for ratio in REDUNDANCY_RATIOS]
+    assert max(direct) == min(direct)
+
+    # Headline: BEES far below SmartEye (paper: 77.4-79.2% less).
+    mid = sweep[0.5]
+    saving = 1 - mid["BEES"].bytes_sent / mid["SmartEye"].bytes_sent
+    assert saving > 0.5
+
+    # MRC vs SmartEye stay comparable (thumbnails vs. bigger features).
+    for ratio in REDUNDANCY_RATIOS:
+        ratio_bytes = sweep[ratio]["MRC"].bytes_sent / sweep[ratio]["SmartEye"].bytes_sent
+        assert 0.7 < ratio_bytes < 1.3

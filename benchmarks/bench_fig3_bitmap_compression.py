@@ -1,0 +1,85 @@
+"""Figure 3 — precision and energy vs. bitmap compression proportion.
+
+Paper protocol (Section III-A): Kentucky images are queried against the
+index after compressing the queried bitmaps with proportions 0..0.9;
+normalized top-4 precision (3a) and normalized feature-extraction energy
+(3b) are reported per proportion.
+
+Expected shape: precision stays >= ~0.9 up to C = 0.4 and degrades
+beyond; energy falls monotonically (the EAC rationale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.precision import dataset_precision
+from repro.analysis.reporting import format_table
+from repro.core.server import BeesServer
+from repro.datasets.kentucky import SyntheticKentucky
+from repro.energy import EnergyCostModel
+from repro.features.orb import OrbExtractor
+from repro.imaging.bitmap import compress_image
+
+N_GROUPS = 30
+PROPORTIONS = [round(0.1 * i, 1) for i in range(10)]  # 0.0 .. 0.9
+
+
+def run_figure3():
+    dataset = SyntheticKentucky(n_groups=N_GROUPS)
+    extractor = OrbExtractor()
+    cost_model = EnergyCostModel()
+
+    server = BeesServer()
+    group_of = {}
+    for image in dataset:
+        server.receive_image(image, extractor.extract(image))
+        group_of[image.image_id] = image.group_id
+
+    queries = dataset.query_images()
+    rows = []
+    for proportion in PROPORTIONS:
+        query_pairs = [
+            (image, extractor.extract(compress_image(image, proportion)))
+            for image in queries
+        ]
+        precision = dataset_precision(server, query_pairs, group_of)
+        energy = cost_model.extraction_cost(
+            "orb", queries[0].nominal_pixels, proportion
+        ).joules
+        rows.append((proportion, precision, energy))
+
+    base_precision = rows[0][1]
+    base_energy = rows[0][2]
+    return [
+        {
+            "proportion": proportion,
+            "norm_precision": precision / base_precision,
+            "norm_energy": energy / base_energy,
+        }
+        for proportion, precision, energy in rows
+    ]
+
+
+def test_fig3_bitmap_compression(benchmark, emit):
+    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    emit(
+        "Figure 3 — bitmap compression proportion vs. precision & energy",
+        format_table(
+            ["proportion", "norm. precision", "norm. energy"],
+            [
+                [r["proportion"], f"{r['norm_precision']:.3f}", f"{r['norm_energy']:.3f}"]
+                for r in rows
+            ],
+        ),
+    )
+    by_c = {r["proportion"]: r for r in rows}
+    # Paper: C = 0.4 keeps normalized precision above ~0.9.
+    assert by_c[0.4]["norm_precision"] > 0.85
+    # Energy decreases monotonically with the proportion.
+    energies = [r["norm_energy"] for r in rows]
+    assert energies == sorted(energies, reverse=True)
+    # Compression at 0.4 removes a substantial share of the energy.
+    assert by_c[0.4]["norm_energy"] < 0.5
+    # Heavy compression eventually costs real precision.
+    assert by_c[0.9]["norm_precision"] < by_c[0.0]["norm_precision"]

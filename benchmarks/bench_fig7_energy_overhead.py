@@ -1,0 +1,65 @@
+"""Figure 7 — energy overhead vs. cross-batch redundancy ratio.
+
+Paper protocol (Section IV-B3(1)): a 100-image disaster batch with 10
+in-batch similars; cross-batch redundancy set to 0/25/50/75% by seeding
+partner images into the servers; each scheme uploads the batch and its
+energy is recorded.
+
+Expected shape: Direct Upload flat; SmartEye/MRC fall with the ratio
+but *exceed* Direct at 0% (extraction overhead with nothing to
+eliminate); MRC below SmartEye (ORB vs. PCA-SIFT); BEES far below all
+— paper: 67.3-70.8% below MRC, 67.6-85.3% below Direct.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+
+from common import REDUNDANCY_RATIOS, run_comparison
+
+
+def run_figure7():
+    return {ratio: run_comparison(ratio) for ratio in REDUNDANCY_RATIOS}
+
+
+def test_fig7_energy_overhead(benchmark, emit):
+    sweep = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    scheme_names = list(next(iter(sweep.values())).keys())
+    emit(
+        "Figure 7 — energy overhead (J) vs. cross-batch redundancy ratio",
+        format_table(
+            ["redundancy"] + scheme_names,
+            [
+                [f"{int(ratio * 100)}%"]
+                + [f"{sweep[ratio][name].total_energy_j:.1f}" for name in scheme_names]
+                for ratio in REDUNDANCY_RATIOS
+            ],
+        ),
+    )
+
+    for ratio in REDUNDANCY_RATIOS:
+        reports = sweep[ratio]
+        # BEES is the cheapest scheme at every ratio.
+        bees = reports["BEES"].total_energy_j
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert bees < reports[name].total_energy_j
+        # MRC below SmartEye: ORB extraction vs. PCA-SIFT.
+        assert reports["MRC"].total_energy_j < reports["SmartEye"].total_energy_j
+
+    # At 0% redundancy the detection overhead makes SmartEye and MRC
+    # *more* expensive than Direct Upload (the paper's worst case).
+    zero = sweep[0.0]
+    assert zero["SmartEye"].total_energy_j > zero["Direct Upload"].total_energy_j
+    assert zero["MRC"].total_energy_j > zero["Direct Upload"].total_energy_j
+    # ... while BEES still saves most of the energy (paper: 67.6%).
+    assert zero["BEES"].total_energy_j < 0.5 * zero["Direct Upload"].total_energy_j
+
+    # Smart schemes get cheaper as the redundancy ratio rises.
+    for name in ("SmartEye", "MRC", "BEES"):
+        energies = [sweep[ratio][name].total_energy_j for ratio in REDUNDANCY_RATIOS]
+        assert energies == sorted(energies, reverse=True)
+
+    # The headline claim: large savings vs. MRC (paper: 67.3-70.8%).
+    mid = sweep[0.25]
+    saving = 1 - mid["BEES"].total_energy_j / mid["MRC"].total_energy_j
+    assert saving > 0.5

@@ -1,0 +1,71 @@
+"""Figure 8 — energy savings from energy-aware adaptation.
+
+Paper protocol (Section IV-B3(2)): the same disaster batch (25%
+cross-batch redundancy) is uploaded by BEES at remaining-energy levels
+100/70/40/10%; the figure breaks the energy into feature extraction,
+feature upload, and image upload.
+
+Expected shape: total, extraction, and image-upload energies all fall
+as Ebat falls (EAC compresses bitmaps harder, EAU shrinks uploads, EDR
+eliminates more); feature-upload energy is small throughout
+("lightweight ORB features").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.client import BeesScheme
+from repro.energy import (
+    COMPRESSION,
+    FEATURE_EXTRACTION,
+    FEATURE_UPLOAD,
+    IMAGE_UPLOAD,
+)
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+from common import disaster_batch
+
+EBAT_LEVELS = (1.0, 0.7, 0.4, 0.1)
+
+
+def run_figure8():
+    data, batch = disaster_batch(seed=3)
+    partners = data.cross_batch_partners(batch, 0.25, seed=103)
+    results = {}
+    for ebat in EBAT_LEVELS:
+        scheme = BeesScheme()
+        device = Smartphone()
+        device.battery.recharge(ebat)
+        report = scheme.process_batch(device, build_server(scheme, partners), batch)
+        results[ebat] = report.energy_by_category
+    return results
+
+
+def test_fig8_energy_adaptation(benchmark, emit):
+    results = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    categories = (FEATURE_EXTRACTION, FEATURE_UPLOAD, COMPRESSION, IMAGE_UPLOAD)
+    emit(
+        "Figure 8 — BEES energy breakdown (J) vs. remaining energy",
+        format_table(
+            ["Ebat"] + list(categories) + ["total"],
+            [
+                [f"{int(ebat * 100)}%"]
+                + [f"{results[ebat].get(cat, 0.0):.2f}" for cat in categories]
+                + [f"{sum(results[ebat].values()):.2f}"]
+                for ebat in EBAT_LEVELS
+            ],
+        ),
+    )
+    totals = [sum(results[ebat].values()) for ebat in EBAT_LEVELS]
+    # Total energy falls as the battery drains (EAAS working).
+    assert totals == sorted(totals, reverse=True)
+    # Extraction energy falls with Ebat (EAC).
+    extraction = [results[ebat][FEATURE_EXTRACTION] for ebat in EBAT_LEVELS]
+    assert extraction == sorted(extraction, reverse=True)
+    # Image-upload energy falls with Ebat (EAU + EDR).
+    uploads = [results[ebat][IMAGE_UPLOAD] for ebat in EBAT_LEVELS]
+    assert uploads == sorted(uploads, reverse=True)
+    # Feature upload stays a small share throughout (lightweight ORB).
+    for ebat in EBAT_LEVELS:
+        assert results[ebat][FEATURE_UPLOAD] < 0.35 * sum(results[ebat].values())

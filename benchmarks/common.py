@@ -1,0 +1,55 @@
+"""Shared workload builders for the benchmark harness.
+
+The benches run the paper's experiments at a laptop-friendly scale; the
+constants here are the single place where that scale is set.  Every
+builder is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DirectUpload, Mrc, SmartEye, make_bees_ea
+from repro.core.client import BeesScheme
+from repro.datasets import DisasterDataset
+from repro.imaging.synth import SceneGenerator
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+#: Scaled-down stand-in for the paper's 100-image disaster batch.
+BATCH_SIZE = 40
+IN_BATCH_SIMILAR = 4  # paper: 10 of 100
+
+#: The cross-batch redundancy ratios of Figures 7 and 10.
+REDUNDANCY_RATIOS = (0.0, 0.25, 0.5, 0.75)
+
+#: Smaller scenes keep the long simulations fast.
+FAST_GENERATOR = SceneGenerator(height=72, width=96)
+
+
+def comparison_schemes():
+    """The four schemes of Figures 7, 10, 11 (fresh instances)."""
+    return [DirectUpload(), SmartEye(), Mrc(), BeesScheme()]
+
+
+def lifetime_schemes():
+    """The five schemes of Figure 9 (adds BEES-EA)."""
+    return [DirectUpload(), SmartEye(), Mrc(), make_bees_ea(), BeesScheme()]
+
+
+def disaster_batch(seed: int = 1):
+    """The Figure-7 style controlled batch."""
+    data = DisasterDataset()
+    return data, data.make_batch(
+        n_images=BATCH_SIZE, n_inbatch_similar=IN_BATCH_SIMILAR, seed=seed
+    )
+
+
+def run_comparison(ratio: float, schemes=None, seed: int = 1):
+    """Run the controlled batch through each scheme at one redundancy
+    ratio; returns ``{scheme_name: BatchReport}``."""
+    data, batch = disaster_batch(seed)
+    partners = data.cross_batch_partners(batch, ratio, seed=seed + 100)
+    reports = {}
+    for scheme in schemes or comparison_schemes():
+        server = build_server(scheme, partners)
+        reports[scheme.name] = scheme.process_batch(Smartphone(), server, batch)
+    return reports

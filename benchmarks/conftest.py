@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one table/figure of the paper's evaluation and
+prints its rows.  The ``emit`` fixture bypasses pytest's capture (so the
+figures appear on the terminal even without ``-s``) and appends every
+figure to ``benchmarks/results.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.reporting import print_figure
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a figure block to the real terminal and the results file."""
+
+    def _emit(title: str, body: str) -> None:
+        with capsys.disabled():
+            print_figure(title, body)
+        with RESULTS_PATH.open("a") as handle:
+            handle.write(f"\n== {title} ==\n{body}\n")
+
+    return _emit
+
+
+def pytest_sessionstart(session):
+    """Start each bench session with a fresh results file."""
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scenario: how long does one phone last under each sharing scheme?
+
+Runs a scaled-down version of the paper's Figure-9 experiment — groups
+of images uploaded on a fixed cadence until the battery dies — for
+Direct Upload, MRC, BEES-EA, and BEES, then draws the remaining-energy
+traces as ASCII sparkcurves.
+
+Run:  python examples/battery_lifetime.py
+"""
+
+from __future__ import annotations
+
+from repro import DirectUpload, Mrc, make_bees_ea
+from repro.analysis.charts import sparkline
+from repro.core.client import BeesScheme
+from repro.imaging.synth import SceneGenerator
+from repro.sim.lifetime import LifetimeExperiment
+
+
+def main() -> None:
+    experiment = LifetimeExperiment(
+        group_size=10,
+        interval_s=300.0,  # one group every 5 minutes, screen bright
+        redundancy_ratio=0.5,
+        capacity_fraction=0.1,
+        max_groups=100,
+        generator=SceneGenerator(height=72, width=96),
+    )
+
+    print("uploading 10-image groups every 5 minutes until the battery dies\n")
+    results = []
+    for scheme in (DirectUpload(), Mrc(), make_bees_ea(), BeesScheme()):
+        result = experiment.run(scheme)
+        results.append(result)
+        trace = [point.ebat for point in result.trace]
+        print(f"{result.scheme:14s} {sparkline(trace, lo=0.0, hi=1.0)}")
+        print(
+            f"{'':14s} dead after {result.lifetime_minutes:.0f} min, "
+            f"{result.groups_completed} groups, "
+            f"{result.images_uploaded} images uploaded"
+        )
+
+    direct = results[0]
+    bees = results[-1]
+    gain = bees.lifetime_minutes / direct.lifetime_minutes - 1
+    print(
+        f"\nBEES extends the battery lifetime by {gain * 100:.0f}% over Direct"
+        f" Upload while delivering {bees.images_uploaded} images"
+        f" (Direct managed {direct.images_uploaded})."
+    )
+    print(
+        "Watch BEES' curve flatten near the end: the energy-aware adaptive\n"
+        "schemes spend less per group as the battery drains."
+    )
+
+
+if __name__ == "__main__":
+    main()

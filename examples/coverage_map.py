@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scenario: mapping a city with a handful of dying phones.
+
+A scaled-down Figure-12: a geotagged photo collection (heavy-tailed
+images-per-location, like the Paris dataset) is split across three
+phones that upload groups into a shared server until their batteries
+die.  The example prints an ASCII density map of what the server
+received under Direct Upload vs. BEES — the BEES map covers visibly
+more of the city.
+
+Run:  python examples/coverage_map.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BeesScheme, DirectUpload
+from repro.analysis.coverage import density_grid
+from repro.datasets.geo import BoundingBox
+from repro.datasets.paris import SyntheticParis
+from repro.imaging.synth import SceneGenerator
+from repro.sim.coveragesim import CoverageExperiment
+
+SHADES = " .:*#@"
+MAP_BINS = 24
+
+
+def ascii_map(geotags, box: BoundingBox) -> str:
+    """Log2-shaded density map, north at the top."""
+    grid = density_grid(list(geotags), box, n_bins=MAP_BINS)
+    lines = []
+    for row in grid[::-1]:
+        line = ""
+        for count in row:
+            level = 0 if count == 0 else 1 + int(np.log2(count))
+            line += SHADES[min(len(SHADES) - 1, level)]
+        lines.append("|" + line + "|")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    box = BoundingBox.paris_test()
+    dataset = SyntheticParis(
+        n_images=400,
+        n_locations=120,
+        seed=9,
+        generator=SceneGenerator(height=72, width=96),
+    )
+    experiment = CoverageExperiment(
+        dataset=dataset,
+        n_phones=3,
+        group_size=12,
+        interval_s=300.0,
+        capacity_fraction=0.015,
+    )
+
+    print(
+        f"dataset: {len(dataset)} geotagged images over "
+        f"{dataset.n_locations} locations; 3 phones, 12-image groups\n"
+    )
+    results = {}
+    for scheme in (DirectUpload(), BeesScheme()):
+        result = experiment.run(scheme)
+        results[scheme.name] = result
+        print(f"--- {scheme.name} ---")
+        print(
+            f"uploaded {result.images_uploaded} images covering "
+            f"{result.locations_covered} unique locations "
+            f"({result.locations_per_image:.2f} locations/image)"
+        )
+        print(ascii_map(result.received_geotags, box))
+        print()
+
+    direct = results["Direct Upload"]
+    bees = results["BEES"]
+    print(
+        f"BEES covered {bees.locations_covered / direct.locations_covered - 1:+.0%} "
+        f"more unique locations than Direct Upload on the same batteries\n"
+        f"(the paper reports +97.1% at full scale)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scenario: volunteers upload quake photos over a damaged network.
+
+Compares the four schemes of the paper's evaluation — Direct Upload,
+SmartEye, MRC, and BEES — on the same 30-image batch at two cross-batch
+redundancy levels, over a fluctuating ~256 Kbps uplink, and prints a
+side-by-side of energy, bandwidth, delay, and eliminations (the
+Figures 7/10/11 story at example scale).
+
+Run:  python examples/disaster_relief.py
+"""
+
+from __future__ import annotations
+
+from repro import BeesScheme, DirectUpload, Mrc, SmartEye, Smartphone, build_server
+from repro.analysis.reporting import format_bytes, format_table
+from repro.datasets import DisasterDataset
+
+
+def run_at_ratio(ratio: float) -> str:
+    data = DisasterDataset()
+    batch = data.make_batch(n_images=30, n_inbatch_similar=4, seed=7)
+    partners = data.cross_batch_partners(batch, ratio, seed=8)
+
+    rows = []
+    for scheme in (DirectUpload(), SmartEye(), Mrc(), BeesScheme()):
+        server = build_server(scheme, partners)
+        report = scheme.process_batch(Smartphone(), server, batch)
+        rows.append(
+            [
+                scheme.name,
+                report.n_uploaded,
+                len(report.eliminated_cross_batch),
+                len(report.eliminated_in_batch),
+                f"{report.total_energy_j:.0f} J",
+                format_bytes(report.bytes_sent),
+                f"{report.average_image_seconds:.1f} s",
+            ]
+        )
+    return format_table(
+        ["scheme", "uploaded", "x-batch elim", "in-batch elim", "energy", "bandwidth", "avg delay"],
+        rows,
+    )
+
+
+def main() -> None:
+    for ratio in (0.0, 0.5):
+        print(f"\n=== cross-batch redundancy {int(ratio * 100)}% "
+              f"(30 images, 4 in-batch duplicates) ===")
+        print(run_at_ratio(ratio))
+    print(
+        "\nNote the paper's findings at example scale: with no redundancy\n"
+        "SmartEye and MRC cost MORE than Direct Upload (they extract and\n"
+        "upload features for nothing), while BEES still wins through\n"
+        "in-batch elimination and approximate uploading."
+    )
+
+
+if __name__ == "__main__":
+    main()

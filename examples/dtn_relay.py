@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Scenario: no infrastructure at all — photos ride a delay-tolerant network.
+
+When even the low-bandwidth uplink of the other examples is gone,
+photos hop between phones opportunistically (epidemic routing) until a
+carrier meets the gateway.  Relay buffers are tiny, so the drop policy
+decides what information survives.  This example pits content-blind
+FIFO dropping against CARE-style content-aware dropping (evict from
+the most-similar pair) — the DTN branch of the paper's related work.
+
+Run:  python examples/dtn_relay.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.datasets import DisasterDataset
+from repro.dtn import CareDropPolicy, CarriedImage, EpidemicSimulation, FifoDropPolicy
+from repro.features import OrbExtractor
+from repro.imaging.synth import SceneGenerator
+
+N_NODES = 5
+BUFFER = 3
+ROUNDS = 40
+
+
+def build_queues():
+    """Photographers' shot queues; burst duplicates stay on one phone."""
+    data = DisasterDataset(generator=SceneGenerator(height=72, width=96))
+    extractor = OrbExtractor()
+    batch = data.make_batch(n_images=30, n_inbatch_similar=12, seed=9)
+    by_scene = defaultdict(list)
+    for image in batch:
+        by_scene[image.group_id].append(
+            CarriedImage(image=image, features=extractor.extract(image))
+        )
+    queues = defaultdict(list)
+    for index, scene in enumerate(sorted(by_scene)):
+        queues[index % N_NODES].extend(by_scene[scene])
+    return dict(queues), len(by_scene)
+
+
+def run(policy_factory, queues, seed=1):
+    simulation = EpidemicSimulation(
+        n_nodes=N_NODES,
+        buffer_capacity=BUFFER,
+        policy_factory=policy_factory,
+        contact_bandwidth=2,
+        contacts_per_round=3,
+        gateway_probability=0.1,
+        seed=seed,
+    )
+    pending = {node: list(queue) for node, queue in queues.items()}
+    for _ in range(ROUNDS):
+        for node, queue in pending.items():
+            if queue:
+                simulation.inject(node, queue.pop(0))
+        simulation.step()
+    return simulation.run(0)
+
+
+def main() -> None:
+    queues, n_scenes = build_queues()
+    print(
+        f"{sum(len(q) for q in queues.values())} photos of {n_scenes} distinct "
+        f"scenes, {N_NODES} phones with {BUFFER}-image buffers, "
+        f"{ROUNDS} contact rounds\n"
+    )
+    for policy_factory in (FifoDropPolicy, CareDropPolicy):
+        report = run(policy_factory, queues)
+        name = policy_factory().name
+        print(f"--- drop policy: {name} ---")
+        print(f"  images delivered:   {report.n_delivered}")
+        print(f"  distinct scenes:    {report.n_unique_groups} / {n_scenes}")
+        print(f"  transmissions:      {report.transmissions}")
+        print(f"  drops / rejections: {report.drops} / {report.rejections}\n")
+    print(
+        "CARE keeps relay buffers diverse (it refuses or evicts redundant\n"
+        "content), so the same contacts deliver more distinct scenes — the\n"
+        "in-network counterpart of what BEES does at the source."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: share one batch of disaster images through BEES.
+
+Builds a 20-image batch (with 3 in-batch near-duplicates and some
+images the cloud has already seen), runs the full BEES pipeline on a
+simulated smartphone, and prints what was eliminated, what was
+uploaded, and what it cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BeesScheme, Smartphone, build_server
+from repro.datasets import DisasterDataset
+from repro.sim.session import scheme_extractor
+
+
+def main() -> None:
+    data = DisasterDataset()
+
+    # A batch fresh off the camera: 20 photos, 3 of them second shots
+    # of scenes already in the batch (burst shooting).
+    batch = data.make_batch(n_images=20, n_inbatch_similar=3, seed=42)
+
+    # The cloud has already received photos of 25% of these scenes from
+    # other volunteers (cross-batch redundancy).
+    partners = data.cross_batch_partners(batch, redundancy_ratio=0.25, seed=43)
+
+    scheme = BeesScheme()
+    server = build_server(scheme, seed_images=partners)
+    phone = Smartphone()
+
+    report = scheme.process_batch(phone, server, batch)
+
+    print(f"batch size:           {report.n_images}")
+    print(f"cross-batch redundant: {len(report.eliminated_cross_batch)} "
+          f"({', '.join(report.eliminated_cross_batch[:3])}, ...)")
+    print(f"in-batch redundant:    {len(report.eliminated_in_batch)}")
+    print(f"uploaded:              {report.n_uploaded}")
+    print(f"bytes sent:            {report.bytes_sent / 1024**2:.2f} MB "
+          f"(vs {sum(i.nominal_bytes for i in batch) / 1024**2:.2f} MB raw)")
+    print(f"energy spent:          {report.total_energy_j:.1f} J "
+          f"({phone.ebat * 100:.2f}% battery remaining)")
+    print(f"avg delay per image:   {report.average_image_seconds:.2f} s")
+    print()
+    print("energy by stage:")
+    for category, joules in sorted(report.energy_by_category.items()):
+        print(f"  {category:20s} {joules:8.2f} J")
+
+    # The cloud side: everything BEES uploaded is indexed and queryable.
+    extractor = scheme_extractor(scheme)
+    probe = data.make_batch(n_images=1, n_inbatch_similar=0, seed=42)[0]
+    result = server.query_features(extractor.extract(probe))
+    print()
+    print(f"re-querying an uploaded scene: max similarity "
+          f"{result.best_similarity:.3f} against {result.best_id!r}")
+
+
+if __name__ == "__main__":
+    main()

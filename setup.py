@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` works in offline environments that
+lack the `wheel` package required by pip's PEP-660 editable installs.
+"""
+from setuptools import setup
+
+setup()

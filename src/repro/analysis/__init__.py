@@ -1,0 +1,30 @@
+"""Analysis: precision, detection rates, coverage, and report rendering."""
+
+from .charts import bar_chart, density_map, sparkline
+from .coverage import CoverageSummary, density_grid, summarize_geotags
+from .precision import (
+    RatePoint,
+    dataset_precision,
+    pair_similarities,
+    rate_curve,
+    top_k_precision,
+)
+from .reporting import format_bytes, format_percent, format_table, print_figure
+
+__all__ = [
+    "CoverageSummary",
+    "bar_chart",
+    "density_map",
+    "sparkline",
+    "RatePoint",
+    "dataset_precision",
+    "density_grid",
+    "format_bytes",
+    "format_percent",
+    "format_table",
+    "pair_similarities",
+    "print_figure",
+    "rate_curve",
+    "summarize_geotags",
+    "top_k_precision",
+]

@@ -1,0 +1,71 @@
+"""Terminal chart primitives for examples and experiment output.
+
+Dependency-free ASCII rendering: spark-lines for traces (the Figure-9
+battery curves), horizontal bars for scheme comparisons, and shaded
+density maps for the Figure-12 coverage grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BeesError
+
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+SHADE_LEVELS = " .:*#@"
+
+
+def sparkline(values: "list[float]", lo: "float | None" = None, hi: "float | None" = None) -> str:
+    """One-line spark chart of a numeric series.
+
+    Values are scaled into ``[lo, hi]`` (default: the series' own
+    range); constant series render as a flat mid-level line.
+    """
+    if not values:
+        raise BeesError("cannot chart an empty series")
+    array = np.asarray(values, dtype=np.float64)
+    low = float(array.min()) if lo is None else float(lo)
+    high = float(array.max()) if hi is None else float(hi)
+    if high <= low:
+        return SPARK_LEVELS[4] * len(values)
+    scaled = (array - low) / (high - low)
+    indices = np.clip(np.rint(scaled * (len(SPARK_LEVELS) - 1)), 0, len(SPARK_LEVELS) - 1)
+    return "".join(SPARK_LEVELS[int(i)] for i in indices)
+
+
+def bar_chart(entries: "list[tuple[str, float]]", width: int = 40) -> str:
+    """Horizontal bar chart; one ``label  ████  value`` row per entry."""
+    if not entries:
+        raise BeesError("cannot chart zero entries")
+    if width < 1:
+        raise BeesError(f"width must be >= 1, got {width}")
+    peak = max(value for _, value in entries)
+    if peak < 0:
+        raise BeesError("bar charts need non-negative values")
+    label_width = max(len(label) for label, _ in entries)
+    lines = []
+    for label, value in entries:
+        length = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)}  {'█' * length}  {value:g}")
+    return "\n".join(lines)
+
+
+def density_map(grid: np.ndarray, border: bool = True) -> str:
+    """Log2-shaded character map of a 2-D count grid (north = last row).
+
+    Matches the paper's Figure-12 rendering convention: cell shade is
+    the log2 of its image count.
+    """
+    grid = np.asarray(grid)
+    if grid.ndim != 2 or grid.size == 0:
+        raise BeesError(f"density_map expects a non-empty 2-D grid, got {grid.shape}")
+    if (grid < 0).any():
+        raise BeesError("counts must be non-negative")
+    lines = []
+    for row in grid[::-1]:
+        cells = ""
+        for count in row:
+            level = 0 if count == 0 else 1 + int(np.log2(count))
+            cells += SHADE_LEVELS[min(len(SHADE_LEVELS) - 1, level)]
+        lines.append(f"|{cells}|" if border else cells)
+    return "\n".join(lines)

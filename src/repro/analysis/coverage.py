@@ -1,0 +1,70 @@
+"""Coverage analysis — the Figure-12 scoring.
+
+Coverage is "the number of unique locations covered" by the images the
+servers received; the density map helpers reproduce the log2-binned
+heatmap the figure plots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.geo import BoundingBox
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CoverageSummary:
+    """Aggregate coverage statistics of one image collection."""
+
+    n_images: int
+    n_unique_locations: int
+    densest_location_count: int
+
+    @property
+    def coverage_per_image(self) -> float:
+        if self.n_images == 0:
+            return 0.0
+        return self.n_unique_locations / self.n_images
+
+
+def summarize_geotags(geotags: "list[tuple[float, float] | None]") -> CoverageSummary:
+    """Coverage summary of a geotagged collection (None tags ignored)."""
+    tagged = [tag for tag in geotags if tag is not None]
+    counts = Counter(tagged)
+    return CoverageSummary(
+        n_images=len(tagged),
+        n_unique_locations=len(counts),
+        densest_location_count=max(counts.values()) if counts else 0,
+    )
+
+
+def density_grid(
+    geotags: "list[tuple[float, float] | None]",
+    box: BoundingBox,
+    n_bins: int = 32,
+) -> np.ndarray:
+    """Per-cell image counts over the bounding box — the Fig. 12 heatmap.
+
+    Returns an ``(n_bins, n_bins)`` array indexed ``[lat_bin, lon_bin]``.
+    The figure colours cells by ``log2(count)``; callers can apply
+    ``np.log2`` on the non-zero entries.
+    """
+    if n_bins < 1:
+        raise SimulationError(f"n_bins must be >= 1, got {n_bins}")
+    grid = np.zeros((n_bins, n_bins), dtype=np.int64)
+    lon_span = box.lon_max - box.lon_min
+    lat_span = box.lat_max - box.lat_min
+    for tag in geotags:
+        if tag is None:
+            continue
+        lon, lat = tag
+        if not box.contains(lon, lat):
+            continue
+        col = min(n_bins - 1, int((lon - box.lon_min) / lon_span * n_bins))
+        row = min(n_bins - 1, int((lat - box.lat_min) / lat_span * n_bins))
+        grid[row, col] += 1
+    return grid

@@ -1,0 +1,103 @@
+"""Precision and detection-rate analysis.
+
+Implements the paper's Equation 3 —
+
+    precision = |{similar images} ∩ {retrieved images}| / |{retrieved images}|
+
+— measured as the average number of same-group images in the top-4
+query results on Kentucky-style data (Figures 3(a) and 6), plus the
+true/false-positive-rate sweeps over similarity thresholds that produce
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.server import BeesServer
+from ..datasets.base import LabeledPair
+from ..errors import SimulationError
+from ..features.base import FeatureSet
+from ..features.similarity import jaccard_similarity
+from ..imaging.image import Image
+
+TOP_K = 4
+
+
+def top_k_precision(
+    server: BeesServer,
+    query_features: FeatureSet,
+    query_group: str,
+    group_of: "dict[str, str]",
+    k: int = TOP_K,
+) -> float:
+    """Fraction of the top-*k* results that share the query's group."""
+    if not query_group:
+        raise SimulationError("query image must carry a group_id")
+    results = server.query_top(query_features, k)
+    if not results:
+        return 0.0
+    relevant = sum(1 for image_id, _ in results if group_of.get(image_id) == query_group)
+    return relevant / k
+
+
+def dataset_precision(
+    server: BeesServer,
+    queries: "list[tuple[Image, FeatureSet]]",
+    group_of: "dict[str, str]",
+    k: int = TOP_K,
+) -> float:
+    """Mean top-*k* precision over a set of queries (Equation 3)."""
+    if not queries:
+        raise SimulationError("need at least one query")
+    scores = [
+        top_k_precision(server, features, image.group_id, group_of, k)
+        for image, features in queries
+    ]
+    return float(np.mean(scores))
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """TPR/FPR at one similarity threshold (one x-slice of Figure 4)."""
+
+    threshold: float
+    true_positive_rate: float
+    false_positive_rate: float
+
+
+def pair_similarities(
+    pairs: "list[LabeledPair]", extract
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Equation-2 similarities of labelled pairs.
+
+    ``extract`` maps an :class:`Image` to a :class:`FeatureSet`.
+    Returns ``(similar_sims, dissimilar_sims)``.
+    """
+    similar, dissimilar = [], []
+    for pair in pairs:
+        similarity = jaccard_similarity(extract(pair.first), extract(pair.second))
+        (similar if pair.similar else dissimilar).append(similarity)
+    return np.asarray(similar), np.asarray(dissimilar)
+
+
+def rate_curve(
+    similar_sims: np.ndarray,
+    dissimilar_sims: np.ndarray,
+    thresholds: "list[float]",
+) -> "list[RatePoint]":
+    """TPR/FPR for each threshold — the similarity distribution of Fig. 4."""
+    if len(similar_sims) == 0 or len(dissimilar_sims) == 0:
+        raise SimulationError("need both similar and dissimilar similarities")
+    points = []
+    for threshold in thresholds:
+        points.append(
+            RatePoint(
+                threshold=float(threshold),
+                true_positive_rate=float((similar_sims > threshold).mean()),
+                false_positive_rate=float((dissimilar_sims > threshold).mean()),
+            )
+        )
+    return points

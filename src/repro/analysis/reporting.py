@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series its paper figure reports; these
+helpers keep the output format consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from ..errors import BeesError
+
+
+def format_table(headers: "list[str]", rows: "list[list[object]]") -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise BeesError("a table needs headers")
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise BeesError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(
+        "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        for row in cells
+    )
+    return "\n".join(lines)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human units, binary multiples (the paper reports MB/GB)."""
+    if n_bytes < 0:
+        raise BeesError(f"byte counts must be >= 0, got {n_bytes}")
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_percent(fraction: float) -> str:
+    """``0.423`` → ``"42.3%"``."""
+    return f"{100.0 * fraction:.1f}%"
+
+
+def print_figure(title: str, body: str) -> None:
+    """Print one figure/table block with a banner the harness greps for."""
+    banner = "=" * max(8, len(title))
+    print(f"\n{banner}\n{title}\n{banner}\n{body}")

@@ -1,0 +1,21 @@
+"""The comparison schemes of the paper's evaluation."""
+
+from .base import BatchReport, SharingScheme
+from .bees_ea import make_bees_ea
+from .direct import DirectUpload
+from .mrc import MRC_THRESHOLD, Mrc
+from .photonet import PHOTONET_THRESHOLD, PhotoNet
+from .smarteye import SMARTEYE_THRESHOLD, SmartEye
+
+__all__ = [
+    "BatchReport",
+    "DirectUpload",
+    "MRC_THRESHOLD",
+    "Mrc",
+    "PHOTONET_THRESHOLD",
+    "PhotoNet",
+    "SMARTEYE_THRESHOLD",
+    "SharingScheme",
+    "SmartEye",
+    "make_bees_ea",
+]

@@ -1,0 +1,74 @@
+"""The sharing-scheme interface and its per-batch report.
+
+Every scheme the paper evaluates — Direct Upload, SmartEye, MRC,
+BEES-EA, and BEES itself — implements :class:`SharingScheme`: given a
+smartphone, a cloud server, and a batch of images, process the batch
+(extract, query, upload) while charging all work to the phone's battery
+and meter, and return an accounting of what happened.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.server import BeesServer
+    from ..imaging.image import Image
+    from ..sim.device import Smartphone
+
+
+@dataclass
+class BatchReport:
+    """What a scheme did with one batch."""
+
+    scheme: str
+    n_images: int
+    uploaded_ids: list = field(default_factory=list)
+    eliminated_cross_batch: list = field(default_factory=list)
+    eliminated_in_batch: list = field(default_factory=list)
+    bytes_sent: int = 0
+    total_seconds: float = 0.0
+    per_image_seconds: list = field(default_factory=list)
+    energy_by_category: dict = field(default_factory=dict)
+    halted: bool = False
+
+    @property
+    def n_uploaded(self) -> int:
+        """Number of images actually transmitted."""
+        return len(self.uploaded_ids)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total joules this batch cost (all categories)."""
+        return float(sum(self.energy_by_category.values()))
+
+    @property
+    def average_image_seconds(self) -> float:
+        """Mean per-image delay across the *whole* batch.
+
+        The paper's "average delay of uploading an image" (Figure 11)
+        divides the batch's total processing time by the batch size —
+        eliminated images count with their (small) detection-only cost.
+        """
+        if self.n_images == 0:
+            return 0.0
+        return self.total_seconds / self.n_images
+
+
+class SharingScheme(abc.ABC):
+    """Interface of an image-sharing scheme."""
+
+    #: Human-readable scheme name, as used in the paper's figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def process_batch(
+        self, device: "Smartphone", server: "BeesServer", images: "list[Image]"
+    ) -> BatchReport:
+        """Process one batch of images end to end.
+
+        Implementations must charge every joule through ``device`` and
+        must stop (setting ``halted``) when the battery dies mid-batch.
+        """

@@ -1,0 +1,23 @@
+"""BEES-EA — BEES without the energy-aware adaptive schemes.
+
+Section IV-B3(3): "BEES-EA represents BEES without energy-aware adaptive
+schemes in which BEES does not adjust its behaviors based on the
+remaining energy."  Every policy is pinned at its full-battery value:
+no bitmap compression (C = 0), the strictest threshold (T = 0.019), and
+no resolution compression (Cr = 0); the fixed quality compression and
+SSMM remain.  Comparing against it isolates what EAAS itself buys
+(~20% extra lifetime in Figure 9).
+"""
+
+from __future__ import annotations
+
+from ..core.client import BeesScheme
+from ..core.config import BeesConfig
+
+
+def make_bees_ea(**config_overrides) -> BeesScheme:
+    """Construct the BEES-EA scheme."""
+    config = BeesConfig.ea_disabled(**config_overrides)
+    scheme = BeesScheme(config=config)
+    scheme.name = "BEES-EA"
+    return scheme

@@ -1,0 +1,116 @@
+"""Shared skeleton of the cross-batch-only baselines (SmartEye, MRC).
+
+Both schemes follow the traditional architecture of Figure 1: extract
+features for the *whole batch*, query the server index, then upload the
+unique images.  The two-phase protocol matters: queries run against the
+index as it stood when the batch arrived, so two similar images inside
+one batch both look "unique" — the in-batch blindness BEES fixes with
+SSMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.server import BeesServer
+from ..energy import FEATURE_EXTRACTION, FEATURE_UPLOAD, IMAGE_UPLOAD
+from ..features.base import FeatureSet
+from ..features.sizes import nominal_feature_bytes
+from ..imaging.image import Image
+from ..sim.device import Smartphone
+from .base import BatchReport, SharingScheme
+
+
+@dataclass
+class CrossBatchOnlyScheme(SharingScheme):
+    """Extract -> query (batch-start index) -> upload unique."""
+
+    threshold: float = 0.019
+    name: str = "cross-batch-only"
+
+    # -- hooks ----------------------------------------------------------------
+
+    def extract(self, image: Image) -> FeatureSet:  # pragma: no cover - abstract
+        """Extract this scheme's features from *image*."""
+        raise NotImplementedError
+
+    @property
+    def feature_kind(self) -> str:  # pragma: no cover - abstract
+        """The descriptor kind, for cost and payload accounting."""
+        raise NotImplementedError
+
+    def query_extra_bytes(self) -> int:
+        """Extra per-query payload (MRC's thumbnail feedback)."""
+        return 0
+
+    def query_extra_cost(self, device: Smartphone, image: Image) -> "tuple[float, bool]":
+        """Extra per-query CPU work; returns (seconds, still_alive)."""
+        return (0.0, True)
+
+    # -- the two-phase protocol ---------------------------------------------
+
+    def process_batch(
+        self, device: Smartphone, server: BeesServer, images: "list[Image]"
+    ) -> BatchReport:
+        report = BatchReport(scheme=self.name, n_images=len(images))
+        before = device.meter.snapshot()
+        bytes_before = device.uplink.bytes_sent
+
+        # Phase 1: extract + upload features + query, for the whole batch,
+        # against the index as it stood at batch arrival.
+        verdicts: list[tuple[Image, FeatureSet, float]] = []
+        for image in images:
+            if not device.alive:
+                report.halted = True
+                break
+            features = self.extract(image)
+            cost = device.cost_model.extraction_cost(
+                self.feature_kind, image.nominal_pixels
+            )
+            seconds = cost.seconds
+            if not device.spend(cost, FEATURE_EXTRACTION):
+                report.halted = True
+                break
+            extra_seconds, alive = self.query_extra_cost(device, image)
+            seconds += extra_seconds
+            if not alive:
+                report.halted = True
+                break
+            payload = nominal_feature_bytes(
+                features.kind, len(features), max(1, image.pixels), image.nominal_pixels
+            )
+            transfer = device.upload(
+                payload + self.query_extra_bytes() + server.query_response_bytes,
+                FEATURE_UPLOAD,
+            )
+            if transfer is None:
+                report.halted = True
+                break
+            seconds += transfer.seconds
+            result = server.query_features(features)
+            verdicts.append((image, features, seconds))
+            if result.best_similarity > self.threshold:
+                report.eliminated_cross_batch.append(image.image_id)
+
+        eliminated = set(report.eliminated_cross_batch)
+
+        # Phase 2: upload the unique images at full size.
+        for image, features, seconds in verdicts:
+            if image.image_id in eliminated:
+                report.per_image_seconds.append(seconds)
+                continue
+            if not device.alive:
+                report.halted = True
+                break
+            transfer = device.upload(image.nominal_bytes, IMAGE_UPLOAD)
+            if transfer is None:
+                report.halted = True
+                break
+            server.receive_image(image, features)
+            report.uploaded_ids.append(image.image_id)
+            report.per_image_seconds.append(seconds + transfer.seconds)
+
+        report.total_seconds = float(sum(report.per_image_seconds))
+        report.bytes_sent = device.uplink.bytes_sent - bytes_before
+        report.energy_by_category = device.meter.since(before)
+        return report

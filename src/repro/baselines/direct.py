@@ -1,0 +1,57 @@
+"""Direct Upload — the no-intelligence baseline.
+
+Every image in the batch is transmitted at full size: no features, no
+queries, no compression.  The paper's energy, bandwidth, delay, and
+lifetime experiments all measure the other schemes against this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.server import BeesServer
+from ..energy import IMAGE_UPLOAD
+from ..features.orb import OrbExtractor
+from ..imaging.image import Image
+from ..sim.device import Smartphone
+from .base import BatchReport, SharingScheme
+
+
+@dataclass
+class DirectUpload(SharingScheme):
+    """Upload everything, ask nothing."""
+
+    name: str = "Direct Upload"
+    #: Uploaded images are still indexed server-side (the server always
+    #: extracts features from what it receives), so later CBRD-capable
+    #: schemes in the same experiment see a consistent index.
+    index_on_server: bool = True
+
+    def __post_init__(self) -> None:
+        self._server_extractor = OrbExtractor()
+
+    def process_batch(
+        self, device: Smartphone, server: BeesServer, images: "list[Image]"
+    ) -> BatchReport:
+        report = BatchReport(scheme=self.name, n_images=len(images))
+        before = device.meter.snapshot()
+        bytes_before = device.uplink.bytes_sent
+        for image in images:
+            if not device.alive:
+                report.halted = True
+                break
+            transfer = device.upload(image.nominal_bytes, IMAGE_UPLOAD)
+            if transfer is None:
+                report.halted = True
+                break
+            report.per_image_seconds.append(transfer.seconds)
+            report.uploaded_ids.append(image.image_id)
+            if self.index_on_server:
+                features = self._server_extractor.extract(image)
+                server.receive_image(image, features)
+            else:
+                server.store.add(image)
+        report.total_seconds = float(sum(report.per_image_seconds))
+        report.bytes_sent = device.uplink.bytes_sent - bytes_before
+        report.energy_by_category = device.meter.since(before)
+        return report

@@ -1,0 +1,55 @@
+"""MRC (Dao et al., CoNEXT 2014) — the ORB + thumbnail baseline.
+
+MRC ("Managing Redundant Content") also eliminates cross-batch
+redundancy at the source, using cheap ORB features plus global
+features, and — unlike SmartEye — confirms candidate matches through a
+*thumbnail feedback* round: a small downscaled copy of each candidate
+image travels up so the server can verify the match.  That feedback is
+why MRC spends a little more bandwidth than SmartEye (Figure 10) while
+its ORB extraction keeps its energy below SmartEye's (Figure 7).
+
+The paper implemented MRC from its description; we do the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..energy import COMPRESSION
+from ..features.base import FeatureSet
+from ..features.orb import OrbExtractor
+from ..imaging.image import Image
+from ..sim.device import Smartphone
+from .cross_batch import CrossBatchOnlyScheme
+
+#: MRC's fixed similarity threshold (same operating point as SmartEye).
+MRC_THRESHOLD = 0.019
+
+#: Size of the thumbnail each queried image sends for verification.
+THUMBNAIL_BYTES = 16 * 1024
+
+
+@dataclass
+class Mrc(CrossBatchOnlyScheme):
+    """Cross-batch elimination with ORB features + thumbnail feedback."""
+
+    threshold: float = MRC_THRESHOLD
+    thumbnail_bytes: int = THUMBNAIL_BYTES
+    extractor: OrbExtractor = field(default_factory=OrbExtractor)
+    name: str = "MRC"
+
+    def extract(self, image: Image) -> FeatureSet:
+        return self.extractor.extract(image)
+
+    @property
+    def feature_kind(self) -> str:
+        return self.extractor.kind
+
+    def query_extra_bytes(self) -> int:
+        return self.thumbnail_bytes
+
+    def query_extra_cost(self, device: Smartphone, image: Image) -> "tuple[float, bool]":
+        # Producing the thumbnail is one cheap resample pass.
+        cost = device.cost_model.compression_cost(image.nominal_pixels)
+        alive = device.spend(cost, COMPRESSION)
+        return (cost.seconds, alive)

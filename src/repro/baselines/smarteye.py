@@ -1,0 +1,39 @@
+"""SmartEye (Hua et al., INFOCOM 2015) — the PCA-SIFT baseline.
+
+SmartEye eliminates *cross-batch* redundancy at the source: the client
+extracts PCA-SIFT features from every image (full bitmap — no AFE),
+uploads them, and skips images whose server-side maximum similarity
+exceeds a fixed threshold.  There is no in-batch elimination, no
+adaptive behaviour, and no upload compression, which is why BEES beats
+it on every axis in Figures 7-11 while PCA-SIFT's extraction cost makes
+it the most energy-hungry detector of the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..features.base import FeatureSet
+from ..features.pca_sift import PcaSiftExtractor
+from ..imaging.image import Image
+from .cross_batch import CrossBatchOnlyScheme
+
+#: SmartEye's fixed similarity threshold — the paper's full-battery EDR
+#: value, so all schemes detect the same planted redundancy.
+SMARTEYE_THRESHOLD = 0.019
+
+
+@dataclass
+class SmartEye(CrossBatchOnlyScheme):
+    """Cross-batch elimination with PCA-SIFT features."""
+
+    threshold: float = SMARTEYE_THRESHOLD
+    extractor: PcaSiftExtractor = field(default_factory=PcaSiftExtractor)
+    name: str = "SmartEye"
+
+    def extract(self, image: Image) -> FeatureSet:
+        return self.extractor.extract(image)
+
+    @property
+    def feature_kind(self) -> str:
+        return self.extractor.kind

@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands drive the main experiments without writing code:
+
+* ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
+* ``lifetime`` — the battery drain race (Fig. 9)
+* ``coverage`` — the multi-phone city-coverage run (Fig. 12)
+* ``share``    — run a scheme over a folder of real PPM/PGM photos
+* ``info``     — versions, device profile, and policy constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis.charts import bar_chart, sparkline
+from .analysis.reporting import format_bytes, format_table
+from .baselines import DirectUpload, Mrc, PhotoNet, SmartEye, make_bees_ea
+from .core.client import BeesScheme
+from .core.policies import eac_policy, eau_policy, edr_policy
+from .datasets import DisasterDataset, SyntheticParis
+from .datasets.folder import FolderDataset
+from .energy.profiles import DEFAULT_PROFILE
+from .imaging.synth import SceneGenerator
+from .sim.coveragesim import CoverageExperiment
+from .sim.device import Smartphone
+from .sim.lifetime import LifetimeExperiment
+from .sim.session import build_server
+
+_SCHEME_FACTORIES = {
+    "direct": DirectUpload,
+    "smarteye": SmartEye,
+    "mrc": Mrc,
+    "photonet": PhotoNet,
+    "bees-ea": make_bees_ea,
+    "bees": BeesScheme,
+}
+
+
+def _schemes(names: "list[str]"):
+    try:
+        return [_SCHEME_FACTORIES[name]() for name in names]
+    except KeyError as exc:
+        raise SystemExit(
+            f"unknown scheme {exc.args[0]!r}; choose from {sorted(_SCHEME_FACTORIES)}"
+        ) from None
+
+
+def _fast_generator() -> SceneGenerator:
+    return SceneGenerator(height=72, width=96)
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run one controlled batch through the selected schemes."""
+    data = DisasterDataset()
+    batch = data.make_batch(
+        n_images=args.images, n_inbatch_similar=args.in_batch, seed=args.seed
+    )
+    partners = data.cross_batch_partners(batch, args.redundancy, seed=args.seed + 1)
+    rows = []
+    energies = []
+    for scheme in _schemes(args.schemes):
+        server = build_server(scheme, partners)
+        report = scheme.process_batch(Smartphone(), server, batch)
+        rows.append(
+            [
+                scheme.name,
+                report.n_uploaded,
+                len(report.eliminated_cross_batch),
+                len(report.eliminated_in_batch),
+                f"{report.total_energy_j:.0f} J",
+                format_bytes(report.bytes_sent),
+                f"{report.average_image_seconds:.1f} s",
+            ]
+        )
+        energies.append((scheme.name, report.total_energy_j))
+    print(
+        f"batch: {args.images} images, {args.in_batch} in-batch duplicates, "
+        f"{int(args.redundancy * 100)}% cross-batch redundancy\n"
+    )
+    print(
+        format_table(
+            ["scheme", "uploaded", "x-batch", "in-batch", "energy", "bandwidth", "delay"],
+            rows,
+        )
+    )
+    print("\nenergy:")
+    print(bar_chart(energies))
+    return 0
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    """Race the selected schemes to battery exhaustion (Fig. 9)."""
+    experiment = LifetimeExperiment(
+        group_size=args.group_size,
+        interval_s=args.interval_minutes * 60.0,
+        redundancy_ratio=args.redundancy,
+        capacity_fraction=args.capacity,
+        max_groups=args.max_groups,
+        generator=_fast_generator(),
+    )
+    print(
+        f"{args.group_size}-image groups every {args.interval_minutes:g} min, "
+        f"{int(args.redundancy * 100)}% redundancy, "
+        f"{args.capacity:.0%} of a {DEFAULT_PROFILE.battery_capacity_j:.0f} J battery\n"
+    )
+    for scheme in _schemes(args.schemes):
+        result = experiment.run(scheme)
+        trace = [point.ebat for point in result.trace]
+        print(f"{result.scheme:14s} {sparkline(trace, lo=0.0, hi=1.0)}")
+        print(
+            f"{'':14s} {result.lifetime_minutes:.0f} min, "
+            f"{result.groups_completed} groups, "
+            f"{result.images_uploaded} images"
+        )
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """Run the multi-phone coverage experiment (Fig. 12)."""
+    dataset = SyntheticParis(
+        n_images=args.images,
+        n_locations=args.locations,
+        seed=args.seed,
+        generator=_fast_generator(),
+    )
+    experiment = CoverageExperiment(
+        dataset=dataset,
+        n_phones=args.phones,
+        group_size=args.group_size,
+        interval_s=300.0,
+        capacity_fraction=args.capacity,
+    )
+    print(
+        f"{args.images} geotagged images over {args.locations} locations, "
+        f"{args.phones} phones\n"
+    )
+    rows = []
+    for scheme in _schemes(args.schemes):
+        result = experiment.run(scheme)
+        rows.append(
+            [
+                result.scheme,
+                result.images_uploaded,
+                result.locations_covered,
+                f"{result.locations_per_image:.3f}",
+            ]
+        )
+    print(format_table(["scheme", "uploaded", "unique locations", "loc/image"], rows))
+    return 0
+
+
+def cmd_share(args: argparse.Namespace) -> int:
+    """Share a folder of real PPM/PGM photos through one scheme."""
+    dataset = FolderDataset(args.folder)
+    batch = list(dataset)
+    scheme = _schemes([args.scheme])[0]
+    device = Smartphone()
+    device.battery.recharge(args.battery)
+    server = build_server(scheme)
+    report = scheme.process_batch(device, server, batch)
+    print(f"folder: {dataset.root} ({len(batch)} images, "
+          f"{len(dataset.groups())} scenes by name)\n")
+    print(f"scheme:            {scheme.name} (battery at {args.battery:.0%})")
+    print(f"uploaded:          {report.n_uploaded}")
+    print(f"in-batch redundant: {len(report.eliminated_in_batch)} "
+          f"{sorted(report.eliminated_in_batch)}")
+    print(f"cross-batch redundant: {len(report.eliminated_cross_batch)}")
+    print(f"bytes sent:        {format_bytes(report.bytes_sent)}")
+    print(f"energy:            {report.total_energy_j:.1f} J")
+    print(f"avg delay/image:   {report.average_image_seconds:.2f} s")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print version, device profile, and EAAS policy constants."""
+    profile = DEFAULT_PROFILE
+    print(f"repro {__version__} — BEES (ICDCS 2017) reproduction")
+    print(f"\ndevice profile: {profile.name}")
+    print(f"  battery        {profile.battery_capacity_j:.0f} J")
+    print(f"  cpu power      {profile.cpu_power_w} W")
+    print(f"  radio power    {profile.radio_power_w} W")
+    print(f"  baseline draw  {profile.baseline_power_w} W")
+    print("\nEAAS policies (Ebat = 1.0 / 0.5 / 0.0):")
+    for name, policy in (
+        ("EAC bitmap compression C", eac_policy()),
+        ("EDR similarity threshold T", edr_policy()),
+        ("EAU resolution compression Cr", eau_policy()),
+    ):
+        values = "  ".join(f"{policy(e):.3f}" for e in (1.0, 0.5, 0.0))
+        print(f"  {name:30s} {values}")
+    print(f"\nschemes: {', '.join(sorted(_SCHEME_FACTORIES))}")
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the `repro` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BEES: bandwidth- and energy-efficient image sharing (reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compare = commands.add_parser("compare", help="one batch through every scheme")
+    compare.add_argument("--images", type=int, default=30)
+    compare.add_argument("--in-batch", type=int, default=4)
+    compare.add_argument("--redundancy", type=float, default=0.25)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument(
+        "--schemes", nargs="+", default=["direct", "smarteye", "mrc", "bees"]
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    lifetime = commands.add_parser("lifetime", help="battery drain race (Fig. 9)")
+    lifetime.add_argument("--group-size", type=int, default=10)
+    lifetime.add_argument("--interval-minutes", type=float, default=5.0)
+    lifetime.add_argument("--redundancy", type=float, default=0.5)
+    lifetime.add_argument("--capacity", type=float, default=0.1)
+    lifetime.add_argument("--max-groups", type=int, default=100)
+    lifetime.add_argument(
+        "--schemes", nargs="+", default=["direct", "mrc", "bees-ea", "bees"]
+    )
+    lifetime.set_defaults(handler=cmd_lifetime)
+
+    coverage = commands.add_parser("coverage", help="city coverage (Fig. 12)")
+    coverage.add_argument("--images", type=int, default=400)
+    coverage.add_argument("--locations", type=int, default=120)
+    coverage.add_argument("--phones", type=int, default=3)
+    coverage.add_argument("--group-size", type=int, default=12)
+    coverage.add_argument("--capacity", type=float, default=0.015)
+    coverage.add_argument("--seed", type=int, default=9)
+    coverage.add_argument("--schemes", nargs="+", default=["direct", "bees"])
+    coverage.set_defaults(handler=cmd_coverage)
+
+    share = commands.add_parser(
+        "share", help="run a scheme over a folder of PPM/PGM photos"
+    )
+    share.add_argument("folder", help="directory of .ppm/.pgm files")
+    share.add_argument("--scheme", default="bees")
+    share.add_argument(
+        "--battery", type=float, default=1.0, help="starting charge fraction"
+    )
+    share.set_defaults(handler=cmd_share)
+
+    info = commands.add_parser("info", help="profile and policy constants")
+    info.set_defaults(handler=cmd_info)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""AIU — Approximate Image Uploading (Section III-C).
+
+Unique images are compressed twice before transmission:
+
+* **quality compression** at a fixed proportion (0.85 — beyond it SSIM
+  collapses, Figure 5(a)), and
+* **resolution compression** at the EAU proportion
+  ``Cr = 0.8 - 0.8 * Ebat`` — lower battery, lower resolution, smaller
+  upload (Figure 5(b)); the loss is unrecoverable, which is exactly the
+  trade AIS makes.
+
+``exact_codec=False`` replaces the DCT round-trip with a fitted
+size-factor curve (measured once from the real codec on a reference
+scene) for large-scale simulations where only the byte count matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..energy import EnergyCostModel, WorkCost, ZERO_COST
+from ..imaging import jpeg
+from ..imaging.image import Image
+from ..imaging.resolution import compress_resolution
+from .config import DEFAULT_QUALITY_PROPORTION
+from .policies import LinearPolicy, eau_policy
+
+#: Proportions at which the fitted quality-size curve is sampled.
+_FIT_PROPORTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.85, 0.9, 0.95)
+
+
+@lru_cache(maxsize=1)
+def _fitted_quality_curve() -> "tuple[np.ndarray, np.ndarray]":
+    """(proportions, size factors) of the codec on a reference scene."""
+    from ..imaging.synth import SceneGenerator  # local import: avoid cycle
+
+    reference = SceneGenerator().view(424_242, 0)
+    factors = [jpeg.size_factor(reference, p) for p in _FIT_PROPORTIONS]
+    return np.array(_FIT_PROPORTIONS), np.array(factors)
+
+
+def fitted_quality_size_factor(proportion: float) -> float:
+    """Interpolated file-size multiplier of quality compression."""
+    xs, ys = _fitted_quality_curve()
+    return float(np.interp(proportion, xs, ys))
+
+
+@dataclass(frozen=True)
+class AiuResult:
+    """The prepared upload: final image + what preparing it cost."""
+
+    image: Image
+    quality_proportion: float
+    resolution_proportion: float
+    cost: WorkCost
+
+    @property
+    def upload_bytes(self) -> int:
+        """Bytes that will hit the uplink."""
+        return self.image.nominal_bytes
+
+
+@dataclass
+class ApproximateImageUploading:
+    """The AIU stage: quality + EAU resolution compression."""
+
+    quality_proportion: float = DEFAULT_QUALITY_PROPORTION
+    policy: LinearPolicy = field(default_factory=eau_policy)
+    cost_model: EnergyCostModel = field(default_factory=EnergyCostModel)
+    enabled: bool = True
+    exact_codec: bool = True
+
+    def resolution_proportion_for(self, ebat: float) -> float:
+        """The EAU resolution compression proportion."""
+        if not self.enabled:
+            return 0.0
+        return self.policy(ebat)
+
+    def prepare(self, image: Image, ebat: float) -> AiuResult:
+        """Compress *image* for upload at the current battery level."""
+        if not self.enabled:
+            return AiuResult(
+                image=image,
+                quality_proportion=0.0,
+                resolution_proportion=0.0,
+                cost=ZERO_COST,
+            )
+        resolution_proportion = self.resolution_proportion_for(ebat)
+        # Resolution first: the quality encode then runs over fewer
+        # pixels, which is also the cheaper CPU order.
+        prepared = image
+        cost = ZERO_COST
+        if resolution_proportion > 0.0:
+            prepared = compress_resolution(prepared, resolution_proportion)
+            cost = cost + self.cost_model.compression_cost(image.nominal_pixels)
+        if self.quality_proportion > 0.0:
+            if self.exact_codec:
+                prepared = jpeg.compress_quality(prepared, self.quality_proportion)
+            else:
+                factor = fitted_quality_size_factor(self.quality_proportion)
+                prepared = prepared.with_bitmap(
+                    prepared.bitmap,
+                    nominal_bytes=prepared.scaled_nominal_bytes(factor),
+                )
+            cost = cost + self.cost_model.compression_cost(prepared.nominal_pixels)
+        return AiuResult(
+            image=prepared,
+            quality_proportion=self.quality_proportion,
+            resolution_proportion=resolution_proportion,
+            cost=cost,
+        )

@@ -1,0 +1,69 @@
+"""The energy-aware adaptive policies (EAAS) — Section III.
+
+Each of the three approximate stages carries one linear policy of the
+remaining battery fraction ``Ebat``:
+
+* **EAC** (energy-aware adaptive compression, in AFE):
+  bitmap compression proportion ``C = 0.4 - 0.4 * Ebat``.
+* **EDR** (energy-defined redundancy, in ARD):
+  similarity threshold ``T = 0.013 + 0.006 * Ebat``; SSMM's graph-cut
+  threshold ``Tw`` uses the same parameters.
+* **EAU** (energy-aware adaptive uploading, in AIU):
+  resolution compression proportion ``Cr = 0.8 - 0.8 * Ebat``.
+
+The paper chose the constants so approximate-computing error stays
+under the customary 10% bound: C <= 0.4 keeps detection precision above
+90% (Figure 3), and T >= 0.013 keeps the false-positive rate near 10%
+(Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearPolicy:
+    """``value(ebat) = clip(intercept + slope * ebat, lo, hi)``."""
+
+    intercept: float
+    slope: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ConfigurationError(f"lo {self.lo} exceeds hi {self.hi}")
+
+    def __call__(self, ebat: float) -> float:
+        if not 0.0 <= ebat <= 1.0:
+            raise ConfigurationError(f"Ebat must be in [0, 1], got {ebat}")
+        value = self.intercept + self.slope * ebat
+        return min(self.hi, max(self.lo, value))
+
+    @classmethod
+    def fixed(cls, value: float) -> "LinearPolicy":
+        """A constant policy — what BEES-EA uses (no adaptation)."""
+        return cls(intercept=value, slope=0.0, lo=value, hi=value)
+
+
+def eac_policy() -> LinearPolicy:
+    """EAC: bitmap compression proportion ``C = 0.4 - 0.4 * Ebat``."""
+    return LinearPolicy(intercept=0.4, slope=-0.4, lo=0.0, hi=0.4)
+
+
+def edr_policy() -> LinearPolicy:
+    """EDR: similarity threshold ``T = 0.013 + 0.006 * Ebat``."""
+    return LinearPolicy(intercept=0.013, slope=0.006, lo=0.013, hi=0.019)
+
+
+def ssmm_cut_policy() -> LinearPolicy:
+    """SSMM's graph-cut threshold ``Tw`` — same parameters as EDR."""
+    return edr_policy()
+
+
+def eau_policy() -> LinearPolicy:
+    """EAU: resolution compression proportion ``Cr = 0.8 - 0.8 * Ebat``."""
+    return LinearPolicy(intercept=0.8, slope=-0.8, lo=0.0, hi=0.8)

@@ -1,0 +1,25 @@
+"""Synthetic stand-ins for the paper's three real imagesets."""
+
+from .base import ImageDataset, LabeledPair, batched
+from .disaster import DisasterDataset
+from .folder import FolderDataset
+from .geo import PARIS_TEST_BOX, BoundingBox, unique_locations
+from .kentucky import FULL_SCALE_GROUPS, VIEWS_PER_GROUP, SyntheticKentucky
+from .paris import FULL_SCALE_IMAGES, FULL_SCALE_LOCATIONS, SyntheticParis
+
+__all__ = [
+    "BoundingBox",
+    "DisasterDataset",
+    "FolderDataset",
+    "FULL_SCALE_GROUPS",
+    "FULL_SCALE_IMAGES",
+    "FULL_SCALE_LOCATIONS",
+    "ImageDataset",
+    "LabeledPair",
+    "PARIS_TEST_BOX",
+    "SyntheticKentucky",
+    "SyntheticParis",
+    "VIEWS_PER_GROUP",
+    "batched",
+    "unique_locations",
+]

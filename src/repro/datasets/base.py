@@ -1,0 +1,38 @@
+"""Dataset abstractions shared by the three synthetic imagesets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from ..errors import DatasetError
+from ..imaging.image import Image
+
+
+class ImageDataset(Protocol):
+    """Minimal dataset interface: sized iteration over images."""
+
+    def __len__(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def __iter__(self) -> Iterator[Image]:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """A ground-truth-labelled image pair (Figure 4's raw material)."""
+
+    first: Image
+    second: Image
+    similar: bool
+
+
+def batched(images: "list[Image]", batch_size: int) -> "list[list[Image]]":
+    """Split a flat image list into upload batches.
+
+    The final batch may be short; an empty input yields no batches.
+    """
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    return [images[i : i + batch_size] for i in range(0, len(images), batch_size)]

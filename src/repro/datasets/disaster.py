@@ -1,0 +1,124 @@
+"""The synthetic disaster imageset.
+
+Stands in for the paper's crawl of 1,000 Nepal-earthquake photos.  The
+energy/bandwidth/delay experiments (Figures 7, 8, 10, 11) use it as "a
+batch of 100 images with X% cross-batch redundancy and 10 in-batch
+similar images", so the generator's job is to produce batches with
+exactly controllable redundancy structure:
+
+* ``make_batch`` returns ``n_images`` photos of which
+  ``n_inbatch_similar`` are second views of scenes already in the batch
+  (the in-batch redundancy only BEES eliminates);
+* ``cross_batch_partners`` returns high-similarity partner images for a
+  chosen fraction of the batch's *singleton* scenes — these are seeded
+  into the server before the run, exactly how the paper "sets different
+  cross-batch redundancy ratios by adding redundant images into the
+  servers".  Partners never target in-batch-duplicated scenes ("10
+  in-batch similar images ... do not have similar images in the
+  servers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..imaging.image import Image
+from ..imaging.synth import SceneGenerator
+
+#: Seed offset separating disaster scenes from other datasets'.
+_SCENE_BASE = 2_000_000
+
+#: Disaster scenes share family content like any real photo crawl.
+FAMILY_SIZE = 10
+SHARED_FRACTION = 0.2
+
+
+@dataclass
+class DisasterDataset:
+    """Deterministic disaster-scene batches with controllable redundancy."""
+
+    generator: SceneGenerator = field(default_factory=SceneGenerator)
+    family_size: int = FAMILY_SIZE
+    shared_fraction: float = SHARED_FRACTION
+
+    def _view(self, scene: int, view: int, image_id: str) -> Image:
+        family = scene // self.family_size
+        return self.generator.view(
+            _SCENE_BASE + scene,
+            view,
+            image_id=image_id,
+            group_id=f"disaster-s{scene}",
+            shared_seed=_SCENE_BASE + family,
+            shared_fraction=self.shared_fraction,
+        )
+
+    def make_batch(
+        self,
+        n_images: int = 100,
+        n_inbatch_similar: int = 10,
+        seed: int = 0,
+        scene_offset: int = 0,
+    ) -> "list[Image]":
+        """A batch with the paper's in-batch redundancy structure.
+
+        The batch holds ``n_images - n_inbatch_similar`` distinct scenes;
+        ``n_inbatch_similar`` of them contribute a second view.  Image
+        order is shuffled (seeded) so duplicates are not adjacent.
+        ``scene_offset`` lets successive batches use fresh scenes.
+        """
+        if n_images < 1:
+            raise DatasetError(f"n_images must be >= 1, got {n_images}")
+        if not 0 <= n_inbatch_similar <= n_images // 2:
+            raise DatasetError(
+                f"n_inbatch_similar must be in [0, {n_images // 2}], "
+                f"got {n_inbatch_similar}"
+            )
+        n_scenes = n_images - n_inbatch_similar
+        rng = np.random.default_rng(seed)
+        duplicated = rng.choice(n_scenes, size=n_inbatch_similar, replace=False)
+
+        images = []
+        for local in range(n_scenes):
+            scene = scene_offset + local
+            images.append(self._view(scene, 0, f"batch{seed}-s{scene}-v0"))
+        for local in duplicated:
+            scene = scene_offset + int(local)
+            images.append(self._view(scene, 1, f"batch{seed}-s{scene}-v1"))
+        order = rng.permutation(len(images))
+        return [images[i] for i in order]
+
+    def cross_batch_partners(
+        self, batch: "list[Image]", redundancy_ratio: float, seed: int = 99
+    ) -> "list[Image]":
+        """Server-seed partners that make *ratio* of the batch redundant.
+
+        Picks ``round(ratio * len(batch))`` scenes that appear exactly
+        once in the batch and returns a different (high-similarity) view
+        of each; seeding these into the server index makes exactly those
+        batch images cross-batch redundant.
+        """
+        if not 0.0 <= redundancy_ratio <= 1.0:
+            raise DatasetError(
+                f"redundancy_ratio must be in [0, 1], got {redundancy_ratio}"
+            )
+        counts: dict[str, int] = {}
+        for image in batch:
+            counts[image.group_id] = counts.get(image.group_id, 0) + 1
+        singles = sorted(group for group, count in counts.items() if count == 1)
+        n_target = int(round(redundancy_ratio * len(batch)))
+        if n_target > len(singles):
+            raise DatasetError(
+                f"ratio {redundancy_ratio} needs {n_target} singleton scenes, "
+                f"batch only has {len(singles)}"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(singles), size=n_target, replace=False)
+        partners = []
+        for idx in sorted(int(i) for i in chosen):
+            group = singles[idx]
+            scene = int(group.rsplit("s", 1)[1])
+            partners.append(self._view(scene, 3, f"server-{group}-v3"))
+        return partners

@@ -1,0 +1,137 @@
+"""The synthetic Paris imageset.
+
+The real dataset (Weyand et al.) holds 501,356 geotagged Flickr/
+Panoramio photos; the paper's Figure-12 subset covers 165,539 images at
+58,818 unique locations inside the inner-city bounding box, with the
+densest location holding 5,399 photos.  What the coverage experiment
+depends on is exactly that *shape*: a heavy-tailed images-per-location
+distribution over a finite set of locations, where photos at the same
+location show the same scene (hence are mutually redundant).
+
+``SyntheticParis`` reproduces the shape at a configurable scale: a
+Zipf-like allocation of ``n_images`` over ``n_locations`` points drawn
+uniformly inside the box.  Every image at a location is a perturbed
+view of the location's scene and carries the location as its geotag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..imaging.image import Image
+from ..imaging.synth import SceneGenerator
+from .geo import BoundingBox
+
+#: Seed offset separating Paris scenes from other datasets'.
+_SCENE_BASE = 3_000_000
+
+#: Full-scale parameters from the paper (for reference and scaling).
+FULL_SCALE_IMAGES = 165_539
+FULL_SCALE_LOCATIONS = 58_818
+
+
+@dataclass
+class SyntheticParis:
+    """Geotagged, location-clustered synthetic photo collection."""
+
+    n_images: int = 2000
+    n_locations: int = 700
+    zipf_exponent: float = 1.1
+    seed: int = 0
+    box: BoundingBox = field(default_factory=BoundingBox.paris_test)
+    generator: SceneGenerator = field(default_factory=SceneGenerator)
+    family_size: int = 10
+    shared_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_images < 1:
+            raise DatasetError(f"n_images must be >= 1, got {self.n_images}")
+        if not 1 <= self.n_locations <= self.n_images:
+            raise DatasetError(
+                f"n_locations must be in [1, n_images], got {self.n_locations}"
+            )
+        if self.zipf_exponent <= 0:
+            raise DatasetError(
+                f"zipf_exponent must be positive, got {self.zipf_exponent}"
+            )
+        rng = np.random.default_rng(self.seed)
+        # Zipf-like allocation: every location gets one image, the rest
+        # go to locations proportionally to rank^-s (heavy head, long
+        # tail — the paper's densest location holds 3% of all images).
+        ranks = np.arange(1, self.n_locations + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_exponent)
+        weights /= weights.sum()
+        extra = self.n_images - self.n_locations
+        counts = np.ones(self.n_locations, dtype=np.int64)
+        if extra > 0:
+            counts += rng.multinomial(extra, weights)
+        self._counts = counts
+        self._lons = rng.uniform(self.box.lon_min, self.box.lon_max, self.n_locations)
+        self._lats = rng.uniform(self.box.lat_min, self.box.lat_max, self.n_locations)
+
+    def __len__(self) -> int:
+        return self.n_images
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def location_counts(self) -> np.ndarray:
+        """Images per location (descending by construction)."""
+        return self._counts.copy()
+
+    def location(self, index: int) -> "tuple[float, float]":
+        """The (lon, lat) of location *index*."""
+        if not 0 <= index < self.n_locations:
+            raise DatasetError(f"location index out of range: {index}")
+        return (float(self._lons[index]), float(self._lats[index]))
+
+    def image(self, location: int, view: int) -> Image:
+        """View *view* of the scene at *location*."""
+        if not 0 <= location < self.n_locations:
+            raise DatasetError(f"location index out of range: {location}")
+        if not 0 <= view < int(self._counts[location]):
+            raise DatasetError(
+                f"location {location} has {self._counts[location]} images, "
+                f"requested view {view}"
+            )
+        family = location // self.family_size
+        image = self.generator.view(
+            _SCENE_BASE + location,
+            view,
+            image_id=f"paris-l{location}-v{view}",
+            group_id=f"paris-l{location}",
+            shared_seed=_SCENE_BASE + family,
+            shared_fraction=self.shared_fraction,
+        )
+        return Image(
+            bitmap=image.bitmap,
+            image_id=image.image_id,
+            group_id=image.group_id,
+            geotag=self.location(location),
+            nominal_bytes=image.nominal_bytes,
+            nominal_resolution=image.nominal_resolution,
+        )
+
+    def __iter__(self) -> Iterator[Image]:
+        for location in range(self.n_locations):
+            for view in range(int(self._counts[location])):
+                yield self.image(location, view)
+
+    def image_refs(self) -> "list[tuple[int, int]]":
+        """All ``(location, view)`` pairs, location-major order."""
+        return [
+            (location, view)
+            for location in range(self.n_locations)
+            for view in range(int(self._counts[location]))
+        ]
+
+    def shuffled_refs(self, seed: int = 42) -> "list[tuple[int, int]]":
+        """The same refs in a seeded random order (upload sequencing)."""
+        refs = self.image_refs()
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(refs))
+        return [refs[i] for i in order]

@@ -1,0 +1,14 @@
+"""Delay-tolerant-network substrate (the PhotoNet/CARE environment)."""
+
+from .node import CareDropPolicy, CarriedImage, DropPolicy, DtnNode, FifoDropPolicy
+from .routing import DeliveryReport, EpidemicSimulation
+
+__all__ = [
+    "CareDropPolicy",
+    "CarriedImage",
+    "DeliveryReport",
+    "DropPolicy",
+    "DtnNode",
+    "EpidemicSimulation",
+    "FifoDropPolicy",
+]

@@ -1,0 +1,129 @@
+"""Epidemic routing over a seeded contact process.
+
+A minimal DTN: mobile relay nodes meet pairwise at random (the contact
+process), exchange a bounded number of images per contact (contact
+bandwidth), and occasionally meet the *gateway*, which drains whatever
+they carry into the server side.  Combined with the buffer policies of
+:mod:`repro.dtn.node` this reproduces the environment PhotoNet and CARE
+were designed for, and lets the CARE-vs-FIFO information-delivery
+comparison be measured (``benchmarks/bench_ext_dtn_care.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from .node import CarriedImage, DropPolicy, DtnNode
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """What reached the gateway by the end of the run."""
+
+    delivered_ids: tuple
+    delivered_groups: tuple
+    transmissions: int
+    drops: int
+    rejections: int
+
+    @property
+    def n_delivered(self) -> int:
+        return len(self.delivered_ids)
+
+    @property
+    def n_unique_groups(self) -> int:
+        """Distinct scenes delivered — the information metric."""
+        return len(set(self.delivered_groups))
+
+
+@dataclass
+class EpidemicSimulation:
+    """Pairwise random contacts + gateway drains."""
+
+    n_nodes: int
+    buffer_capacity: int
+    policy_factory: "type[DropPolicy] | None" = None
+    contact_bandwidth: int = 3
+    contacts_per_round: int = 2
+    gateway_probability: float = 0.15
+    seed: int = 0
+    nodes: "list[DtnNode]" = field(init=False)
+    delivered: "list[CarriedImage]" = field(default_factory=list, init=False)
+    transmissions: int = field(default=0, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise SimulationError(f"need >= 2 nodes, got {self.n_nodes}")
+        if self.contact_bandwidth < 1:
+            raise SimulationError("contact_bandwidth must be >= 1")
+        if not 0.0 <= self.gateway_probability <= 1.0:
+            raise SimulationError("gateway_probability must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+        self.nodes = []
+        for index in range(self.n_nodes):
+            if self.policy_factory is None:
+                node = DtnNode(node_id=f"node-{index}", capacity=self.buffer_capacity)
+            else:
+                node = DtnNode(
+                    node_id=f"node-{index}",
+                    capacity=self.buffer_capacity,
+                    policy=self.policy_factory(),
+                )
+            self.nodes.append(node)
+
+    # -- workload ---------------------------------------------------------------
+
+    def inject(self, node_index: int, carried: CarriedImage) -> bool:
+        """A node takes a new photo (enters the DTN at that node)."""
+        if not 0 <= node_index < self.n_nodes:
+            raise SimulationError(f"node index out of range: {node_index}")
+        return self.nodes[node_index].offer(carried)
+
+    # -- dynamics ---------------------------------------------------------------
+
+    def _exchange(self, sender: DtnNode, receiver: DtnNode) -> None:
+        """One-way epidemic transfer under the contact bandwidth."""
+        sent = 0
+        for carried in list(sender.buffer):
+            if sent >= self.contact_bandwidth:
+                break
+            if receiver.carries(carried.image_id):
+                continue
+            self.transmissions += 1
+            sent += 1
+            receiver.offer(carried)
+
+    def step(self) -> None:
+        """One round: a few pairwise contacts + possible gateway visits."""
+        for _ in range(self.contacts_per_round):
+            a, b = self._rng.choice(self.n_nodes, size=2, replace=False)
+            self._exchange(self.nodes[int(a)], self.nodes[int(b)])
+            self._exchange(self.nodes[int(b)], self.nodes[int(a)])
+        for node in self.nodes:
+            if self._rng.random() < self.gateway_probability:
+                drained = node.take_all()
+                self.transmissions += len(drained)
+                self.delivered.extend(drained)
+
+    def run(self, rounds: int) -> DeliveryReport:
+        """Advance *rounds* steps and report what the gateway received."""
+        if rounds < 0:
+            raise SimulationError(f"rounds must be >= 0, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+        unique: dict[str, CarriedImage] = {}
+        for carried in self.delivered:
+            unique.setdefault(carried.image_id, carried)
+        return DeliveryReport(
+            delivered_ids=tuple(unique),
+            delivered_groups=tuple(
+                carried.image.group_id for carried in unique.values()
+            ),
+            transmissions=self.transmissions,
+            drops=sum(node.drops for node in self.nodes),
+            rejections=sum(node.rejections for node in self.nodes),
+        )

@@ -1,0 +1,29 @@
+"""Energy substrate: device profiles, battery, cost model, accounting."""
+
+from .battery import Battery
+from .cost_model import ZERO_COST, EnergyCostModel, WorkCost
+from .meter import (
+    BASELINE,
+    COMPRESSION,
+    FEATURE_EXTRACTION,
+    FEATURE_UPLOAD,
+    IMAGE_UPLOAD,
+    EnergyMeter,
+)
+from .profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_J, DeviceProfile
+
+__all__ = [
+    "BASELINE",
+    "COMPRESSION",
+    "DEFAULT_PROFILE",
+    "FEATURE_EXTRACTION",
+    "FEATURE_UPLOAD",
+    "HELIO_X10_BATTERY_J",
+    "IMAGE_UPLOAD",
+    "Battery",
+    "DeviceProfile",
+    "EnergyCostModel",
+    "EnergyMeter",
+    "WorkCost",
+    "ZERO_COST",
+]

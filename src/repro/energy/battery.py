@@ -1,0 +1,67 @@
+"""Battery model.
+
+``Ebat`` throughout the paper is the *fraction* of remaining energy in
+``[0, 1]``; every energy-aware adaptive policy (EAC, EDR, EAU) is a
+linear function of it.  The battery here is a simple joule reservoir
+with drain accounting; when it runs dry the device halts, which is how
+the lifetime (Figure 9) and coverage (Figure 12) experiments end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EnergyError
+
+
+@dataclass
+class Battery:
+    """A joule reservoir with a remaining-energy fraction ``Ebat``."""
+
+    capacity_j: float
+    remaining_j: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise EnergyError(f"capacity must be positive, got {self.capacity_j}")
+        if self.remaining_j < 0:
+            self.remaining_j = self.capacity_j
+        if self.remaining_j > self.capacity_j:
+            raise EnergyError(
+                f"remaining {self.remaining_j} J exceeds capacity {self.capacity_j} J"
+            )
+
+    @property
+    def ebat(self) -> float:
+        """The remaining-energy fraction the EAAS policies consume."""
+        return self.remaining_j / self.capacity_j
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no usable energy remains."""
+        return self.remaining_j <= 0.0
+
+    def drain(self, joules: float) -> float:
+        """Consume *joules*; returns the amount actually drained.
+
+        Draining an empty battery is a no-op (returns 0); a drain larger
+        than the remaining charge empties the battery and returns the
+        remainder, so accounting always balances.
+        """
+        if joules < 0:
+            raise EnergyError(f"cannot drain a negative amount ({joules} J)")
+        drained = min(joules, self.remaining_j)
+        self.remaining_j -= drained
+        return drained
+
+    def can_supply(self, joules: float) -> bool:
+        """Whether the battery currently holds at least *joules*."""
+        if joules < 0:
+            raise EnergyError(f"cannot query a negative amount ({joules} J)")
+        return self.remaining_j >= joules
+
+    def recharge(self, fraction: float = 1.0) -> None:
+        """Set the charge to *fraction* of capacity (tests and setups)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise EnergyError(f"fraction must be in [0, 1], got {fraction}")
+        self.remaining_j = self.capacity_j * fraction

@@ -1,0 +1,79 @@
+"""The energy/time cost model.
+
+Work is charged against the *nominal* photographic resolution of an
+image (a ~2 MP, ~700 KB photo), not against the small synthetic bitmap
+the algorithms actually run on — the synthetic bitmap is a stand-in for
+the photo's content, while energy and delay must stay paper-scale.
+
+Both time and energy derive from the same processing rates, so every
+speed relationship the paper states (ORB two orders faster than SIFT;
+PCA-SIFT slower than SIFT) shows up consistently in the delay *and*
+energy figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EnergyError
+from .profiles import DEFAULT_PROFILE, DeviceProfile
+
+
+@dataclass(frozen=True)
+class WorkCost:
+    """The outcome of a charged operation."""
+
+    seconds: float
+    joules: float
+
+    def __add__(self, other: "WorkCost") -> "WorkCost":
+        return WorkCost(self.seconds + other.seconds, self.joules + other.joules)
+
+
+ZERO_COST = WorkCost(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class EnergyCostModel:
+    """Computes the time/energy of CPU and radio operations."""
+
+    profile: DeviceProfile = DEFAULT_PROFILE
+
+    def extraction_cost(
+        self, kind: str, nominal_pixels: int, compression_proportion: float = 0.0
+    ) -> WorkCost:
+        """Cost of extracting *kind* features from an image.
+
+        AFE's bitmap compression shrinks each dimension by
+        ``1 - proportion``, so the processed pixel count — and with it
+        time and energy — scales by ``(1 - proportion)^2`` (the
+        relationship measured in Figure 3(b)).
+        """
+        if nominal_pixels < 0:
+            raise EnergyError(f"nominal_pixels must be >= 0, got {nominal_pixels}")
+        if not 0.0 <= compression_proportion <= 1.0:
+            raise EnergyError(
+                f"compression proportion must be in [0, 1], got {compression_proportion}"
+            )
+        scale = (1.0 - compression_proportion) ** 2
+        seconds = nominal_pixels * scale / self.profile.rate_for(kind)
+        return WorkCost(seconds, seconds * self.profile.cpu_power_w)
+
+    def compression_cost(self, nominal_pixels: int) -> WorkCost:
+        """Cost of one codec pass (JPEG encode or resample) over an image."""
+        if nominal_pixels < 0:
+            raise EnergyError(f"nominal_pixels must be >= 0, got {nominal_pixels}")
+        seconds = nominal_pixels / self.profile.compression_rate
+        return WorkCost(seconds, seconds * self.profile.cpu_power_w)
+
+    def transfer_cost(self, seconds: float) -> WorkCost:
+        """Radio cost of a transfer that took *seconds* on the uplink."""
+        if seconds < 0:
+            raise EnergyError(f"transfer seconds must be >= 0, got {seconds}")
+        return WorkCost(seconds, seconds * self.profile.radio_power_w)
+
+    def baseline_cost(self, seconds: float) -> WorkCost:
+        """System draw (screen, OS) over a wall-clock interval."""
+        if seconds < 0:
+            raise EnergyError(f"baseline seconds must be >= 0, got {seconds}")
+        return WorkCost(seconds, seconds * self.profile.baseline_power_w)

@@ -1,0 +1,66 @@
+"""Per-stage energy accounting.
+
+Figure 8 breaks BEES' energy into feature extraction, feature upload and
+image upload; the meter keeps that ledger.  Every charge flows through
+``record`` so experiment drivers can snapshot/diff to attribute energy
+to batches or stages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import EnergyError
+
+#: The canonical ledger categories (free-form strings are allowed too).
+FEATURE_EXTRACTION = "feature_extraction"
+FEATURE_UPLOAD = "feature_upload"
+IMAGE_UPLOAD = "image_upload"
+COMPRESSION = "compression"
+BASELINE = "baseline"
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates joules by category."""
+
+    ledger: Counter = field(default_factory=Counter)
+
+    def record(self, category: str, joules: float) -> None:
+        """Charge *joules* to *category*."""
+        if joules < 0:
+            raise EnergyError(f"cannot record negative energy ({joules} J)")
+        if not category:
+            raise EnergyError("category must be a non-empty string")
+        self.ledger[category] += joules
+
+    @property
+    def total_j(self) -> float:
+        """Total joules recorded across all categories."""
+        return float(sum(self.ledger.values()))
+
+    def by_category(self) -> dict[str, float]:
+        """A plain-dict copy of the ledger."""
+        return dict(self.ledger)
+
+    def get(self, category: str) -> float:
+        """Joules recorded against *category* (0 if never charged)."""
+        return float(self.ledger.get(category, 0.0))
+
+    def snapshot(self) -> Counter:
+        """An immutable-by-convention copy for later diffing."""
+        return Counter(self.ledger)
+
+    def since(self, snapshot: Counter) -> dict[str, float]:
+        """Per-category joules recorded since *snapshot* was taken."""
+        delta = {}
+        for category, value in self.ledger.items():
+            diff = value - snapshot.get(category, 0.0)
+            if diff > 0:
+                delta[category] = diff
+        return delta
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.ledger.clear()

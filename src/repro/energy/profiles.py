@@ -1,0 +1,78 @@
+"""Device energy/performance profiles.
+
+The paper's testbed phone carries a Helio X10 8-core CPU and a
+3150 mAh / 3.8 V battery (Section IV-A).  A profile captures everything
+the simulation charges energy or time against:
+
+* the battery capacity in joules (3150 mAh x 3.8 V x 3.6 = 43,092 J),
+* CPU processing *rates* per feature algorithm (pixels/second) — time
+  and energy both derive from these, so the ORB-vs-SIFT speed gap the
+  paper cites ("about two orders faster") directly produces the energy
+  and delay gaps of Figures 7 and 11,
+* radio power while transmitting (WiFi TX on a phone is ~1.5-2 W),
+* a baseline system draw (screen on, OS services — the paper keeps the
+  screen bright during the lifetime experiment of Figure 9).
+
+Calibration: a 700 KB direct upload at the emulated 256 Kbps uplink
+takes ~22 s and ~38 J; SIFT extraction of a 2 MP photo costs ~15% of
+that; ORB two orders less.  These ratios — not the absolute joules —
+determine every figure's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EnergyError
+
+#: 3150 mAh * 3.8 V * 3.6 J/mWh.
+HELIO_X10_BATTERY_J = 3150 * 3.8 * 3.6
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Energy and performance constants of one smartphone model."""
+
+    name: str = "helio-x10-phone"
+    battery_capacity_j: float = HELIO_X10_BATTERY_J
+    #: Pixels/second each extractor processes (drives time AND energy).
+    extraction_rate: dict = field(
+        default_factory=lambda: {
+            "orb": 6.0e7,
+            "sift": 8.7e5,
+            "pca-sift": 7.5e5,  # SIFT plus the projection: slower than SIFT
+        }
+    )
+    #: Pixels/second for image codecs (AIU's JPEG encode / resize).
+    compression_rate: float = 2.5e7
+    #: Active CPU power while crunching pixels (W).
+    cpu_power_w: float = 2.5
+    #: Radio power while a transfer is in flight (W).
+    radio_power_w: float = 1.7
+    #: Screen + OS draw during the experiment (W); the lifetime
+    #: experiment keeps the screen always bright.
+    baseline_power_w: float = 0.57
+
+    def __post_init__(self) -> None:
+        if self.battery_capacity_j <= 0:
+            raise EnergyError(
+                f"battery capacity must be positive, got {self.battery_capacity_j}"
+            )
+        for kind, rate in self.extraction_rate.items():
+            if rate <= 0:
+                raise EnergyError(f"extraction rate for {kind!r} must be positive")
+        if min(self.compression_rate, self.cpu_power_w, self.radio_power_w) <= 0:
+            raise EnergyError("rates and powers must be positive")
+        if self.baseline_power_w < 0:
+            raise EnergyError("baseline power must be non-negative")
+
+    def rate_for(self, kind: str) -> float:
+        """Extraction rate for a feature algorithm."""
+        try:
+            return self.extraction_rate[kind]
+        except KeyError:
+            raise EnergyError(f"no extraction rate for feature kind {kind!r}") from None
+
+
+#: The default profile used across the evaluation.
+DEFAULT_PROFILE = DeviceProfile()

@@ -1,0 +1,88 @@
+"""BRIEF sampling patterns and steered (rotation-aware) sampling.
+
+ORB's descriptor is rBRIEF: 256 pixel-pair intensity comparisons inside a
+31x31 patch, with the pair pattern rotated to the keypoint's orientation
+(discretised to 12-degree steps, as in the original paper) so the
+descriptor is rotation invariant.
+
+The canonical ORB pattern was machine-learnt; we draw ours from an
+isotropic Gaussian (the construction BRIEF itself recommends and that ORB
+started from) with a fixed seed, so every extractor instance in every
+process produces identical descriptors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FeatureError
+
+PATCH_RADIUS = 13
+N_PAIRS = 256
+N_ANGLE_BINS = 30  # 12-degree orientation quantisation, as in ORB.
+_PATTERN_SEED = 0xB41EF
+
+
+def sampling_pattern(
+    n_pairs: int = N_PAIRS, patch_radius: int = PATCH_RADIUS, seed: int = _PATTERN_SEED
+) -> np.ndarray:
+    """Return the base pattern, shape ``(n_pairs, 2, 2)`` of (dy, dx).
+
+    Coordinates are drawn from N(0, (patch_radius/2)^2) and clipped to the
+    patch, per the BRIEF G-II construction.
+    """
+    if n_pairs < 1:
+        raise FeatureError(f"n_pairs must be >= 1, got {n_pairs}")
+    if patch_radius < 2:
+        raise FeatureError(f"patch_radius must be >= 2, got {patch_radius}")
+    rng = np.random.default_rng(seed)
+    sigma = patch_radius / 2.0
+    points = rng.normal(0.0, sigma, size=(n_pairs, 2, 2))
+    return np.clip(points, -patch_radius, patch_radius)
+
+
+def rotated_patterns(
+    pattern: np.ndarray, n_bins: int = N_ANGLE_BINS
+) -> np.ndarray:
+    """Pre-rotate *pattern* for each orientation bin.
+
+    Returns integer offsets of shape ``(n_bins, n_pairs, 2, 2)``; rounding
+    to whole pixels after rotation matches ORB's lookup-table approach.
+    """
+    if n_bins < 1:
+        raise FeatureError(f"n_bins must be >= 1, got {n_bins}")
+    pattern = np.asarray(pattern, dtype=np.float64)
+    angles = 2.0 * np.pi * np.arange(n_bins) / n_bins
+    cos = np.cos(angles)[:, None, None]
+    sin = np.sin(angles)[:, None, None]
+    dy = pattern[None, :, :, 0]
+    dx = pattern[None, :, :, 1]
+    # Rotate (dx, dy) by the bin angle; image rows grow downward but the
+    # convention only needs to be self-consistent with the orientation
+    # assignment in keypoints.intensity_centroid_angles.
+    rot_dx = dx * cos - dy * sin
+    rot_dy = dx * sin + dy * cos
+    out = np.stack([rot_dy, rot_dx], axis=-1)
+    return np.rint(out).astype(np.int64)
+
+
+def angle_bins(angles: np.ndarray, n_bins: int = N_ANGLE_BINS) -> np.ndarray:
+    """Quantise angles (radians) to pattern-rotation bins."""
+    frac = (np.asarray(angles, dtype=np.float64) / (2.0 * np.pi)) % 1.0
+    return (np.rint(frac * n_bins).astype(np.int64)) % n_bins
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(n, 256)`` array into ``(n, 32)`` uint8 descriptors."""
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 2 or bits.shape[1] % 8 != 0:
+        raise FeatureError(f"bits must be (n, multiple-of-8), got {bits.shape}")
+    return np.packbits(bits, axis=1)
+
+
+def unpack_bits(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits`."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise FeatureError(f"packed descriptors must be 2-D, got {packed.ndim}-D")
+    return np.unpackbits(packed, axis=1).astype(bool)

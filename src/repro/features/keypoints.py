@@ -1,0 +1,200 @@
+"""Keypoint detection: FAST-9 segment-test corners with Harris ranking.
+
+This is the detector half of our ORB implementation (Rublee et al. 2011):
+FAST finds candidate corners, the Harris measure scores them, non-maximum
+suppression thins them, and the strongest ``max_keypoints`` survive —
+mirroring OpenCV's ``ORB_create(nfeatures=...)`` behaviour that the BEES
+prototype uses.
+
+All stages are vectorised: the 16-pixel Bresenham circle is evaluated via
+shifted views of the image, and the contiguous-arc test runs as boolean
+reductions over rolled masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..imaging.filters import box_blur, local_maxima, sobel_gradients
+
+#: Bresenham circle of radius 3 — the 16 FAST test offsets, clockwise
+#: from 12 o'clock, as (dy, dx).
+FAST_CIRCLE = (
+    (-3, 0), (-3, 1), (-2, 2), (-1, 3), (0, 3), (1, 3), (2, 2), (3, 1),
+    (3, 0), (3, -1), (2, -2), (1, -3), (0, -3), (-1, -3), (-2, -2), (-3, -1),
+)
+
+FAST_ARC_LENGTH = 9
+FAST_BORDER = 3
+
+
+@dataclass(frozen=True)
+class Keypoints:
+    """Detected keypoints: positions, responses, and patch orientations."""
+
+    xs: np.ndarray  # (n,) float64 column coordinates
+    ys: np.ndarray  # (n,) float64 row coordinates
+    responses: np.ndarray  # (n,) float64 corner strengths
+    angles: np.ndarray  # (n,) float64 radians; NaN until orientation is assigned
+
+    def __len__(self) -> int:
+        return int(self.xs.shape[0])
+
+    @classmethod
+    def empty(cls) -> "Keypoints":
+        zero = np.zeros(0, dtype=np.float64)
+        return cls(xs=zero, ys=zero.copy(), responses=zero.copy(), angles=zero.copy())
+
+
+def _circle_views(plane: np.ndarray) -> np.ndarray:
+    """Stack of the 16 circle-shifted interior views, shape (16, h', w')."""
+    h, w = plane.shape
+    b = FAST_BORDER
+    views = [
+        plane[b + dy : h - b + dy, b + dx : w - b + dx] for dy, dx in FAST_CIRCLE
+    ]
+    return np.stack(views, axis=0)
+
+
+def _contiguous_arc(mask: np.ndarray, arc: int) -> np.ndarray:
+    """True where *mask* (16, h, w) has >= *arc* consecutive circular Trues."""
+    hit = np.zeros(mask.shape[1:], dtype=bool)
+    for start in range(16):
+        run = mask[start]
+        for step in range(1, arc):
+            run = run & mask[(start + step) % 16]
+            if not run.any():
+                break
+        else:
+            hit |= run
+        if hit.all():
+            break
+    return hit
+
+
+def fast_corner_mask(plane: np.ndarray, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    """Run the FAST-9 segment test.
+
+    Returns ``(mask, score)`` over the full plane; the border of 3 pixels
+    is never a corner.  The score is the sum of absolute circle-to-centre
+    differences beyond the threshold (the standard FAST score used for
+    non-maximum suppression).
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise FeatureError(f"expected a 2-D plane, got {plane.ndim}-D")
+    if threshold <= 0:
+        raise FeatureError(f"FAST threshold must be positive, got {threshold}")
+    h, w = plane.shape
+    mask = np.zeros((h, w), dtype=bool)
+    score = np.zeros((h, w), dtype=np.float64)
+    if h <= 2 * FAST_BORDER or w <= 2 * FAST_BORDER:
+        return mask, score
+
+    b = FAST_BORDER
+    centre = plane[b : h - b, b : w - b]
+    circle = _circle_views(plane)
+    brighter = circle > centre[None] + threshold
+    darker = circle < centre[None] - threshold
+
+    # Quick rejection: the compass points sit 4 apart on the circle, so
+    # any 9-long contiguous arc covers at least 2 of them (an arc of 12
+    # would cover 3 — the classic FAST-12 pretest uses 3-of-4).
+    compass = [0, 4, 8, 12]
+    bright_candidates = brighter[compass].sum(axis=0) >= 2
+    dark_candidates = darker[compass].sum(axis=0) >= 2
+
+    corner = np.zeros_like(centre, dtype=bool)
+    if bright_candidates.any():
+        corner |= _contiguous_arc(brighter & bright_candidates[None], FAST_ARC_LENGTH)
+    if dark_candidates.any():
+        corner |= _contiguous_arc(darker & dark_candidates[None], FAST_ARC_LENGTH)
+
+    excess = np.abs(circle - centre[None]) - threshold
+    inner_score = np.where(brighter | darker, excess, 0.0).sum(axis=0)
+
+    mask[b : h - b, b : w - b] = corner
+    score[b : h - b, b : w - b] = np.where(corner, inner_score, 0.0)
+    return mask, score
+
+
+def harris_response(plane: np.ndarray, k: float = 0.04, radius: int = 2) -> np.ndarray:
+    """Harris corner response map (used to rank FAST candidates, as ORB does)."""
+    gx, gy = sobel_gradients(np.asarray(plane, dtype=np.float64))
+    sxx = box_blur(gx * gx, radius)
+    syy = box_blur(gy * gy, radius)
+    sxy = box_blur(gx * gy, radius)
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return det - k * trace * trace
+
+
+def intensity_centroid_angles(
+    plane: np.ndarray, ys: np.ndarray, xs: np.ndarray, radius: int = 7
+) -> np.ndarray:
+    """Orientation by intensity centroid (the "o" in oFAST).
+
+    The angle of each keypoint is ``atan2(m01, m10)`` of the circular
+    patch moments around it.  Keypoints too close to the border get the
+    orientation of their clipped patch, matching OpenCV's edge handling.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if len(ys) == 0:
+        return np.zeros(0, dtype=np.float64)
+    padded = np.pad(plane, radius, mode="reflect")
+    offsets = np.arange(-radius, radius + 1, dtype=np.float64)
+    dy, dx = np.meshgrid(offsets, offsets, indexing="ij")
+    disk = (dy * dy + dx * dx) <= radius * radius
+    wy = np.where(disk, dy, 0.0)
+    wx = np.where(disk, dx, 0.0)
+
+    iy = np.rint(ys).astype(int) + radius
+    ix = np.rint(xs).astype(int) + radius
+    rows = iy[:, None, None] + np.arange(-radius, radius + 1)[None, :, None]
+    cols = ix[:, None, None] + np.arange(-radius, radius + 1)[None, None, :]
+    patches = padded[rows, cols]
+
+    m01 = (patches * wy[None]).sum(axis=(1, 2))
+    m10 = (patches * wx[None]).sum(axis=(1, 2))
+    return np.arctan2(m01, m10)
+
+
+def detect_fast(
+    plane: np.ndarray,
+    threshold: float = 18.0,
+    max_keypoints: int = 500,
+    nms_radius: int = 2,
+    border: int = 0,
+) -> Keypoints:
+    """Detect FAST-9 corners, rank by Harris, keep the strongest.
+
+    ``border`` excludes a margin (descriptor patches need room).
+    """
+    if max_keypoints < 1:
+        raise FeatureError(f"max_keypoints must be >= 1, got {max_keypoints}")
+    plane = np.asarray(plane, dtype=np.float64)
+    mask, score = fast_corner_mask(plane, threshold)
+    if border > 0:
+        h, w = plane.shape
+        if 2 * border >= min(h, w):
+            return Keypoints.empty()
+        edge = np.zeros_like(mask)
+        edge[border : h - border, border : w - border] = True
+        mask &= edge
+    if not mask.any():
+        return Keypoints.empty()
+
+    mask &= local_maxima(np.where(mask, score, 0.0), radius=nms_radius)
+    if not mask.any():
+        return Keypoints.empty()
+
+    ys, xs = np.nonzero(mask)
+    harris = harris_response(plane)[ys, xs]
+    order = np.argsort(-harris, kind="stable")[:max_keypoints]
+    ys = ys[order].astype(np.float64)
+    xs = xs[order].astype(np.float64)
+    angles = intensity_centroid_angles(plane, ys, xs)
+    return Keypoints(xs=xs, ys=ys, responses=harris[order], angles=angles)

@@ -1,0 +1,103 @@
+"""MinHash sketches of descriptor sets.
+
+Equation 2 measures the *Jaccard similarity* of two feature sets — the
+quantity MinHash was invented to estimate from constant-size sketches.
+A client that keeps only a k-value sketch per uploaded image can answer
+"roughly how similar?" without storing (or shipping) descriptors at
+all: sketch agreement is an unbiased estimator of the Jaccard index
+with standard error ``1/sqrt(k)``.
+
+Descriptors are first quantised to tokens by LSH bit-sampling (so two
+*near*-duplicate descriptors usually map to the same token, mirroring
+the fuzzy intersection of Equation 2), then the token sets are
+MinHashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FeatureError
+from .base import FeatureSet
+
+DEFAULT_SKETCH_SIZE = 64
+#: Bits sampled per token; 32 of 256 keeps near-duplicates colliding.
+TOKEN_BITS = 32
+
+_PRIME = (1 << 61) - 1
+
+
+@dataclass
+class MinHasher:
+    """Produces fixed-size MinHash sketches of ORB feature sets."""
+
+    sketch_size: int = DEFAULT_SKETCH_SIZE
+    seed: int = 17
+    _token_positions: np.ndarray = field(init=False, repr=False)
+    _hash_a: np.ndarray = field(init=False, repr=False)
+    _hash_b: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sketch_size < 1:
+            raise FeatureError(f"sketch_size must be >= 1, got {self.sketch_size}")
+        rng = np.random.default_rng(self.seed)
+        self._token_positions = rng.choice(256, size=TOKEN_BITS, replace=False)
+        self._hash_a = rng.integers(1, _PRIME, size=self.sketch_size, dtype=np.uint64)
+        self._hash_b = rng.integers(0, _PRIME, size=self.sketch_size, dtype=np.uint64)
+
+    # -- internals ----------------------------------------------------------
+
+    def _tokens(self, features: FeatureSet) -> np.ndarray:
+        """Quantise descriptors to integer tokens (deduplicated)."""
+        if features.kind != "orb":
+            raise FeatureError(
+                f"MinHash sketches require orb features, got {features.kind!r}"
+            )
+        if len(features) == 0:
+            return np.zeros(0, dtype=np.uint64)
+        bits = np.unpackbits(features.descriptors, axis=1)[:, self._token_positions]
+        weights = (1 << np.arange(TOKEN_BITS, dtype=np.uint64))[None, :]
+        tokens = (bits.astype(np.uint64) * weights).sum(axis=1)
+        return np.unique(tokens)
+
+    # -- public API -----------------------------------------------------------
+
+    def sketch(self, features: FeatureSet) -> np.ndarray:
+        """The (sketch_size,) uint64 MinHash signature of *features*.
+
+        An empty feature set sketches to all-max values, which matches
+        nothing (estimated similarity 0 against any non-empty sketch).
+        """
+        tokens = self._tokens(features)
+        if len(tokens) == 0:
+            return np.full(self.sketch_size, np.iinfo(np.uint64).max, dtype=np.uint64)
+        # Universal hashing: h_i(t) = (a_i * t + b_i) mod p, minimised
+        # over the token set per row.
+        products = (
+            self._hash_a[:, None] * tokens[None, :] + self._hash_b[:, None]
+        ) % np.uint64(_PRIME)
+        return products.min(axis=1)
+
+    def estimate_similarity(self, sketch_a: np.ndarray, sketch_b: np.ndarray) -> float:
+        """The MinHash Jaccard estimate: fraction of agreeing rows."""
+        sketch_a = np.asarray(sketch_a, dtype=np.uint64)
+        sketch_b = np.asarray(sketch_b, dtype=np.uint64)
+        if sketch_a.shape != (self.sketch_size,) or sketch_b.shape != (self.sketch_size,):
+            raise FeatureError(
+                f"sketches must have shape ({self.sketch_size},), got "
+                f"{sketch_a.shape} and {sketch_b.shape}"
+            )
+        empty = np.iinfo(np.uint64).max
+        if (sketch_a == empty).all() and (sketch_b == empty).all():
+            return 0.0
+        return float((sketch_a == sketch_b).mean())
+
+    def token_jaccard(self, features_a: FeatureSet, features_b: FeatureSet) -> float:
+        """The exact Jaccard of the two token sets (the estimation target)."""
+        tokens_a = set(self._tokens(features_a).tolist())
+        tokens_b = set(self._tokens(features_b).tolist())
+        if not tokens_a and not tokens_b:
+            return 0.0
+        return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)

@@ -1,0 +1,97 @@
+"""Feature space-overhead accounting — Table I of the paper.
+
+The table compares the serialized size of the feature payload each
+algorithm would upload: SIFT carries 128 float32 values per descriptor,
+PCA-SIFT 36, and ORB packs 256 bits into 32 bytes.  Each feature also
+carries its keypoint geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FeatureError
+from .base import KEYPOINT_BYTES
+
+#: Bytes per descriptor by algorithm.
+DESCRIPTOR_BYTES = {
+    "sift": 128 * 4,
+    "pca-sift": 36 * 4,
+    "orb": 32,
+}
+
+
+def feature_bytes(kind: str, n_features: int) -> int:
+    """Serialized feature payload for *n_features* descriptors of *kind*."""
+    if kind not in DESCRIPTOR_BYTES:
+        raise FeatureError(f"unknown feature kind {kind!r}")
+    if n_features < 0:
+        raise FeatureError(f"n_features must be >= 0, got {n_features}")
+    return n_features * (DESCRIPTOR_BYTES[kind] + KEYPOINT_BYTES)
+
+
+#: Feature budget per image at nominal (photo) resolution — OpenCV's
+#: customary ``nfeatures=500`` cap, which every scheme's client app
+#: applies before uploading its feature payload.
+NOMINAL_FEATURE_CAP = 500
+
+
+def nominal_feature_count(
+    detected: int, bitmap_pixels: int, nominal_pixels: int, cap: int = NOMINAL_FEATURE_CAP
+) -> int:
+    """Extrapolate a detected feature count to photo resolution.
+
+    The extractors run on small synthetic bitmaps; the *payload* a real
+    client would upload corresponds to the keypoint density applied to
+    the nominal ~2 MP photo, capped at the per-image feature budget.
+    """
+    if bitmap_pixels < 1 or nominal_pixels < 1:
+        raise FeatureError("pixel counts must be positive")
+    if detected < 0:
+        raise FeatureError(f"detected must be >= 0, got {detected}")
+    density = detected / bitmap_pixels
+    return min(cap, int(round(density * nominal_pixels)))
+
+
+def nominal_feature_bytes(
+    kind: str,
+    detected: int,
+    bitmap_pixels: int,
+    nominal_pixels: int,
+    cap: int = NOMINAL_FEATURE_CAP,
+) -> int:
+    """The uplink payload of one image's feature set at photo scale."""
+    count = nominal_feature_count(detected, bitmap_pixels, nominal_pixels, cap)
+    return feature_bytes(kind, count)
+
+
+@dataclass(frozen=True)
+class SpaceOverhead:
+    """One row cell of Table I."""
+
+    kind: str
+    total_bytes: int
+    fraction_of_sift: float
+
+
+def space_overheads(features_per_image: dict[str, float], n_images: int) -> list[SpaceOverhead]:
+    """Compute Table-I style overheads.
+
+    ``features_per_image`` maps algorithm kind to its average feature
+    count per image (SIFT typically detects far more keypoints than the
+    budgeted ORB, which is the second reason — besides descriptor width —
+    BEES' payload is two orders smaller).
+    """
+    if n_images < 1:
+        raise FeatureError(f"n_images must be >= 1, got {n_images}")
+    if "sift" not in features_per_image:
+        raise FeatureError("Table I normalises to SIFT; provide a 'sift' entry")
+    totals = {
+        kind: int(round(count * n_images)) * (DESCRIPTOR_BYTES[kind] + KEYPOINT_BYTES)
+        for kind, count in features_per_image.items()
+    }
+    sift_total = max(1, totals["sift"])
+    return [
+        SpaceOverhead(kind=kind, total_bytes=total, fraction_of_sift=total / sift_total)
+        for kind, total in totals.items()
+    ]

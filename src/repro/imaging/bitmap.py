@@ -1,0 +1,65 @@
+"""Bitmap compression — the AFE knob of Section III-A.
+
+The paper defines the *bitmap compression proportion* as "the ratio of the
+decrement in the length or width of the compressed image bitmap to those
+of the original bitmap".  A proportion ``C`` therefore shrinks each linear
+dimension by a factor ``1 - C``: a 1000x500 bitmap compressed with
+``C = 0.4`` becomes 600x300, and the pixel count — which is what the CPU
+cost of feature extraction is proportional to — drops to ``(1 - C)^2``
+of the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+from .image import Image
+from .transforms import resize_area
+
+#: Upper bound on the proportion so at least a sliver of image survives.
+MAX_PROPORTION = 0.95
+
+
+def validate_proportion(proportion: float) -> float:
+    """Validate a compression proportion and return it as ``float``."""
+    proportion = float(proportion)
+    if not 0.0 <= proportion <= MAX_PROPORTION:
+        raise ImageError(
+            f"compression proportion must be in [0, {MAX_PROPORTION}], got {proportion}"
+        )
+    return proportion
+
+
+def compressed_dimensions(height: int, width: int, proportion: float) -> tuple[int, int]:
+    """Return ``(height, width)`` after compressing with *proportion*."""
+    proportion = validate_proportion(proportion)
+    scale = 1.0 - proportion
+    return (max(1, int(round(height * scale))), max(1, int(round(width * scale))))
+
+
+def pixel_fraction(proportion: float) -> float:
+    """Fraction of the original pixel count that survives compression."""
+    scale = 1.0 - validate_proportion(proportion)
+    return scale * scale
+
+
+def compress_bitmap(bitmap: np.ndarray, proportion: float) -> np.ndarray:
+    """Downscale a raw bitmap array by the given compression proportion."""
+    bitmap = np.asarray(bitmap)
+    h, w = bitmap.shape[:2]
+    nh, nw = compressed_dimensions(h, w, proportion)
+    if (nh, nw) == (h, w):
+        return bitmap
+    return resize_area(bitmap, nh, nw)
+
+
+def compress_image(image: Image, proportion: float) -> Image:
+    """Return *image* with its in-memory bitmap compressed.
+
+    This is a pre-processing step for feature extraction only: it does
+    not change the image's nominal file size, because the full-quality
+    image is what would eventually be uploaded (AIU compresses the upload
+    separately).
+    """
+    return image.with_bitmap(compress_bitmap(image.bitmap, proportion))

@@ -1,0 +1,146 @@
+"""The core :class:`Image` type used throughout the BEES reproduction.
+
+An image is an 8-bit RGB bitmap (``numpy`` array of shape ``(h, w, 3)``)
+plus the metadata the paper's experiments rely on:
+
+* ``image_id`` — a stable identifier (used by the server index),
+* ``group_id`` — ground-truth scene/group label (Kentucky-style groups),
+* ``geotag``  — an optional ``(longitude, latitude)`` pair (Paris-style),
+* ``nominal_bytes`` — the modelled on-disk file size.  The paper resizes
+  every image to about 700 KB ("the average size of normal-quality images
+  taken by smartphones"); our synthetic bitmaps are much smaller than a
+  real photo, so the *transfer* size used by the network and energy models
+  is this nominal figure scaled by whatever compression the pipeline
+  applies, not ``bitmap.nbytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ImageError
+
+#: The file size the paper normalises every test image to (Section IV-A).
+DEFAULT_NOMINAL_BYTES = 700 * 1024
+
+#: The photographic resolution the nominal file size corresponds to —
+#: a 2 MP JPEG at normal quality is ~700 KB.  CPU work (feature
+#: extraction, encoding) is charged against this resolution, not the
+#: small synthetic bitmap.
+DEFAULT_NOMINAL_RESOLUTION = (1632, 1224)
+
+
+def _validate_bitmap(bitmap: np.ndarray) -> np.ndarray:
+    """Check that *bitmap* is a well-formed uint8 RGB array.
+
+    Grayscale 2-D arrays are accepted and broadcast to three channels so
+    that every downstream consumer can assume an ``(h, w, 3)`` layout.
+    """
+    arr = np.asarray(bitmap)
+    if arr.ndim == 2:
+        arr = np.repeat(arr[:, :, None], 3, axis=2)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ImageError(f"expected (h, w, 3) bitmap, got shape {arr.shape}")
+    if arr.shape[0] < 1 or arr.shape[1] < 1:
+        raise ImageError(f"empty bitmap with shape {arr.shape}")
+    if arr.dtype != np.uint8:
+        if np.issubdtype(arr.dtype, np.floating):
+            arr = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+        elif np.issubdtype(arr.dtype, np.integer):
+            arr = np.clip(arr, 0, 255).astype(np.uint8)
+        else:
+            raise ImageError(f"unsupported bitmap dtype {arr.dtype}")
+    return arr
+
+
+@dataclass(frozen=True)
+class Image:
+    """An immutable image record.
+
+    The bitmap itself is stored as a read-only numpy array; derived images
+    (compressed, resized...) are produced by returning new ``Image``
+    instances via :meth:`with_bitmap`.
+    """
+
+    bitmap: np.ndarray
+    image_id: str = ""
+    group_id: str = ""
+    geotag: Optional[Tuple[float, float]] = None
+    nominal_bytes: int = DEFAULT_NOMINAL_BYTES
+    nominal_resolution: Tuple[int, int] = DEFAULT_NOMINAL_RESOLUTION
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = _validate_bitmap(self.bitmap)
+        arr = np.ascontiguousarray(arr)
+        arr.setflags(write=False)
+        object.__setattr__(self, "bitmap", arr)
+        if self.nominal_bytes <= 0:
+            raise ImageError(f"nominal_bytes must be positive, got {self.nominal_bytes}")
+        nw, nh = self.nominal_resolution
+        if nw < 1 or nh < 1:
+            raise ImageError(
+                f"nominal_resolution must be positive, got {self.nominal_resolution}"
+            )
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Bitmap height in pixels."""
+        return int(self.bitmap.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Bitmap width in pixels."""
+        return int(self.bitmap.shape[1])
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        """``(width, height)`` in pixels, the photographic convention."""
+        return (self.width, self.height)
+
+    @property
+    def pixels(self) -> int:
+        """Total pixel count (``width * height``)."""
+        return self.width * self.height
+
+    @property
+    def nominal_pixels(self) -> int:
+        """Pixel count at the modelled photographic resolution."""
+        return int(self.nominal_resolution[0]) * int(self.nominal_resolution[1])
+
+    # -- conversions ------------------------------------------------------
+
+    def gray(self) -> np.ndarray:
+        """Return the luma plane as ``float64`` in ``[0, 255]``.
+
+        Uses the ITU-R BT.601 weights, the same convention as OpenCV's
+        ``cvtColor(..., COLOR_RGB2GRAY)`` which the paper's prototype uses.
+        """
+        b = self.bitmap.astype(np.float64)
+        return 0.299 * b[:, :, 0] + 0.587 * b[:, :, 1] + 0.114 * b[:, :, 2]
+
+    def with_bitmap(self, bitmap: np.ndarray, **overrides) -> "Image":
+        """Return a copy of this image carrying a new bitmap.
+
+        Metadata (id, group, geotag, nominal size) is preserved unless
+        explicitly overridden.
+        """
+        return replace(self, bitmap=_validate_bitmap(bitmap), **overrides)
+
+    def scaled_nominal_bytes(self, factor: float) -> int:
+        """Nominal file size scaled by *factor*, at least one byte."""
+        if factor < 0:
+            raise ImageError(f"scale factor must be non-negative, got {factor}")
+        return max(1, int(round(self.nominal_bytes * factor)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" geo={self.geotag}" if self.geotag else ""
+        return (
+            f"Image(id={self.image_id!r}, group={self.group_id!r}, "
+            f"{self.width}x{self.height}{tag}, ~{self.nominal_bytes}B)"
+        )

@@ -1,0 +1,88 @@
+"""Reading and writing images on disk — PPM/PGM, dependency-free.
+
+The library is numpy-only, so it speaks the Netpbm formats natively:
+binary PPM (P6, colour) and PGM (P5, grayscale).  That is enough to run
+the whole BEES pipeline on a directory of real photographs (convert
+once with any tool: ``convert photo.jpg photo.ppm``), and to dump
+synthetic scenes for eyeballing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..errors import CodecError
+from .image import Image
+
+_MAGIC_PPM = b"P6"
+_MAGIC_PGM = b"P5"
+
+
+def _read_tokens(data: bytes, count: int, offset: int) -> "tuple[list[int], int]":
+    """Read *count* whitespace-separated ASCII integers (skipping
+    ``#`` comments) starting at *offset*; returns (values, new_offset)."""
+    values: list[int] = []
+    i = offset
+    while len(values) < count:
+        if i >= len(data):
+            raise CodecError("truncated Netpbm header")
+        byte = data[i : i + 1]
+        if byte == b"#":
+            while i < len(data) and data[i : i + 1] != b"\n":
+                i += 1
+        elif byte.isspace():
+            i += 1
+        else:
+            start = i
+            while i < len(data) and not data[i : i + 1].isspace():
+                i += 1
+            token = data[start:i]
+            if not token.isdigit():
+                raise CodecError(f"bad Netpbm header token {token!r}")
+            values.append(int(token))
+    return values, i + 1  # consume the single whitespace after the header
+
+
+def read_netpbm(path: "str | pathlib.Path") -> Image:
+    """Load a binary PPM (P6) or PGM (P5) file as an :class:`Image`.
+
+    The image id defaults to the file stem.
+    """
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    magic = data[:2]
+    if magic not in (_MAGIC_PPM, _MAGIC_PGM):
+        raise CodecError(f"unsupported Netpbm magic {magic!r} in {path.name}")
+    (width, height, maxval), offset = _read_tokens(data, 3, 2)
+    if width < 1 or height < 1:
+        raise CodecError(f"bad dimensions {width}x{height} in {path.name}")
+    if not 0 < maxval < 256:
+        raise CodecError(f"only 8-bit Netpbm supported, maxval={maxval}")
+    channels = 3 if magic == _MAGIC_PPM else 1
+    expected = width * height * channels
+    pixels = np.frombuffer(data, dtype=np.uint8, offset=offset)
+    if len(pixels) < expected:
+        raise CodecError(
+            f"{path.name}: expected {expected} pixel bytes, got {len(pixels)}"
+        )
+    pixels = pixels[:expected].reshape(height, width, channels)
+    if channels == 1:
+        pixels = np.repeat(pixels, 3, axis=2)
+    return Image(bitmap=pixels.copy(), image_id=path.stem)
+
+
+def write_ppm(image: Image, path: "str | pathlib.Path") -> None:
+    """Write *image* as a binary PPM (P6) file."""
+    path = pathlib.Path(path)
+    header = f"P6\n{image.width} {image.height}\n255\n".encode("ascii")
+    path.write_bytes(header + image.bitmap.tobytes())
+
+
+def write_pgm(image: Image, path: "str | pathlib.Path") -> None:
+    """Write *image*'s luma plane as a binary PGM (P5) file."""
+    path = pathlib.Path(path)
+    plane = np.clip(np.rint(image.gray()), 0, 255).astype(np.uint8)
+    header = f"P5\n{image.width} {image.height}\n255\n".encode("ascii")
+    path.write_bytes(header + plane.tobytes())

@@ -1,0 +1,35 @@
+"""Pixel-fidelity metrics complementing SSIM.
+
+The paper quantifies compression damage with SSIM (Figure 5a); MSE and
+PSNR are the standard companions — PSNR in particular is what codec
+literature reports, and having both lets the quality benchmarks show
+the familiar "SSIM falls faster than PSNR once structure goes" effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+from .image import Image
+
+#: Peak signal value of 8-bit images.
+PEAK = 255.0
+
+
+def mse(image_a: Image, image_b: Image) -> float:
+    """Mean squared error between two equal-size images (luma plane)."""
+    a = image_a.gray()
+    b = image_b.gray()
+    if a.shape != b.shape:
+        raise ImageError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a - b
+    return float(np.mean(diff * diff))
+
+
+def psnr(image_a: Image, image_b: Image) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical images."""
+    error = mse(image_a, image_b)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(PEAK * PEAK / error))

@@ -1,0 +1,61 @@
+"""SSIM — the Structural SIMilarity index (Wang et al., 2004).
+
+The paper uses SSIM to quantify how much quality compression degrades an
+image (Figure 5(a)).  This is the standard single-scale implementation:
+an 11x11 Gaussian window with sigma 1.5, K1=0.01, K2=0.03, dynamic range
+255, computed on the luma plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+from .filters import gaussian_kernel1d, _correlate1d
+from .image import Image
+
+K1 = 0.01
+K2 = 0.03
+DYNAMIC_RANGE = 255.0
+WINDOW_SIGMA = 1.5
+WINDOW_RADIUS = 5
+
+
+def _window_mean(plane: np.ndarray) -> np.ndarray:
+    kernel = gaussian_kernel1d(WINDOW_SIGMA, radius=WINDOW_RADIUS)
+    return _correlate1d(_correlate1d(plane, kernel, axis=0), kernel, axis=1)
+
+
+def ssim_map(plane_a: np.ndarray, plane_b: np.ndarray) -> np.ndarray:
+    """Per-pixel SSIM map of two 2-D float planes in [0, 255]."""
+    a = np.asarray(plane_a, dtype=np.float64)
+    b = np.asarray(plane_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ImageError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim != 2:
+        raise ImageError(f"ssim_map expects 2-D planes, got {a.ndim}-D")
+    if min(a.shape) < 2 * WINDOW_RADIUS + 1:
+        raise ImageError(
+            f"plane {a.shape} smaller than the {2 * WINDOW_RADIUS + 1}px SSIM window"
+        )
+
+    c1 = (K1 * DYNAMIC_RANGE) ** 2
+    c2 = (K2 * DYNAMIC_RANGE) ** 2
+
+    mu_a = _window_mean(a)
+    mu_b = _window_mean(b)
+    mu_aa = mu_a * mu_a
+    mu_bb = mu_b * mu_b
+    mu_ab = mu_a * mu_b
+    sigma_aa = _window_mean(a * a) - mu_aa
+    sigma_bb = _window_mean(b * b) - mu_bb
+    sigma_ab = _window_mean(a * b) - mu_ab
+
+    numerator = (2.0 * mu_ab + c1) * (2.0 * sigma_ab + c2)
+    denominator = (mu_aa + mu_bb + c1) * (sigma_aa + sigma_bb + c2)
+    return numerator / denominator
+
+
+def ssim(image_a: Image, image_b: Image) -> float:
+    """Mean SSIM between two images of identical resolution."""
+    return float(ssim_map(image_a.gray(), image_b.gray()).mean())

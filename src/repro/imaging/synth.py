@@ -1,0 +1,224 @@
+"""Deterministic synthetic scene generation.
+
+The paper evaluates on real photo collections (Kentucky, a Nepal disaster
+crawl, Paris).  Offline we substitute procedurally generated scenes with
+the one property every experiment actually depends on: images of the same
+scene are *similar* (shared structure, small viewpoint/photometric
+differences) and images of different scenes are *dissimilar*.
+
+A scene is drawn from a seed as a textured background plus a collection
+of high-contrast geometric primitives (rectangles, ellipses, bars), which
+gives the corner-rich content the FAST/ORB detector needs.  "Another
+photo of the same scene" is the same primitives re-rendered through a
+small random perturbation (translation, brightness, contrast, sensor
+noise, slight zoom), exactly the variation between the four views in a
+Kentucky group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ImageError
+from .filters import gaussian_blur
+from .image import DEFAULT_NOMINAL_BYTES, Image
+from .transforms import (
+    add_gaussian_noise,
+    adjust_brightness,
+    adjust_contrast,
+    center_crop_fraction,
+    translate,
+)
+
+DEFAULT_HEIGHT = 120
+DEFAULT_WIDTH = 160
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """How much two views of the same scene may differ."""
+
+    max_shift: int = 3
+    max_brightness: float = 10.0
+    contrast_range: tuple[float, float] = (0.92, 1.08)
+    noise_sigma: float = 2.0
+    min_crop: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.max_shift < 0:
+            raise ImageError(f"max_shift must be >= 0, got {self.max_shift}")
+        if not 0.0 < self.min_crop <= 1.0:
+            raise ImageError(f"min_crop must be in (0, 1], got {self.min_crop}")
+        low, high = self.contrast_range
+        if not 0.0 < low <= high:
+            raise ImageError(f"bad contrast range {self.contrast_range}")
+
+
+@dataclass
+class SceneGenerator:
+    """Draws deterministic scenes and perturbed views of them."""
+
+    height: int = DEFAULT_HEIGHT
+    width: int = DEFAULT_WIDTH
+    min_shapes: int = 18
+    max_shapes: int = 30
+    texture_sigma: float = 14.0
+    nominal_bytes: int = DEFAULT_NOMINAL_BYTES
+    perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
+
+    def __post_init__(self) -> None:
+        if self.height < 32 or self.width < 32:
+            raise ImageError(
+                f"scenes must be at least 32x32, got {self.width}x{self.height}"
+            )
+        if not 1 <= self.min_shapes <= self.max_shapes:
+            raise ImageError(
+                f"bad shape-count range [{self.min_shapes}, {self.max_shapes}]"
+            )
+
+    # -- scene synthesis --------------------------------------------------
+
+    def _background(self, rng: np.random.Generator) -> np.ndarray:
+        """A smooth two-axis gradient plus low-frequency texture."""
+        ys = np.linspace(0.0, 1.0, self.height)[:, None]
+        xs = np.linspace(0.0, 1.0, self.width)[None, :]
+        base = rng.uniform(60, 160)
+        gy = rng.uniform(-50, 50)
+        gx = rng.uniform(-50, 50)
+        plane = base + gy * ys + gx * xs
+        # Low-frequency sinusoidal texture keeps the background from being
+        # flat (flat regions would starve SIFT of gradient signal).
+        fy = rng.uniform(1.0, 3.0)
+        fx = rng.uniform(1.0, 3.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        plane = plane + 8.0 * np.sin(2 * np.pi * (fy * ys + fx * xs) + phase)
+        # Fine-grained scene texture: real photos (rubble, vegetation,
+        # asphalt) are textured everywhere, which is what gives SIFT/FAST
+        # their keypoint density.  The texture belongs to the *scene* — it
+        # is rendered before view perturbations, so two views of the same
+        # scene share it, while different scenes get independent texture.
+        if self.texture_sigma > 0.0:
+            speckle = rng.normal(0.0, self.texture_sigma, size=(self.height, self.width))
+            plane = plane + gaussian_blur(speckle, 0.8)
+        rgb = np.repeat(plane[:, :, None], 3, axis=2)
+        tint = rng.uniform(-15, 15, size=3)
+        return rgb + tint[None, None, :]
+
+    def _shape_params(self, rng: np.random.Generator, count: int) -> list[dict]:
+        """Draw *count* shape parameter dicts from *rng*."""
+        h, w = self.height, self.width
+        params = []
+        for _ in range(count):
+            kind = rng.choice(["rect", "ellipse", "bar"])
+            spec = {
+                "kind": str(kind),
+                "colour": rng.uniform(0, 255, size=3),
+                "cy": rng.uniform(0.1 * h, 0.9 * h),
+                "cx": rng.uniform(0.1 * w, 0.9 * w),
+            }
+            if kind == "rect":
+                spec["hh"] = rng.uniform(0.04, 0.22) * h
+                spec["ww"] = rng.uniform(0.04, 0.22) * w
+            elif kind == "ellipse":
+                spec["ry"] = max(2.0, rng.uniform(0.04, 0.18) * h)
+                spec["rx"] = max(2.0, rng.uniform(0.04, 0.18) * w)
+            else:
+                spec["angle"] = rng.uniform(0, np.pi)
+                spec["thickness"] = rng.uniform(1.5, 4.0)
+                spec["length"] = rng.uniform(0.2, 0.6) * min(h, w)
+            params.append(spec)
+        return params
+
+    def _render_shapes(self, canvas: np.ndarray, params: list[dict]) -> np.ndarray:
+        h, w = canvas.shape[:2]
+        yy, xx = np.mgrid[0:h, 0:w]
+        for spec in params:
+            cy, cx = spec["cy"], spec["cx"]
+            if spec["kind"] == "rect":
+                mask = (np.abs(yy - cy) < spec["hh"]) & (np.abs(xx - cx) < spec["ww"])
+            elif spec["kind"] == "ellipse":
+                mask = ((yy - cy) / spec["ry"]) ** 2 + ((xx - cx) / spec["rx"]) ** 2 < 1.0
+            else:  # bar: a thin rotated stripe — strong straight edges
+                angle = spec["angle"]
+                dy = np.cos(angle)
+                dx = np.sin(angle)
+                dist = np.abs((yy - cy) * dx - (xx - cx) * dy)
+                along = np.abs((yy - cy) * dy + (xx - cx) * dx)
+                mask = (dist < spec["thickness"]) & (along < spec["length"] / 2)
+            canvas[mask] = spec["colour"][None, :]
+        return canvas
+
+    def scene(
+        self,
+        seed: int,
+        shared_seed: int | None = None,
+        shared_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Render the canonical bitmap of scene *seed* (uint8 RGB).
+
+        When ``shared_seed`` is given, ``shared_fraction`` of the shapes
+        are drawn from that seed instead of the scene's own.  Datasets
+        use this to build *scene families*: different scenes that share
+        some content, the way unrelated disaster photos still show the
+        same streets and rubble.  Family pairs are what populate the
+        moderate-similarity tail of the dissimilar distribution in the
+        paper's Figure 4.
+        """
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ImageError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+        rng = np.random.default_rng(np.uint64(seed) ^ np.uint64(0x5EED_BEE5))
+        canvas = self._background(rng)
+        n_shapes = int(rng.integers(self.min_shapes, self.max_shapes + 1))
+        n_shared = int(round(n_shapes * shared_fraction)) if shared_seed is not None else 0
+        params: list[dict] = []
+        if n_shared:
+            family_rng = np.random.default_rng(
+                np.uint64(shared_seed) ^ np.uint64(0xFA111E5)
+            )
+            params.extend(self._shape_params(family_rng, n_shared))
+        params.extend(self._shape_params(rng, n_shapes - n_shared))
+        canvas = self._render_shapes(canvas, params)
+        return np.clip(np.rint(canvas), 0, 255).astype(np.uint8)
+
+    # -- views ------------------------------------------------------------
+
+    def view(
+        self,
+        seed: int,
+        view_index: int,
+        image_id: str = "",
+        group_id: str = "",
+        shared_seed: int | None = None,
+        shared_fraction: float = 0.0,
+    ) -> Image:
+        """A perturbed photograph of scene *seed*.
+
+        ``view_index == 0`` is the canonical view; higher indices apply a
+        deterministic perturbation drawn from ``(seed, view_index)``.
+        ``shared_seed``/``shared_fraction`` pass through to :meth:`scene`.
+        """
+        bitmap = self.scene(seed, shared_seed=shared_seed, shared_fraction=shared_fraction)
+        if view_index:
+            rng = np.random.default_rng(
+                (np.uint64(seed) << np.uint64(20)) ^ np.uint64(view_index)
+            )
+            spec = self.perturbation
+            if spec.max_shift:
+                dy = int(rng.integers(-spec.max_shift, spec.max_shift + 1))
+                dx = int(rng.integers(-spec.max_shift, spec.max_shift + 1))
+                bitmap = translate(bitmap, dy, dx)
+            crop = rng.uniform(spec.min_crop, 1.0)
+            if crop < 1.0:
+                bitmap = center_crop_fraction(bitmap, crop)
+            bitmap = adjust_brightness(bitmap, rng.uniform(-spec.max_brightness, spec.max_brightness))
+            bitmap = adjust_contrast(bitmap, rng.uniform(*spec.contrast_range))
+            if spec.noise_sigma:
+                bitmap = add_gaussian_noise(bitmap, spec.noise_sigma, rng)
+        return Image(
+            bitmap=bitmap,
+            image_id=image_id or f"scene{seed}-v{view_index}",
+            group_id=group_id or f"scene{seed}",
+            nominal_bytes=self.nominal_bytes,
+        )

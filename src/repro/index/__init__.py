@@ -1,0 +1,25 @@
+"""Server-side index substrate: LSH descriptor index + image store."""
+
+from .dedup import DedupStore, content_defined_chunks, image_payload
+from .index import FeatureIndex, QueryResult
+from .lsh import HammingLSH, float_sketch_planes, sketch_float_descriptors
+from .persistence import restore_index, snapshot_index
+from .store import ImageStore, StoredImage
+from .vocab import BagOfWordsIndex, VocabularyTree
+
+__all__ = [
+    "BagOfWordsIndex",
+    "DedupStore",
+    "FeatureIndex",
+    "HammingLSH",
+    "ImageStore",
+    "QueryResult",
+    "StoredImage",
+    "VocabularyTree",
+    "content_defined_chunks",
+    "image_payload",
+    "restore_index",
+    "snapshot_index",
+    "float_sketch_planes",
+    "sketch_float_descriptors",
+]

@@ -1,0 +1,138 @@
+"""The server-side feature index.
+
+CBRD (Section III-B1) works by querying this index: the client uploads
+an image's features, the server returns the *maximum similarity* — the
+similarity to the most similar stored image.  The client compares that
+against the threshold ``T`` to decide redundancy.
+
+Queries shortlist candidates via LSH descriptor votes and then compute
+the exact Equation-2 Jaccard similarity against only the top-voted
+candidates, the standard two-stage design of content-based indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..features.base import FeatureSet
+from ..features.similarity import jaccard_similarity
+from .lsh import (
+    FLOAT_SKETCH_BITS,
+    HammingLSH,
+    float_sketch_planes,
+    sketch_float_descriptors,
+)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The server's answer to a feature query."""
+
+    best_id: Optional[str]
+    best_similarity: float
+    candidates_checked: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any stored image produced a non-zero similarity."""
+        return self.best_id is not None
+
+
+@dataclass
+class FeatureIndex:
+    """LSH-accelerated index of per-image feature sets."""
+
+    kind: str = "orb"
+    verify_top_k: int = 5
+    n_tables: int = 8
+    bits_per_key: int = 16
+    seed: int = 7
+    _entries: list = field(default_factory=list, init=False, repr=False)
+    _ids: dict = field(default_factory=dict, init=False, repr=False)
+    _lsh: HammingLSH = field(init=False, repr=False)
+    _planes: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.verify_top_k < 1:
+            raise IndexError_(f"verify_top_k must be >= 1, got {self.verify_top_k}")
+        n_bits = 256 if self.kind == "orb" else FLOAT_SKETCH_BITS
+        self._lsh = HammingLSH(
+            n_bits=n_bits,
+            n_tables=self.n_tables,
+            bits_per_key=self.bits_per_key,
+            seed=self.seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._ids
+
+    # -- internals ----------------------------------------------------------
+
+    def _packed(self, features: FeatureSet) -> np.ndarray:
+        if features.kind != self.kind:
+            raise IndexError_(
+                f"index stores {self.kind!r} features, got {features.kind!r}"
+            )
+        if self.kind == "orb":
+            return features.descriptors
+        if self._planes is None:
+            dim = features.descriptors.shape[1]
+            self._planes = float_sketch_planes(dim, FLOAT_SKETCH_BITS, self.seed)
+        return sketch_float_descriptors(features.descriptors, self._planes)
+
+    # -- public API ----------------------------------------------------------
+
+    def add(self, features: FeatureSet) -> None:
+        """Index the features of one uploaded image."""
+        image_id = features.image_id
+        if not image_id:
+            raise IndexError_("features must carry an image_id to be indexed")
+        if image_id in self._ids:
+            raise IndexError_(f"image {image_id!r} is already indexed")
+        ref = len(self._entries)
+        if len(features):
+            self._lsh.add(self._packed(features), ref)
+        self._entries.append(features)
+        self._ids[image_id] = ref
+
+    def query_top(self, features: FeatureSet, k: int) -> list[tuple[str, float]]:
+        """The *k* most similar stored images as ``(image_id, similarity)``.
+
+        Results are sorted by similarity, descending.  Only LSH-voted
+        candidates are exactly verified, so images sharing no descriptor
+        buckets with the query never appear (their similarity would be
+        ~0 anyway).
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if not self._entries or len(features) == 0:
+            return []
+        votes = self._lsh.votes(self._packed(features))
+        if not votes:
+            return []
+        shortlist = sorted(votes, key=lambda ref: votes[ref], reverse=True)
+        shortlist = shortlist[: max(k, self.verify_top_k)]
+        scored = [
+            (self._entries[ref].image_id, jaccard_similarity(features, self._entries[ref]))
+            for ref in shortlist
+        ]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[:k]
+
+    def query(self, features: FeatureSet) -> QueryResult:
+        """Maximum similarity against the stored images (CBRD's primitive)."""
+        top = self.query_top(features, 1) if len(self._entries) else []
+        checked = min(len(self._entries), self.verify_top_k)
+        if not top:
+            return QueryResult(best_id=None, best_similarity=0.0, candidates_checked=0)
+        best_id, best_similarity = top[0]
+        return QueryResult(
+            best_id=best_id, best_similarity=best_similarity, candidates_checked=checked
+        )

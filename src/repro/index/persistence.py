@@ -1,0 +1,77 @@
+"""Index snapshot & restore.
+
+Disaster deployments restart servers; the feature index must survive.
+A snapshot is a self-describing byte blob: a header, then each indexed
+image's feature payload in the :mod:`repro.features.serialize` wire
+format, length-prefixed.  Restoring replays the payloads through
+``FeatureIndex.add`` so the LSH tables are rebuilt identically (the
+tables themselves are derived state).
+
+Format (little-endian):
+
+    magic    4 bytes   b"BIX1"
+    kind     1 byte    0 = orb, 1 = sift, 2 = pca-sift
+    n        4 bytes   number of images
+    entries  n times:  u32 length + feature payload
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import IndexError_
+from ..features.serialize import deserialize_features, serialize_features
+from .index import FeatureIndex
+
+MAGIC = b"BIX1"
+_KIND_CODES = {"orb": 0, "sift": 1, "pca-sift": 2}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+_HEADER = struct.Struct("<4sBI")
+_LENGTH = struct.Struct("<I")
+
+
+def snapshot_index(index: FeatureIndex) -> bytes:
+    """Serialise every indexed feature set."""
+    kind_code = _KIND_CODES.get(index.kind)
+    if kind_code is None:
+        raise IndexError_(f"cannot snapshot index of kind {index.kind!r}")
+    entries = index._entries  # the append-only entry list
+    parts = [_HEADER.pack(MAGIC, kind_code, len(entries))]
+    for features in entries:
+        payload = serialize_features(features)
+        parts.append(_LENGTH.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def restore_index(blob: bytes, **index_kwargs) -> FeatureIndex:
+    """Rebuild a :class:`FeatureIndex` from a snapshot blob.
+
+    Extra keyword arguments (LSH table counts, seeds...) pass through to
+    the ``FeatureIndex`` constructor; the feature kind comes from the
+    snapshot itself.
+    """
+    if len(blob) < _HEADER.size:
+        raise IndexError_("index snapshot truncated (header)")
+    magic, kind_code, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise IndexError_(f"bad index snapshot magic {magic!r}")
+    kind = _KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise IndexError_(f"unknown index kind code {kind_code}")
+    index = FeatureIndex(kind=kind, **index_kwargs)
+    offset = _HEADER.size
+    for _ in range(count):
+        if len(blob) < offset + _LENGTH.size:
+            raise IndexError_("index snapshot truncated (entry length)")
+        (length,) = _LENGTH.unpack_from(blob, offset)
+        offset += _LENGTH.size
+        if len(blob) < offset + length:
+            raise IndexError_("index snapshot truncated (entry payload)")
+        index.add(deserialize_features(blob[offset : offset + length]))
+        offset += length
+    if offset != len(blob):
+        raise IndexError_(
+            f"index snapshot has {len(blob) - offset} trailing bytes"
+        )
+    return index

@@ -1,0 +1,70 @@
+"""The server-side image store.
+
+Holds the metadata of every image the cloud has received — geotags feed
+the coverage analysis of Figure 12, byte counts feed storage accounting.
+The bitmaps themselves are not retained (the simulation does not need
+them server-side), matching the paper's focus on the resource-limited
+client rather than the well-provisioned cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import IndexError_
+from ..imaging.image import Image
+
+
+@dataclass(frozen=True)
+class StoredImage:
+    """Metadata of one received image."""
+
+    image_id: str
+    group_id: str
+    geotag: Optional[Tuple[float, float]]
+    received_bytes: int
+
+
+@dataclass
+class ImageStore:
+    """Append-only record of received images."""
+
+    _records: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._records
+
+    def add(self, image: Image, received_bytes: Optional[int] = None) -> StoredImage:
+        """Record the arrival of *image*; returns the stored record."""
+        if not image.image_id:
+            raise IndexError_("stored images must carry an image_id")
+        if image.image_id in self._records:
+            raise IndexError_(f"image {image.image_id!r} already stored")
+        record = StoredImage(
+            image_id=image.image_id,
+            group_id=image.group_id,
+            geotag=image.geotag,
+            received_bytes=image.nominal_bytes if received_bytes is None else received_bytes,
+        )
+        self._records[image.image_id] = record
+        return record
+
+    def get(self, image_id: str) -> StoredImage:
+        """Look up one record; raises if the image was never received."""
+        try:
+            return self._records[image_id]
+        except KeyError:
+            raise IndexError_(f"image {image_id!r} not in store") from None
+
+    def records(self) -> list[StoredImage]:
+        """All records, in arrival order."""
+        return list(self._records.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes received across all images."""
+        return sum(record.received_bytes for record in self._records.values())

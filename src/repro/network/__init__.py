@@ -1,0 +1,14 @@
+"""Network substrate: fluctuating low-bandwidth uplink emulation."""
+
+from .channel import DEFAULT_MEDIAN_BPS, KBPS, FluctuatingChannel
+from .link import TransferResult, Uplink
+from .outage import OutageChannel
+
+__all__ = [
+    "DEFAULT_MEDIAN_BPS",
+    "KBPS",
+    "FluctuatingChannel",
+    "OutageChannel",
+    "TransferResult",
+    "Uplink",
+]

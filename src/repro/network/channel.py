@@ -1,0 +1,51 @@
+"""The bandwidth-limited uplink channel.
+
+Section IV-A: "the transmission bandwidth of each smartphone fluctuates
+from 0 Kbps to 512 Kbps to emulate the low-bandwidth network", and the
+delay experiment (Figure 11) sweeps channels with *median* bitrates of
+128/256/512 Kbps.
+
+We model a channel by its median goodput and a relative spread: each
+transfer samples its goodput uniformly from
+``median * [1 - spread, 1 + spread]``.  Sampling per transfer (rather
+than per byte) keeps the simulation deterministic, seedable, and fast
+while preserving the variance that makes delays fluctuate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NetworkError
+
+KBPS = 1000.0
+
+#: The paper's default emulated uplink median.
+DEFAULT_MEDIAN_BPS = 256 * KBPS
+
+
+@dataclass
+class FluctuatingChannel:
+    """A seeded, fluctuating-goodput channel."""
+
+    median_bps: float = DEFAULT_MEDIAN_BPS
+    relative_spread: float = 0.5
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.median_bps <= 0:
+            raise NetworkError(f"median_bps must be positive, got {self.median_bps}")
+        if not 0.0 <= self.relative_spread < 1.0:
+            raise NetworkError(
+                f"relative_spread must be in [0, 1), got {self.relative_spread}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample_goodput_bps(self) -> float:
+        """Goodput (bits/second) for one transfer."""
+        low = self.median_bps * (1.0 - self.relative_spread)
+        high = self.median_bps * (1.0 + self.relative_spread)
+        return float(self._rng.uniform(low, high))

@@ -1,0 +1,54 @@
+"""The uplink: byte transfers over a fluctuating channel.
+
+Every transfer pays a fixed protocol latency plus the serialisation time
+of its payload at the sampled goodput.  The link also keeps cumulative
+byte counters — the "bandwidth overhead" metric of Figure 10 is simply
+the total bytes a scheme pushed through its uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetworkError
+from .channel import FluctuatingChannel
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one uplink transfer."""
+
+    payload_bytes: int
+    seconds: float
+    goodput_bps: float
+
+
+@dataclass
+class Uplink:
+    """A smartphone's uplink to the cloud servers."""
+
+    channel: FluctuatingChannel = field(default_factory=FluctuatingChannel)
+    latency_s: float = 0.1
+    bytes_sent: int = field(default=0, init=False)
+    transfer_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise NetworkError(f"latency must be >= 0, got {self.latency_s}")
+
+    def transfer(self, payload_bytes: int) -> TransferResult:
+        """Send *payload_bytes* upstream; returns timing and goodput."""
+        if payload_bytes < 0:
+            raise NetworkError(f"payload must be >= 0 bytes, got {payload_bytes}")
+        goodput = self.channel.sample_goodput_bps()
+        seconds = self.latency_s + payload_bytes * 8.0 / goodput
+        self.bytes_sent += payload_bytes
+        self.transfer_count += 1
+        return TransferResult(
+            payload_bytes=payload_bytes, seconds=seconds, goodput_bps=goodput
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the cumulative byte/transfer counters."""
+        self.bytes_sent = 0
+        self.transfer_count = 0

@@ -1,0 +1,63 @@
+"""Outage-prone channels — failure injection for the disaster setting.
+
+The paper's whole premise is damaged infrastructure: "network bandwidth
+possibly becomes very limited in capacity".  The base
+:class:`~repro.network.channel.FluctuatingChannel` models steady-state
+scarcity; this module adds *outages* — seeded intervals during which
+goodput collapses to a trickle (a cell of the network is down, a relay
+moved out of range).  Transfers still complete eventually, so scheme
+logic is unchanged; delays and radio energy spike, which is exactly the
+regime where eliminating redundant uploads matters most
+(``tests/network/test_outage.py`` measures it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetworkError
+from .channel import FluctuatingChannel
+
+#: Goodput during an outage: a barely-alive trickle, not zero (zero
+#: would make delays infinite and deadlock the simulations).
+OUTAGE_TRICKLE_BPS = 2_000.0
+
+
+@dataclass
+class OutageChannel(FluctuatingChannel):
+    """A fluctuating channel that suffers seeded outage bursts.
+
+    The channel alternates between an "up" state (normal fluctuating
+    goodput) and a "down" state (trickle goodput).  State transitions
+    happen per transfer with the given probabilities, giving
+    geometrically-distributed burst lengths — the standard Gilbert
+    model of a bursty link.
+    """
+
+    outage_probability: float = 0.1
+    recovery_probability: float = 0.5
+    trickle_bps: float = OUTAGE_TRICKLE_BPS
+    _down: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.outage_probability <= 1.0:
+            raise NetworkError(
+                f"outage_probability must be in [0, 1], got {self.outage_probability}"
+            )
+        if not 0.0 < self.recovery_probability <= 1.0:
+            raise NetworkError(
+                f"recovery_probability must be in (0, 1], got {self.recovery_probability}"
+            )
+        if self.trickle_bps <= 0:
+            raise NetworkError(f"trickle_bps must be positive, got {self.trickle_bps}")
+
+    def sample_goodput_bps(self) -> float:
+        if self._down:
+            if self._rng.random() < self.recovery_probability:
+                self._down = False
+        elif self._rng.random() < self.outage_probability:
+            self._down = True
+        if self._down:
+            return float(self.trickle_bps)
+        return super().sample_goodput_bps()

@@ -1,0 +1,24 @@
+"""End-to-end simulation harness: phones, sessions, experiment drivers."""
+
+from .coveragesim import CoverageExperiment, CoverageResult
+from .device import Smartphone
+from .lifetime import LifetimeExperiment, LifetimePoint, LifetimeResult
+from .metrics import SchemeMetrics, summarize
+from .session import UploadSession, build_server, scheme_extractor
+from .telemetry import TimelineRecorder, TimelineRow
+
+__all__ = [
+    "CoverageExperiment",
+    "CoverageResult",
+    "LifetimeExperiment",
+    "LifetimePoint",
+    "LifetimeResult",
+    "SchemeMetrics",
+    "Smartphone",
+    "TimelineRecorder",
+    "TimelineRow",
+    "UploadSession",
+    "build_server",
+    "scheme_extractor",
+    "summarize",
+]

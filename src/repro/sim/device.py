@@ -1,0 +1,90 @@
+"""The simulated smartphone.
+
+Bundles the battery, the energy meter, the uplink, and the cost model,
+and exposes the two operations every scheme needs: ``spend`` (charge a
+CPU cost) and ``upload`` (push bytes through the radio).  Both return
+falsy values once the battery dies, which is how long-running
+experiments (Figures 9 and 12) terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..energy import (
+    BASELINE,
+    Battery,
+    DeviceProfile,
+    EnergyCostModel,
+    EnergyMeter,
+    WorkCost,
+)
+from ..energy.profiles import DEFAULT_PROFILE
+from ..errors import SimulationError
+from ..network import FluctuatingChannel, TransferResult, Uplink
+
+
+@dataclass
+class Smartphone:
+    """One simulated phone: battery + meter + radio + cost model."""
+
+    profile: DeviceProfile = DEFAULT_PROFILE
+    battery: Battery = None  # type: ignore[assignment]
+    meter: EnergyMeter = field(default_factory=EnergyMeter)
+    uplink: Uplink = None  # type: ignore[assignment]
+    cost_model: EnergyCostModel = None  # type: ignore[assignment]
+    name: str = "phone-0"
+
+    def __post_init__(self) -> None:
+        if self.battery is None:
+            self.battery = Battery(capacity_j=self.profile.battery_capacity_j)
+        if self.uplink is None:
+            self.uplink = Uplink(channel=FluctuatingChannel())
+        if self.cost_model is None:
+            self.cost_model = EnergyCostModel(profile=self.profile)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def ebat(self) -> float:
+        """Remaining-energy fraction — the EAAS policies' input."""
+        return self.battery.ebat
+
+    @property
+    def alive(self) -> bool:
+        """Whether the phone still has charge."""
+        return not self.battery.is_empty
+
+    # -- charging operations -------------------------------------------------
+
+    def spend(self, cost: WorkCost, category: str) -> bool:
+        """Charge a CPU cost; returns False when the battery dies.
+
+        A partial drain (battery runs out mid-operation) is recorded for
+        the drained amount and reported as death.
+        """
+        drained = self.battery.drain(cost.joules)
+        self.meter.record(category, drained)
+        return drained >= cost.joules and self.alive
+
+    def upload(self, payload_bytes: int, category: str) -> Optional[TransferResult]:
+        """Send bytes upstream, paying radio energy; None once dead."""
+        if not self.alive:
+            return None
+        result = self.uplink.transfer(payload_bytes)
+        cost = self.cost_model.transfer_cost(result.seconds)
+        drained = self.battery.drain(cost.joules)
+        self.meter.record(category, drained)
+        if drained < cost.joules:
+            return None
+        return result
+
+    def idle(self, seconds: float) -> bool:
+        """Baseline system draw over a wall-clock interval."""
+        if seconds < 0:
+            raise SimulationError(f"idle seconds must be >= 0, got {seconds}")
+        cost = self.cost_model.baseline_cost(seconds)
+        drained = self.battery.drain(cost.joules)
+        self.meter.record(BASELINE, drained)
+        return self.alive

@@ -1,0 +1,41 @@
+"""Aggregation helpers over batch reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import BatchReport
+
+
+@dataclass(frozen=True)
+class SchemeMetrics:
+    """The per-scheme row the comparison figures print."""
+
+    scheme: str
+    n_images: int
+    n_uploaded: int
+    energy_j: float
+    bytes_sent: int
+    avg_image_seconds: float
+    eliminated_cross_batch: int
+    eliminated_in_batch: int
+
+
+def summarize(reports: "list[BatchReport]") -> SchemeMetrics:
+    """Collapse a scheme's reports into one comparison row."""
+    if not reports:
+        raise ValueError("cannot summarize zero reports")
+    n_images = sum(report.n_images for report in reports)
+    total_seconds = sum(report.total_seconds for report in reports)
+    return SchemeMetrics(
+        scheme=reports[0].scheme,
+        n_images=n_images,
+        n_uploaded=sum(report.n_uploaded for report in reports),
+        energy_j=sum(report.total_energy_j for report in reports),
+        bytes_sent=sum(report.bytes_sent for report in reports),
+        avg_image_seconds=total_seconds / n_images if n_images else 0.0,
+        eliminated_cross_batch=sum(
+            len(report.eliminated_cross_batch) for report in reports
+        ),
+        eliminated_in_batch=sum(len(report.eliminated_in_batch) for report in reports),
+    )

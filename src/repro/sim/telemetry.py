@@ -1,0 +1,88 @@
+"""Per-batch session telemetry.
+
+A :class:`TimelineRecorder` attached to an :class:`~repro.sim.session.
+UploadSession` captures one row per processed batch — battery level
+before/after, bytes, energy by category, eliminations — so experiment
+drivers and notebooks can analyse *trajectories* (how BEES' behaviour
+shifts as the battery drains) rather than just end-state aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.base import BatchReport
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One batch's worth of telemetry."""
+
+    batch_index: int
+    scheme: str
+    ebat_before: float
+    ebat_after: float
+    n_images: int
+    n_uploaded: int
+    n_eliminated_cross: int
+    n_eliminated_in_batch: int
+    bytes_sent: int
+    energy_j: float
+    halted: bool
+
+    @property
+    def ebat_spent(self) -> float:
+        """Battery fraction this batch consumed."""
+        return self.ebat_before - self.ebat_after
+
+
+@dataclass
+class TimelineRecorder:
+    """Accumulates :class:`TimelineRow` entries across a session."""
+
+    rows: "list[TimelineRow]" = field(default_factory=list)
+
+    def record(
+        self, report: BatchReport, ebat_before: float, ebat_after: float
+    ) -> TimelineRow:
+        """Append one batch's telemetry."""
+        if not 0.0 <= ebat_after <= ebat_before <= 1.0:
+            raise SimulationError(
+                f"inconsistent battery readings: {ebat_before} -> {ebat_after}"
+            )
+        row = TimelineRow(
+            batch_index=len(self.rows),
+            scheme=report.scheme,
+            ebat_before=ebat_before,
+            ebat_after=ebat_after,
+            n_images=report.n_images,
+            n_uploaded=report.n_uploaded,
+            n_eliminated_cross=len(report.eliminated_cross_batch),
+            n_eliminated_in_batch=len(report.eliminated_in_batch),
+            bytes_sent=report.bytes_sent,
+            energy_j=report.total_energy_j,
+            halted=report.halted,
+        )
+        self.rows.append(row)
+        return row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- trajectory queries ----------------------------------------------------
+
+    def energy_series(self) -> "list[float]":
+        """Per-batch energy — BEES' falls as Ebat drains (EAAS)."""
+        return [row.energy_j for row in self.rows]
+
+    def upload_ratio_series(self) -> "list[float]":
+        """Per-batch fraction of images actually uploaded."""
+        return [
+            row.n_uploaded / row.n_images if row.n_images else 0.0
+            for row in self.rows
+        ]
+
+    def total_energy_j(self) -> float:
+        """Total joules across all recorded batches."""
+        return float(sum(row.energy_j for row in self.rows))

@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart primitives."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import bar_chart, density_map, sparkline
+from repro.errors import BeesError
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert line == "".join(sorted(line, key=" ▁▂▃▄▅▆▇█".index))
+
+    def test_constant_series_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_explicit_bounds(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line == "▄"
+
+    def test_extremes(self):
+        line = sparkline([0.0, 1.0], lo=0.0, hi=1.0)
+        assert line[0] == " " and line[1] == "█"
+
+    def test_rejects_empty(self):
+        with pytest.raises(BeesError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_one_row_per_entry(self):
+        chart = bar_chart([("a", 1.0), ("bb", 2.0)])
+        assert len(chart.splitlines()) == 2
+
+    def test_longest_bar_for_peak(self):
+        chart = bar_chart([("small", 1.0), ("big", 4.0)], width=8)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2
+
+    def test_zero_values(self):
+        chart = bar_chart([("nil", 0.0)])
+        assert "█" not in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("a", 1.0), ("longer", 1.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_rejections(self):
+        with pytest.raises(BeesError):
+            bar_chart([])
+        with pytest.raises(BeesError):
+            bar_chart([("x", 1.0)], width=0)
+        with pytest.raises(BeesError):
+            bar_chart([("x", -1.0)])
+
+
+class TestDensityMap:
+    def test_shape(self):
+        grid = np.zeros((3, 5), dtype=int)
+        lines = density_map(grid).splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 7 for line in lines)  # borders add 2
+
+    def test_north_up(self):
+        grid = np.zeros((2, 2), dtype=int)
+        grid[1, 0] = 1  # northern row
+        lines = density_map(grid).splitlines()
+        assert lines[0] != "|  |"
+        assert lines[1] == "|  |"
+
+    def test_log_shading_monotone(self):
+        grid = np.array([[0, 1, 4, 64]])
+        row = density_map(grid, border=False)
+        shades = " .:*#@"
+        assert [shades.index(c) for c in row] == sorted(shades.index(c) for c in row)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(BeesError):
+            density_map(np.zeros(3))
+        with pytest.raises(BeesError):
+            density_map(np.array([[-1]]))

@@ -1,0 +1,53 @@
+"""Tests for coverage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import density_grid, summarize_geotags
+from repro.datasets.geo import BoundingBox
+from repro.errors import SimulationError
+
+
+class TestSummarize:
+    def test_counts(self):
+        tags = [(1.0, 2.0)] * 3 + [(3.0, 4.0)] + [None]
+        summary = summarize_geotags(tags)
+        assert summary.n_images == 4
+        assert summary.n_unique_locations == 2
+        assert summary.densest_location_count == 3
+
+    def test_empty(self):
+        summary = summarize_geotags([])
+        assert summary.n_images == 0
+        assert summary.coverage_per_image == 0.0
+
+    def test_coverage_per_image(self):
+        tags = [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]
+        assert summarize_geotags(tags).coverage_per_image == pytest.approx(0.75)
+
+
+class TestDensityGrid:
+    BOX = BoundingBox(0.0, 1.0, 0.0, 1.0)
+
+    def test_counts_in_cells(self):
+        grid = density_grid([(0.05, 0.05), (0.05, 0.05), (0.95, 0.95)], self.BOX, n_bins=2)
+        assert grid[0, 0] == 2
+        assert grid[1, 1] == 1
+        assert grid.sum() == 3
+
+    def test_outside_box_ignored(self):
+        grid = density_grid([(2.0, 2.0), None], self.BOX, n_bins=2)
+        assert grid.sum() == 0
+
+    def test_boundary_clamps_to_last_bin(self):
+        grid = density_grid([(1.0, 1.0)], self.BOX, n_bins=4)
+        assert grid[3, 3] == 1
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(SimulationError):
+            density_grid([], self.BOX, n_bins=0)
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        tags = [(float(x), float(y)) for x, y in rng.uniform(0, 1, (50, 2))]
+        assert density_grid(tags, self.BOX, n_bins=8).sum() == 50

@@ -1,0 +1,93 @@
+"""Tests for precision and rate-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.precision import (
+    dataset_precision,
+    pair_similarities,
+    rate_curve,
+    top_k_precision,
+)
+from repro.core.server import BeesServer
+from repro.datasets.kentucky import SyntheticKentucky
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def kentucky_server(orb):
+    """A server indexed with a small Kentucky dataset."""
+    dataset = SyntheticKentucky(n_groups=6)
+    server = BeesServer()
+    group_of = {}
+    for image in dataset:
+        features = orb.extract(image)
+        server.receive_image(image, features)
+        group_of[image.image_id] = image.group_id
+    return dataset, server, group_of
+
+
+class TestTopKPrecision:
+    def test_indexed_query_retrieves_own_group(self, kentucky_server, orb):
+        dataset, server, group_of = kentucky_server
+        image = dataset.image(0, 0)
+        precision = top_k_precision(
+            server, orb.extract(image), image.group_id, group_of
+        )
+        # The query itself plus its 3 group mates fill the top-4.
+        assert precision >= 0.75
+
+    def test_requires_group(self, kentucky_server, orb_features):
+        _, server, group_of = kentucky_server
+        with pytest.raises(SimulationError):
+            top_k_precision(server, orb_features, "", group_of)
+
+    def test_unrelated_query_zero_precision(self, kentucky_server, orb, generator):
+        _, server, group_of = kentucky_server
+        foreign = orb.extract(generator.view(999_999, 0, image_id="f"))
+        assert top_k_precision(server, foreign, "nope", group_of) == 0.0
+
+
+class TestDatasetPrecision:
+    def test_high_on_kentucky(self, kentucky_server, orb):
+        dataset, server, group_of = kentucky_server
+        queries = [(image, orb.extract(image)) for image in dataset.query_images()]
+        precision = dataset_precision(server, queries, group_of)
+        assert precision > 0.8
+
+    def test_rejects_empty(self, kentucky_server):
+        _, server, group_of = kentucky_server
+        with pytest.raises(SimulationError):
+            dataset_precision(server, [], group_of)
+
+
+class TestRateCurve:
+    def test_rates_decrease_with_threshold(self):
+        similar = np.array([0.3, 0.4, 0.02, 0.25])
+        dissimilar = np.array([0.001, 0.02, 0.005, 0.03])
+        points = rate_curve(similar, dissimilar, [0.01, 0.05, 0.5])
+        tprs = [p.true_positive_rate for p in points]
+        fprs = [p.false_positive_rate for p in points]
+        assert tprs == sorted(tprs, reverse=True)
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_rates_are_fractions_above_threshold(self):
+        similar = np.array([0.1, 0.3])
+        dissimilar = np.array([0.05, 0.01])
+        [point] = rate_curve(similar, dissimilar, [0.08])
+        assert point.true_positive_rate == 1.0
+        assert point.false_positive_rate == 0.0
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(SimulationError):
+            rate_curve(np.array([]), np.array([0.1]), [0.05])
+
+
+class TestPairSimilarities:
+    def test_splits_by_label(self, orb):
+        dataset = SyntheticKentucky(n_groups=4)
+        pairs = dataset.similar_pairs(3, seed=1) + dataset.dissimilar_pairs(3, seed=2)
+        similar, dissimilar = pair_similarities(pairs, orb.extract)
+        assert len(similar) == 3
+        assert len(dissimilar) == 3
+        assert similar.min() > dissimilar.max()

@@ -1,0 +1,65 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_bytes,
+    format_percent,
+    format_table,
+    print_figure,
+)
+from repro.errors import BeesError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # Every line is padded to the same total width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(BeesError):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(BeesError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_headers_only(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(700 * 1024) == "700.0 KB"
+
+    def test_megabytes(self):
+        assert format_bytes(2.5 * 1024**2) == "2.5 MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(3.4 * 1024**3) == "3.4 GB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(BeesError):
+            format_bytes(-1)
+
+
+class TestFormatPercent:
+    def test_rendering(self):
+        assert format_percent(0.423) == "42.3%"
+        assert format_percent(1.0) == "100.0%"
+
+
+class TestPrintFigure:
+    def test_prints_banner_and_body(self, capsys):
+        print_figure("Figure 7", "row1\nrow2")
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "row1" in out

@@ -1,0 +1,40 @@
+"""Tests for the BEES-EA construction."""
+
+import pytest
+
+from repro.baselines.bees_ea import make_bees_ea
+from repro.core.client import BeesScheme
+
+
+class TestBeesEa:
+    def test_name(self):
+        assert make_bees_ea().name == "BEES-EA"
+
+    def test_is_a_bees_scheme(self):
+        assert isinstance(make_bees_ea(), BeesScheme)
+
+    def test_policies_constant_in_ebat(self):
+        config = make_bees_ea().config
+        for ebat in (0.0, 0.3, 1.0):
+            assert config.eac(ebat) == 0.0
+            assert config.eau(ebat) == 0.0
+            assert config.edr(ebat) == pytest.approx(0.019)
+
+    def test_overrides_forwarded(self):
+        scheme = make_bees_ea(enable_ssmm=False)
+        assert not scheme.config.enable_ssmm
+
+    def test_behaviour_invariant_to_battery(self, small_batch_features):
+        """BEES-EA processes a batch identically at any charge level."""
+        from repro.core.server import BeesServer
+        from repro.energy import Battery
+        from repro.sim.device import Smartphone
+
+        images, _ = small_batch_features
+        uploads = []
+        for fraction in (1.0, 0.3):
+            device = Smartphone()
+            device.battery.recharge(fraction)
+            report = make_bees_ea().process_batch(device, BeesServer(), images)
+            uploads.append(sorted(report.uploaded_ids))
+        assert uploads[0] == uploads[1]

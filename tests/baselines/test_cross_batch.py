@@ -1,0 +1,56 @@
+"""Tests for the two-phase cross-batch-only protocol (SmartEye/MRC base)."""
+
+import pytest
+
+from repro.baselines.mrc import Mrc
+from repro.baselines.smarteye import SmartEye
+from repro.energy import Battery
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+
+@pytest.fixture(scope="module", params=[Mrc, SmartEye])
+def scheme_cls(request):
+    return request.param
+
+
+class TestTwoPhaseProtocol:
+    def test_in_batch_duplicates_slip_through(self, scheme_cls, small_batch_features):
+        """The defining blindness: queries run against the batch-start
+        index, so both views of one scene upload."""
+        images, _ = small_batch_features
+        scheme = scheme_cls()
+        report = scheme.process_batch(Smartphone(), build_server(scheme), images)
+        assert report.n_uploaded == len(images)
+        assert not report.eliminated_in_batch
+
+    def test_cross_batch_duplicates_eliminated(
+        self, scheme_cls, small_batch_features, generator
+    ):
+        images, _ = small_batch_features
+        scheme = scheme_cls()
+        partner = generator.view(20, 3, image_id="seed20", group_id="s20")
+        server = build_server(scheme, [partner])
+        report = scheme.process_batch(Smartphone(), server, images)
+        eliminated = set(report.eliminated_cross_batch)
+        assert {"s20v0", "s20v1"} <= eliminated
+
+    def test_eliminated_images_pay_detection_cost_only(
+        self, scheme_cls, small_batch_features, generator
+    ):
+        images, _ = small_batch_features
+        scheme = scheme_cls()
+        partner = generator.view(20, 3, image_id="seed20", group_id="s20")
+        server = build_server(scheme, [partner])
+        report = scheme.process_batch(Smartphone(), server, images)
+        # All images get per-image timings; the eliminated ones are fast.
+        assert len(report.per_image_seconds) == len(images)
+        assert min(report.per_image_seconds) < max(report.per_image_seconds)
+
+    def test_halts_on_battery_death(self, scheme_cls, small_batch_features):
+        images, _ = small_batch_features
+        device = Smartphone()
+        device.battery = Battery(capacity_j=30.0)
+        scheme = scheme_cls()
+        report = scheme.process_batch(device, build_server(scheme), images)
+        assert report.halted

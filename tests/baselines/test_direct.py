@@ -1,0 +1,57 @@
+"""Tests for Direct Upload."""
+
+import pytest
+
+from repro.baselines.direct import DirectUpload
+from repro.core.server import BeesServer
+from repro.energy import IMAGE_UPLOAD, Battery
+from repro.sim.device import Smartphone
+
+
+class TestDirectUpload:
+    def test_uploads_everything(self, small_batch_features):
+        images, _ = small_batch_features
+        report = DirectUpload().process_batch(Smartphone(), BeesServer(), images)
+        assert report.n_uploaded == len(images)
+        assert not report.eliminated_cross_batch
+        assert not report.eliminated_in_batch
+
+    def test_full_size_payloads(self, small_batch_features):
+        images, _ = small_batch_features
+        report = DirectUpload().process_batch(Smartphone(), BeesServer(), images)
+        assert report.bytes_sent == sum(image.nominal_bytes for image in images)
+
+    def test_only_image_upload_energy(self, small_batch_features):
+        images, _ = small_batch_features
+        report = DirectUpload().process_batch(Smartphone(), BeesServer(), images)
+        assert set(report.energy_by_category) == {IMAGE_UPLOAD}
+
+    def test_server_receives_and_indexes(self, small_batch_features):
+        images, _ = small_batch_features
+        server = BeesServer()
+        DirectUpload().process_batch(Smartphone(), server, images)
+        assert len(server.store) == len(images)
+        assert len(server.index) == len(images)
+
+    def test_no_indexing_mode(self, small_batch_features):
+        images, _ = small_batch_features
+        server = BeesServer()
+        DirectUpload(index_on_server=False).process_batch(Smartphone(), server, images)
+        assert len(server.store) == len(images)
+        assert len(server.index) == 0
+
+    def test_battery_death_halts(self, small_batch_features):
+        images, _ = small_batch_features
+        device = Smartphone()
+        device.battery = Battery(capacity_j=50.0)  # ~1 upload worth
+        report = DirectUpload().process_batch(device, BeesServer(), images)
+        assert report.halted
+        assert report.n_uploaded < len(images)
+
+    def test_per_image_delay_is_transfer_time(self, small_batch_features):
+        images, _ = small_batch_features
+        report = DirectUpload().process_batch(Smartphone(), BeesServer(), images)
+        assert len(report.per_image_seconds) == len(images)
+        # ~700 KB at 128-384 Kbps: between 15 s and 50 s each.
+        for seconds in report.per_image_seconds:
+            assert 10 < seconds < 60

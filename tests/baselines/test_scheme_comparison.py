@@ -1,0 +1,94 @@
+"""Cross-scheme ordering tests — the qualitative claims of Figs. 7-11.
+
+These run one controlled batch through every scheme and assert the
+*orderings* the paper's evaluation reports, which is the contract the
+benchmark harness regenerates quantitatively.
+"""
+
+import pytest
+
+from repro.baselines import DirectUpload, Mrc, SmartEye, make_bees_ea
+from repro.core.client import BeesScheme
+from repro.datasets import DisasterDataset
+from repro.energy import FEATURE_EXTRACTION
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+
+@pytest.fixture(scope="module")
+def reports():
+    data = DisasterDataset()
+    batch = data.make_batch(n_images=24, n_inbatch_similar=3, seed=5)
+    partners = data.cross_batch_partners(batch, 0.25, seed=6)
+    results = {}
+    for scheme in (DirectUpload(), SmartEye(), Mrc(), make_bees_ea(), BeesScheme()):
+        server = build_server(scheme, partners)
+        results[scheme.name] = scheme.process_batch(Smartphone(), server, batch)
+    return results
+
+
+class TestEnergyOrdering:
+    def test_bees_cheapest(self, reports):
+        bees = reports["BEES"].total_energy_j
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert bees < reports[name].total_energy_j
+
+    def test_mrc_cheaper_than_smarteye(self, reports):
+        # PCA-SIFT extraction costs more than ORB (Figure 7).
+        assert reports["MRC"].total_energy_j < reports["SmartEye"].total_energy_j
+
+    def test_bees_reduces_most_of_mrc_energy(self, reports):
+        # Paper: 67.3-70.8% reduction vs MRC at these redundancy levels.
+        saving = 1 - reports["BEES"].total_energy_j / reports["MRC"].total_energy_j
+        assert saving > 0.5
+
+    def test_smarteye_extraction_dominates(self, reports):
+        smarteye = reports["SmartEye"].energy_by_category[FEATURE_EXTRACTION]
+        mrc = reports["MRC"].energy_by_category[FEATURE_EXTRACTION]
+        assert smarteye > 10 * mrc
+
+
+class TestBandwidthOrdering:
+    def test_bees_sends_least(self, reports):
+        bees = reports["BEES"].bytes_sent
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert bees < reports[name].bytes_sent
+
+    def test_mrc_thumbnails_cost_bandwidth_over_smarteye_features(self, reports):
+        # Both eliminate the same images; MRC adds thumbnails but
+        # SmartEye's PCA-SIFT features are bigger per image — MRC's
+        # total stays within ~25% of SmartEye's (Figure 10 shows them
+        # close, MRC "a little more" on their hardware).
+        ratio = reports["MRC"].bytes_sent / reports["SmartEye"].bytes_sent
+        assert 0.75 < ratio < 1.25
+
+
+class TestDelayOrdering:
+    def test_direct_slowest(self, reports):
+        direct = reports["Direct Upload"].average_image_seconds
+        for name in ("SmartEye", "MRC", "BEES"):
+            assert reports[name].average_image_seconds < direct
+
+    def test_bees_fastest(self, reports):
+        bees = reports["BEES"].average_image_seconds
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert bees < reports[name].average_image_seconds
+
+
+class TestEliminationStructure:
+    def test_only_bees_family_eliminates_in_batch(self, reports):
+        assert reports["BEES"].eliminated_in_batch
+        assert reports["BEES-EA"].eliminated_in_batch
+        for name in ("Direct Upload", "SmartEye", "MRC"):
+            assert not reports[name].eliminated_in_batch
+
+    def test_cross_batch_detected_by_all_smart_schemes(self, reports):
+        for name in ("SmartEye", "MRC", "BEES", "BEES-EA"):
+            assert len(reports[name].eliminated_cross_batch) >= 5
+
+    def test_bees_ea_equals_bees_at_full_battery(self, reports):
+        # With Ebat = 1 the adaptive policies sit at their EA-pinned
+        # values, so the two pipelines upload the same images.
+        assert sorted(reports["BEES"].uploaded_ids) == sorted(
+            reports["BEES-EA"].uploaded_ids
+        )

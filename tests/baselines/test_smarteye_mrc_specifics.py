@@ -1,0 +1,65 @@
+"""Scheme-specific behaviours of SmartEye and MRC."""
+
+import pytest
+
+from repro.baselines.mrc import THUMBNAIL_BYTES, Mrc
+from repro.baselines.smarteye import SmartEye
+from repro.energy import COMPRESSION
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+
+class TestSmartEyeSpecifics:
+    def test_uses_pca_sift(self):
+        assert SmartEye().feature_kind == "pca-sift"
+
+    def test_no_thumbnail_payload(self):
+        assert SmartEye().query_extra_bytes() == 0
+
+    def test_server_index_is_pca_sift(self):
+        assert build_server(SmartEye()).index.kind == "pca-sift"
+
+    def test_extraction_energy_dominates_mrc(self, small_batch_features):
+        """PCA-SIFT extraction is the expensive part of SmartEye."""
+        from repro.energy import FEATURE_EXTRACTION
+
+        images, _ = small_batch_features
+        device = Smartphone()
+        scheme = SmartEye()
+        scheme.process_batch(device, build_server(scheme), images[:3])
+        mrc_device = Smartphone()
+        Mrc().process_batch(mrc_device, build_server(Mrc()), images[:3])
+        assert device.meter.get(FEATURE_EXTRACTION) > 10 * mrc_device.meter.get(
+            FEATURE_EXTRACTION
+        )
+
+
+class TestMrcSpecifics:
+    def test_uses_orb(self):
+        assert Mrc().feature_kind == "orb"
+
+    def test_thumbnail_payload_declared(self):
+        assert Mrc().query_extra_bytes() == THUMBNAIL_BYTES
+
+    def test_thumbnail_generation_charged(self, small_batch_features):
+        images, _ = small_batch_features
+        device = Smartphone()
+        scheme = Mrc()
+        scheme.process_batch(device, build_server(scheme), images[:3])
+        assert device.meter.get(COMPRESSION) > 0
+
+    def test_thumbnails_add_bandwidth_per_image(self, small_batch_features):
+        """Every queried image ships a thumbnail, redundant or not."""
+        images, _ = small_batch_features
+        batch = images[:4]
+        device = Smartphone()
+        scheme = Mrc()
+        report = scheme.process_batch(device, build_server(scheme), batch)
+        slim = Mrc(thumbnail_bytes=1)
+        slim_device = Smartphone()
+        slim_report = slim.process_batch(slim_device, build_server(slim), batch)
+        extra = report.bytes_sent - slim_report.bytes_sent
+        assert extra == pytest.approx((THUMBNAIL_BYTES - 1) * len(batch))
+
+    def test_custom_thumbnail_size(self):
+        assert Mrc(thumbnail_bytes=4096).query_extra_bytes() == 4096

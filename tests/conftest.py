@@ -1,0 +1,100 @@
+"""Shared fixtures.
+
+Feature extraction dominates test runtime, so everything derived from
+images (feature sets, similarity matrices) is computed once per session
+and shared; tests must treat these objects as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.server import BeesServer
+from repro.features.orb import OrbExtractor
+from repro.features.pca_sift import PcaSiftExtractor
+from repro.features.sift import SiftExtractor
+from repro.imaging.synth import SceneGenerator
+
+
+@pytest.fixture(scope="session")
+def generator():
+    """The default deterministic scene generator."""
+    return SceneGenerator()
+
+
+@pytest.fixture(scope="session")
+def orb():
+    return OrbExtractor()
+
+
+@pytest.fixture(scope="session")
+def sift():
+    return SiftExtractor()
+
+
+@pytest.fixture(scope="session")
+def pca_sift():
+    return PcaSiftExtractor()
+
+
+@pytest.fixture(scope="session")
+def scene_image(generator):
+    """One canonical test image."""
+    return generator.view(7, 0, image_id="scene7-v0", group_id="scene7")
+
+
+@pytest.fixture(scope="session")
+def scene_image_alt_view(generator):
+    """A second view of the same scene (ground-truth similar)."""
+    return generator.view(7, 1, image_id="scene7-v1", group_id="scene7")
+
+
+@pytest.fixture(scope="session")
+def other_scene_image(generator):
+    """An unrelated scene (ground-truth dissimilar)."""
+    return generator.view(8, 0, image_id="scene8-v0", group_id="scene8")
+
+
+@pytest.fixture(scope="session")
+def orb_features(orb, scene_image):
+    return orb.extract(scene_image)
+
+
+@pytest.fixture(scope="session")
+def orb_features_alt_view(orb, scene_image_alt_view):
+    return orb.extract(scene_image_alt_view)
+
+
+@pytest.fixture(scope="session")
+def orb_features_other(orb, other_scene_image):
+    return orb.extract(other_scene_image)
+
+
+@pytest.fixture(scope="session")
+def small_batch_features(generator, orb):
+    """Features of a 8-image batch: 3 scenes x 2 views + 2 singles.
+
+    Scene layout (by index): 0,1 = scene A; 2,3 = scene B; 4,5 = scene C;
+    6 = scene D; 7 = scene E.  Used by the SSMM and client tests.
+    """
+    images = []
+    for scene, views in ((20, 2), (21, 2), (22, 2), (23, 1), (24, 1)):
+        for view in range(views):
+            images.append(
+                generator.view(
+                    scene, view, image_id=f"s{scene}v{view}", group_id=f"s{scene}"
+                )
+            )
+    return images, [orb.extract(image) for image in images]
+
+
+@pytest.fixture()
+def empty_server():
+    """A fresh ORB-indexed server per test."""
+    return BeesServer()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

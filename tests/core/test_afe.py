@@ -1,0 +1,60 @@
+"""Tests for Approximate Feature Extraction (AFE / EAC)."""
+
+import pytest
+
+from repro.core.afe import ApproximateFeatureExtraction
+from repro.core.policies import LinearPolicy
+
+
+@pytest.fixture(scope="module")
+def afe():
+    return ApproximateFeatureExtraction()
+
+
+class TestProportion:
+    def test_full_battery_no_compression(self, afe):
+        assert afe.proportion_for(1.0) == 0.0
+
+    def test_empty_battery_max_compression(self, afe):
+        assert afe.proportion_for(0.0) == pytest.approx(0.4)
+
+    def test_disabled_always_zero(self):
+        afe = ApproximateFeatureExtraction(enabled=False)
+        assert afe.proportion_for(0.0) == 0.0
+
+
+class TestExtraction:
+    def test_full_battery_matches_plain_extraction(self, afe, scene_image, orb_features):
+        result = afe.extract(scene_image, ebat=1.0)
+        assert len(result.features) == len(orb_features)
+        assert result.compression_proportion == 0.0
+
+    def test_low_battery_fewer_keypoints(self, afe, scene_image):
+        full = afe.extract(scene_image, ebat=1.0)
+        low = afe.extract(scene_image, ebat=0.0)
+        assert len(low.features) < len(full.features)
+
+    def test_low_battery_cheaper(self, afe, scene_image):
+        full = afe.extract(scene_image, ebat=1.0)
+        low = afe.extract(scene_image, ebat=0.0)
+        assert low.cost.joules < full.cost.joules
+        # (1 - 0.4)^2 = 0.36 of the full cost.
+        assert low.cost.joules == pytest.approx(full.cost.joules * 0.36)
+
+    def test_cost_charged_at_nominal_resolution(self, afe, scene_image):
+        result = afe.extract(scene_image, ebat=1.0)
+        expected = afe.cost_model.extraction_cost("orb", scene_image.nominal_pixels)
+        assert result.cost.joules == pytest.approx(expected.joules)
+
+    def test_features_still_match_across_views(
+        self, afe, scene_image, scene_image_alt_view
+    ):
+        from repro.features.similarity import jaccard_similarity
+
+        a = afe.extract(scene_image, ebat=0.3).features
+        b = afe.extract(scene_image_alt_view, ebat=0.3).features
+        assert jaccard_similarity(a, b) > 0.05
+
+    def test_custom_policy(self, scene_image):
+        afe = ApproximateFeatureExtraction(policy=LinearPolicy.fixed(0.2))
+        assert afe.extract(scene_image, ebat=1.0).compression_proportion == 0.2

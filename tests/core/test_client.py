@@ -1,0 +1,125 @@
+"""Tests for the end-to-end BEES client pipeline."""
+
+import pytest
+
+from repro.core.client import BeesScheme
+from repro.core.config import BeesConfig
+from repro.core.server import BeesServer
+from repro.energy import (
+    COMPRESSION,
+    FEATURE_EXTRACTION,
+    FEATURE_UPLOAD,
+    IMAGE_UPLOAD,
+    Battery,
+)
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+
+@pytest.fixture()
+def device():
+    return Smartphone()
+
+
+@pytest.fixture(scope="module")
+def batch(small_batch_features):
+    images, _ = small_batch_features
+    return images
+
+
+class TestPipeline:
+    def test_in_batch_duplicates_eliminated(self, device, batch):
+        scheme = BeesScheme()
+        report = scheme.process_batch(device, BeesServer(), batch)
+        # 8 images over 5 scenes: 3 in-batch duplicates dropped.
+        assert report.n_uploaded == 5
+        assert len(report.eliminated_in_batch) == 3
+        assert not report.eliminated_cross_batch
+
+    def test_cross_batch_duplicates_eliminated(self, device, batch, generator):
+        scheme = BeesScheme()
+        # Seed the server with another view of scene 20.
+        partner = generator.view(20, 3, image_id="seed-20", group_id="s20")
+        server = build_server(scheme, [partner])
+        report = scheme.process_batch(device, server, batch)
+        assert any(image_id.startswith("s20") for image_id in report.eliminated_cross_batch)
+
+    def test_uploaded_images_indexed_on_server(self, device, batch):
+        scheme = BeesScheme()
+        server = BeesServer()
+        report = scheme.process_batch(device, server, batch)
+        for image_id in report.uploaded_ids:
+            assert image_id in server.store
+            assert image_id in server.index
+
+    def test_energy_ledger_covers_all_stages(self, device, batch):
+        report = BeesScheme().process_batch(device, BeesServer(), batch)
+        for category in (FEATURE_EXTRACTION, FEATURE_UPLOAD, COMPRESSION, IMAGE_UPLOAD):
+            assert report.energy_by_category.get(category, 0.0) > 0.0
+
+    def test_bytes_sent_counts_everything(self, device, batch):
+        report = BeesScheme().process_batch(device, BeesServer(), batch)
+        assert report.bytes_sent == device.uplink.bytes_sent
+        assert report.bytes_sent > 0
+
+    def test_delay_recorded_per_image(self, device, batch):
+        report = BeesScheme().process_batch(device, BeesServer(), batch)
+        assert len(report.per_image_seconds) == len(batch)
+        assert report.total_seconds == pytest.approx(sum(report.per_image_seconds))
+        assert report.average_image_seconds > 0
+
+    def test_empty_battery_halts(self, batch):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=1.0)
+        report = BeesScheme().process_batch(device, BeesServer(), batch)
+        assert report.halted
+        assert report.n_uploaded < len(batch)
+
+    def test_report_energy_matches_meter(self, batch):
+        device = Smartphone()
+        report = BeesScheme().process_batch(device, BeesServer(), batch)
+        assert report.total_energy_j == pytest.approx(device.meter.total_j)
+
+
+class TestAblations:
+    def test_ssmm_disabled_uploads_duplicates(self, device, batch):
+        scheme = BeesScheme(config=BeesConfig(enable_ssmm=False))
+        report = scheme.process_batch(device, BeesServer(), batch)
+        assert report.n_uploaded == len(batch)
+        assert not report.eliminated_in_batch
+
+    def test_aiu_disabled_uploads_full_size(self, device, batch):
+        scheme = BeesScheme(config=BeesConfig(enable_aiu=False))
+        report = scheme.process_batch(device, BeesServer(), batch)
+        with_aiu = BeesScheme().process_batch(Smartphone(), BeesServer(), batch)
+        assert report.bytes_sent > with_aiu.bytes_sent
+
+    def test_cbrd_disabled_never_queries(self, device, batch, generator):
+        scheme = BeesScheme(config=BeesConfig(enable_cbrd=False))
+        partner = generator.view(20, 3, image_id="seed-20b", group_id="s20")
+        server = build_server(scheme, [partner])
+        report = scheme.process_batch(device, server, batch)
+        assert not report.eliminated_cross_batch
+
+    def test_fixed_budget_config(self, device, batch):
+        scheme = BeesScheme(config=BeesConfig(ssmm_budget=2))
+        report = scheme.process_batch(device, BeesServer(), batch)
+        assert report.n_uploaded == 2
+
+
+class TestEnergyAdaptation:
+    def test_low_battery_spends_less(self, batch):
+        full_device = Smartphone()
+        report_full = BeesScheme().process_batch(full_device, BeesServer(), batch)
+        low_device = Smartphone()
+        low_device.battery.recharge(0.1)
+        report_low = BeesScheme().process_batch(low_device, BeesServer(), batch)
+        assert report_low.total_energy_j < report_full.total_energy_j
+
+    def test_low_battery_sends_fewer_bytes(self, batch):
+        full_device = Smartphone()
+        report_full = BeesScheme().process_batch(full_device, BeesServer(), batch)
+        low_device = Smartphone()
+        low_device.battery.recharge(0.1)
+        report_low = BeesScheme().process_batch(low_device, BeesServer(), batch)
+        assert report_low.bytes_sent < report_full.bytes_sent

@@ -1,0 +1,56 @@
+"""Tests for BeesConfig."""
+
+import pytest
+
+from repro.core.config import DEFAULT_QUALITY_PROPORTION, BeesConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_quality_fixed_at_085(self):
+        assert DEFAULT_QUALITY_PROPORTION == 0.85
+        assert BeesConfig().quality_proportion == 0.85
+
+    def test_all_components_enabled(self):
+        config = BeesConfig()
+        assert config.enable_afe
+        assert config.enable_cbrd
+        assert config.enable_ssmm
+        assert config.enable_aiu
+
+    def test_adaptive_budget_by_default(self):
+        assert BeesConfig().ssmm_budget == "components"
+
+
+class TestValidation:
+    def test_rejects_bad_quality(self):
+        with pytest.raises(ConfigurationError):
+            BeesConfig(quality_proportion=0.99)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            BeesConfig(ssmm_budget=0)
+        with pytest.raises(ConfigurationError):
+            BeesConfig(ssmm_budget="whatever")
+
+    def test_accepts_fixed_budget(self):
+        assert BeesConfig(ssmm_budget=9).ssmm_budget == 9
+
+
+class TestEaDisabled:
+    def test_policies_pinned_at_full_battery_values(self):
+        config = BeesConfig.ea_disabled()
+        for ebat in (0.0, 0.5, 1.0):
+            assert config.eac(ebat) == 0.0
+            assert config.edr(ebat) == pytest.approx(0.019)
+            assert config.eau(ebat) == 0.0
+
+    def test_quality_compression_kept(self):
+        assert BeesConfig.ea_disabled().quality_proportion == 0.85
+
+    def test_ssmm_kept(self):
+        assert BeesConfig.ea_disabled().enable_ssmm
+
+    def test_overrides_pass_through(self):
+        config = BeesConfig.ea_disabled(enable_ssmm=False)
+        assert not config.enable_ssmm

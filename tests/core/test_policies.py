@@ -1,0 +1,87 @@
+"""Tests for the EAAS linear policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import (
+    LinearPolicy,
+    eac_policy,
+    eau_policy,
+    edr_policy,
+    ssmm_cut_policy,
+)
+from repro.errors import ConfigurationError
+
+EBAT = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestLinearPolicy:
+    def test_evaluates_line(self):
+        policy = LinearPolicy(intercept=1.0, slope=-0.5, lo=0.0, hi=2.0)
+        assert policy(0.5) == pytest.approx(0.75)
+
+    def test_clamps_to_bounds(self):
+        policy = LinearPolicy(intercept=0.0, slope=2.0, lo=0.0, hi=1.0)
+        assert policy(1.0) == 1.0
+
+    def test_rejects_out_of_range_ebat(self):
+        with pytest.raises(ConfigurationError):
+            eac_policy()(1.5)
+        with pytest.raises(ConfigurationError):
+            eac_policy()(-0.1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LinearPolicy(intercept=0, slope=0, lo=1.0, hi=0.0)
+
+    def test_fixed_policy_constant(self):
+        policy = LinearPolicy.fixed(0.4)
+        assert policy(0.0) == policy(1.0) == 0.4
+
+
+class TestPaperConstants:
+    def test_eac_formula(self):
+        # C = 0.4 - 0.4 * Ebat.
+        policy = eac_policy()
+        assert policy(1.0) == pytest.approx(0.0)
+        assert policy(0.0) == pytest.approx(0.4)
+        assert policy(0.05) == pytest.approx(0.38)  # the paper's example
+
+    def test_edr_formula(self):
+        # T = 0.013 + 0.006 * Ebat.
+        policy = edr_policy()
+        assert policy(0.0) == pytest.approx(0.013)
+        assert policy(1.0) == pytest.approx(0.019)
+
+    def test_ssmm_cut_matches_edr(self):
+        assert ssmm_cut_policy()(0.5) == edr_policy()(0.5)
+
+    def test_eau_formula(self):
+        # Cr = 0.8 - 0.8 * Ebat.
+        policy = eau_policy()
+        assert policy(1.0) == pytest.approx(0.0)
+        assert policy(0.0) == pytest.approx(0.8)
+        assert policy(0.05) == pytest.approx(0.76)  # the paper's example
+
+    @given(EBAT)
+    def test_eac_bounded(self, ebat):
+        assert 0.0 <= eac_policy()(ebat) <= 0.4
+
+    @given(EBAT)
+    def test_edr_bounded(self, ebat):
+        assert 0.013 <= edr_policy()(ebat) <= 0.019
+
+    @given(EBAT)
+    def test_eau_bounded(self, ebat):
+        assert 0.0 <= eau_policy()(ebat) <= 0.8
+
+    @given(EBAT, EBAT)
+    def test_lower_battery_means_more_compression(self, a, b):
+        low, high = sorted((a, b))
+        assert eac_policy()(low) >= eac_policy()(high)
+        assert eau_policy()(low) >= eau_policy()(high)
+
+    @given(EBAT, EBAT)
+    def test_lower_battery_means_lower_threshold(self, a, b):
+        low, high = sorted((a, b))
+        assert edr_policy()(low) <= edr_policy()(high)

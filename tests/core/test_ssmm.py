@@ -1,0 +1,238 @@
+"""Tests for SSMM: partitioning, submodularity, and the greedy algorithm."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ssmm import (
+    SubmodularSelector,
+    partition_components,
+    select_unique_subset,
+    similarity_matrix,
+)
+from repro.errors import ConfigurationError
+
+
+def _weights(n, seed=0):
+    """A random symmetric similarity matrix with unit diagonal."""
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0, 1, (n, n))
+    sym = (raw + raw.T) / 2
+    np.fill_diagonal(sym, 1.0)
+    return sym
+
+
+weights_strategy = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.integers(min_value=0, max_value=10**6).map(lambda s: _weights(n, s))
+)
+
+
+class TestPartition:
+    def test_all_edges_cut_gives_singletons(self):
+        weights = _weights(5)
+        labels = partition_components(weights, cut_threshold=2.0)
+        assert len(set(labels.tolist())) == 5
+
+    def test_no_edges_cut_gives_one_component(self):
+        weights = _weights(5)
+        labels = partition_components(weights, cut_threshold=0.0)
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_clusters(self):
+        weights = np.eye(4)
+        weights[0, 1] = weights[1, 0] = 0.9
+        weights[2, 3] = weights[3, 2] = 0.9
+        labels = partition_components(weights, cut_threshold=0.5)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_transitive_chaining(self):
+        # a-b and b-c similar, a-c not: still one component.
+        weights = np.eye(3)
+        weights[0, 1] = weights[1, 0] = 0.9
+        weights[1, 2] = weights[2, 1] = 0.9
+        labels = partition_components(weights, cut_threshold=0.5)
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            partition_components(np.zeros((2, 3)), 0.5)
+
+    @given(weights_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40)
+    def test_labels_are_contiguous_from_zero(self, weights, threshold):
+        labels = partition_components(weights, threshold)
+        uniques = sorted(set(labels.tolist()))
+        assert uniques == list(range(len(uniques)))
+
+
+class TestObjective:
+    def test_coverage_of_full_set_is_n(self):
+        weights = _weights(6)
+        selector = SubmodularSelector()
+        # Every image's best representative is itself (diagonal 1).
+        assert selector.coverage(weights, list(range(6))) == pytest.approx(6.0)
+
+    def test_coverage_empty_is_zero(self):
+        assert SubmodularSelector().coverage(_weights(4), []) == 0.0
+
+    def test_diversity_counts_components(self):
+        labels = np.array([0, 0, 1, 2])
+        selector = SubmodularSelector()
+        assert selector.diversity(labels, [0, 1]) == 1.0
+        assert selector.diversity(labels, [0, 2, 3]) == 3.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            SubmodularSelector(coverage_weight=-1.0)
+
+    @given(weights_strategy)
+    @settings(max_examples=30)
+    def test_objective_monotone(self, weights):
+        """F(A) <= F(A + {v}) — monotonicity of the objective."""
+        n = weights.shape[0]
+        labels = partition_components(weights, 0.5)
+        selector = SubmodularSelector()
+        rng = np.random.default_rng(0)
+        subset = [int(i) for i in rng.choice(n, size=n // 2, replace=False)]
+        remaining = [v for v in range(n) if v not in subset]
+        for v in remaining:
+            assert selector.objective(weights, labels, subset + [v]) >= (
+                selector.objective(weights, labels, subset) - 1e-12
+            )
+
+    @given(weights_strategy)
+    @settings(max_examples=30)
+    def test_objective_submodular(self, weights):
+        """Definition 1: f(A+v) - f(A) >= f(B+v) - f(B) for A ⊆ B."""
+        n = weights.shape[0]
+        labels = partition_components(weights, 0.5)
+        selector = SubmodularSelector()
+        small = [0]
+        big = list(range(max(1, n - 1)))  # small ⊆ big
+        v = n - 1
+        gain_small = selector.objective(weights, labels, small + [v]) - selector.objective(
+            weights, labels, small
+        )
+        gain_big = selector.objective(weights, labels, big + [v]) - selector.objective(
+            weights, labels, big
+        )
+        assert gain_small >= gain_big - 1e-9
+
+
+class TestGreedy:
+    def test_respects_budget(self):
+        weights = _weights(8)
+        labels = partition_components(weights, 0.5)
+        selected = SubmodularSelector().greedy(weights, labels, budget=3)
+        assert len(selected) <= 3
+
+    def test_budget_capped_at_n(self):
+        weights = _weights(3)
+        labels = partition_components(weights, 0.5)
+        selected = SubmodularSelector().greedy(weights, labels, budget=10)
+        assert len(selected) <= 3
+
+    def test_no_duplicate_selections(self):
+        weights = _weights(8)
+        labels = partition_components(weights, 0.5)
+        selected = SubmodularSelector().greedy(weights, labels, budget=8)
+        assert len(selected) == len(set(selected))
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            SubmodularSelector().greedy(_weights(3), np.zeros(3, dtype=int), budget=0)
+
+    def test_picks_cluster_representatives(self):
+        # Two tight clusters: the greedy must take one from each.
+        weights = np.eye(4) * 1.0
+        for i, j in ((0, 1), (2, 3)):
+            weights[i, j] = weights[j, i] = 0.95
+        labels = partition_components(weights, 0.5)
+        selected = SubmodularSelector().greedy(weights, labels, budget=2)
+        assert len({labels[v] for v in selected}) == 2
+
+    @given(weights_strategy)
+    @settings(max_examples=20)
+    def test_greedy_within_constant_factor_of_optimum(self, weights):
+        """The (1 - 1/e) guarantee, checked exhaustively on small inputs."""
+        n = weights.shape[0]
+        labels = partition_components(weights, 0.5)
+        selector = SubmodularSelector()
+        budget = max(1, n // 2)
+        selected = selector.greedy(weights, labels, budget)
+        greedy_value = selector.objective(weights, labels, selected)
+        best = max(
+            selector.objective(weights, labels, list(combo))
+            for combo in itertools.combinations(range(n), min(budget, n))
+        )
+        assert greedy_value >= (1 - 1 / np.e) * best - 1e-9
+
+
+class TestSelectUniqueSubset:
+    def test_empty_batch(self):
+        result = select_unique_subset([], cut_threshold=0.019)
+        assert result.selected == []
+        assert result.budget == 0
+
+    def test_adaptive_budget_equals_components(self, small_batch_features):
+        _, features = small_batch_features
+        result = select_unique_subset(features, cut_threshold=0.019)
+        assert result.budget == result.n_components
+        assert len(result.selected) == result.budget
+
+    def test_in_batch_duplicates_collapsed(self, small_batch_features):
+        # 8 images over 5 scenes -> 5 components -> 5 representatives.
+        _, features = small_batch_features
+        result = select_unique_subset(features, cut_threshold=0.019)
+        assert result.budget == 5
+        groups = {features[i].image_id.split("v")[0] for i in result.selected}
+        assert len(groups) == 5
+
+    def test_fixed_budget(self, small_batch_features):
+        _, features = small_batch_features
+        result = select_unique_subset(features, cut_threshold=0.019, budget=2)
+        assert len(result.selected) == 2
+
+    def test_higher_cut_threshold_more_components(self, small_batch_features):
+        _, features = small_batch_features
+        low = select_unique_subset(features, cut_threshold=0.013)
+        high = select_unique_subset(features, cut_threshold=0.5)
+        assert high.n_components >= low.n_components
+
+    def test_precomputed_weights(self, small_batch_features):
+        _, features = small_batch_features
+        weights = similarity_matrix(features)
+        direct = select_unique_subset(features, 0.019)
+        cached = select_unique_subset(features, 0.019, weights=weights)
+        assert direct.selected == cached.selected
+
+    def test_rejects_mismatched_weights(self, small_batch_features):
+        _, features = small_batch_features
+        with pytest.raises(ConfigurationError):
+            select_unique_subset(features, 0.019, weights=np.eye(2))
+
+
+class TestSimilarityMatrix:
+    def test_diagonal_is_one(self, small_batch_features):
+        _, features = small_batch_features
+        weights = similarity_matrix(features[:3])
+        assert np.allclose(np.diag(weights), 1.0)
+
+    def test_symmetric(self, small_batch_features):
+        _, features = small_batch_features
+        weights = similarity_matrix(features[:4])
+        assert np.allclose(weights, weights.T)
+
+    def test_same_scene_edges_heavy(self, small_batch_features):
+        _, features = small_batch_features
+        weights = similarity_matrix(features)
+        # Index pairs (0,1), (2,3), (4,5) are same-scene views.
+        for i, j in ((0, 1), (2, 3), (4, 5)):
+            assert weights[i, j] > 0.1
+        # Cross-scene pairs are far below the EDR band.
+        assert weights[0, 2] < 0.013
+        assert weights[6, 7] < 0.013

@@ -1,0 +1,24 @@
+"""Tests for dataset helpers."""
+
+import pytest
+
+from repro.datasets.base import batched
+from repro.errors import DatasetError
+
+
+class TestBatched:
+    def test_even_split(self):
+        assert batched(list(range(6)), 2) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert batched(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+
+    def test_batch_larger_than_input(self):
+        assert batched([1, 2], 10) == [[1, 2]]
+
+    def test_empty_input(self):
+        assert batched([], 3) == []
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(DatasetError):
+            batched([1], 0)

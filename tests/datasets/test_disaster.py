@@ -1,0 +1,100 @@
+"""Tests for the disaster batch generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.disaster import DisasterDataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return DisasterDataset()
+
+
+class TestBatchStructure:
+    def test_size(self, data):
+        batch = data.make_batch(n_images=20, n_inbatch_similar=3)
+        assert len(batch) == 20
+
+    def test_in_batch_duplicate_count(self, data):
+        batch = data.make_batch(n_images=20, n_inbatch_similar=3)
+        counts = {}
+        for image in batch:
+            counts[image.group_id] = counts.get(image.group_id, 0) + 1
+        assert sum(1 for c in counts.values() if c == 2) == 3
+        assert len(counts) == 17
+
+    def test_no_duplicates_mode(self, data):
+        batch = data.make_batch(n_images=10, n_inbatch_similar=0)
+        assert len({image.group_id for image in batch}) == 10
+
+    def test_deterministic(self, data):
+        a = data.make_batch(n_images=10, n_inbatch_similar=2, seed=3)
+        b = data.make_batch(n_images=10, n_inbatch_similar=2, seed=3)
+        assert [i.image_id for i in a] == [i.image_id for i in b]
+        assert np.array_equal(a[0].bitmap, b[0].bitmap)
+
+    def test_scene_offset_gives_fresh_scenes(self, data):
+        a = data.make_batch(n_images=5, n_inbatch_similar=0, scene_offset=0)
+        b = data.make_batch(n_images=5, n_inbatch_similar=0, scene_offset=100)
+        assert not set(i.group_id for i in a) & set(i.group_id for i in b)
+
+    def test_rejects_too_many_duplicates(self, data):
+        with pytest.raises(DatasetError):
+            data.make_batch(n_images=10, n_inbatch_similar=6)
+
+    def test_rejects_empty_batch(self, data):
+        with pytest.raises(DatasetError):
+            data.make_batch(n_images=0)
+
+
+class TestCrossBatchPartners:
+    def test_partner_count_matches_ratio(self, data):
+        batch = data.make_batch(n_images=20, n_inbatch_similar=3)
+        partners = data.cross_batch_partners(batch, 0.25)
+        assert len(partners) == 5
+
+    def test_partners_target_singleton_scenes(self, data):
+        batch = data.make_batch(n_images=20, n_inbatch_similar=3)
+        duplicated = {
+            group
+            for group in (image.group_id for image in batch)
+            if sum(1 for i in batch if i.group_id == group) == 2
+        }
+        partners = data.cross_batch_partners(batch, 0.5)
+        for partner in partners:
+            assert partner.group_id not in duplicated
+
+    def test_partner_ids_distinct_from_batch(self, data):
+        batch = data.make_batch(n_images=20, n_inbatch_similar=3)
+        partners = data.cross_batch_partners(batch, 0.5)
+        batch_ids = {image.image_id for image in batch}
+        assert not batch_ids & {p.image_id for p in partners}
+
+    def test_partners_highly_similar_to_targets(self, data, orb):
+        """Seeded partners must exceed the paper's 0.3 detectability bar."""
+        from repro.features.similarity import jaccard_similarity
+
+        batch = data.make_batch(n_images=12, n_inbatch_similar=0)
+        partners = data.cross_batch_partners(batch, 0.25)
+        by_group = {image.group_id: image for image in batch}
+        for partner in partners:
+            target = by_group[partner.group_id]
+            sim = jaccard_similarity(orb.extract(partner), orb.extract(target))
+            assert sim > 0.1
+
+    def test_zero_ratio_no_partners(self, data):
+        batch = data.make_batch(n_images=10, n_inbatch_similar=0)
+        assert data.cross_batch_partners(batch, 0.0) == []
+
+    def test_ratio_beyond_singletons_rejected(self, data):
+        batch = data.make_batch(n_images=10, n_inbatch_similar=4)
+        # Only 2 singleton scenes exist; 50% of 10 = 5 > 2.
+        with pytest.raises(DatasetError):
+            data.cross_batch_partners(batch, 0.5)
+
+    def test_rejects_bad_ratio(self, data):
+        batch = data.make_batch(n_images=10, n_inbatch_similar=0)
+        with pytest.raises(DatasetError):
+            data.cross_batch_partners(batch, 1.5)

@@ -1,0 +1,73 @@
+"""Tests for the real-image folder dataset."""
+
+import pytest
+
+from repro.datasets.folder import FolderDataset, group_from_name
+from repro.errors import DatasetError
+from repro.imaging.io import write_ppm
+
+
+@pytest.fixture()
+def photo_dir(generator, tmp_path):
+    """A folder of PPM 'photos': two views of two scenes + a single."""
+    for name, (scene, view) in {
+        "bridge-1": (500, 0),
+        "bridge-2": (500, 1),
+        "tower-1": (501, 0),
+        "tower-2": (501, 1),
+        "rubble": (502, 0),
+    }.items():
+        write_ppm(generator.view(scene, view), tmp_path / f"{name}.ppm")
+    (tmp_path / "notes.txt").write_text("ignore me")
+    return tmp_path
+
+
+class TestGroupNaming:
+    def test_dash_convention(self):
+        assert group_from_name("bridge-2") == "bridge"
+        assert group_from_name("a-b-3") == "a-b"
+
+    def test_singleton(self):
+        assert group_from_name("tower") == "tower"
+
+    def test_leading_dash_not_a_group(self):
+        assert group_from_name("-x") == "-x"
+
+
+class TestFolderDataset:
+    def test_loads_supported_files_only(self, photo_dir):
+        dataset = FolderDataset(photo_dir)
+        assert len(dataset) == 5
+
+    def test_iteration_yields_labelled_images(self, photo_dir):
+        dataset = FolderDataset(photo_dir)
+        images = list(dataset)
+        by_id = {image.image_id: image for image in images}
+        assert by_id["bridge-1"].group_id == "bridge"
+        assert by_id["rubble"].group_id == "rubble"
+
+    def test_groups(self, photo_dir):
+        groups = FolderDataset(photo_dir).groups()
+        assert sorted(groups["bridge"]) == ["bridge-1", "bridge-2"]
+        assert groups["rubble"] == ["rubble"]
+
+    def test_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            FolderDataset(tmp_path / "nope")
+
+    def test_rejects_empty_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            FolderDataset(tmp_path)
+
+    def test_pipeline_runs_on_folder_images(self, photo_dir):
+        """End to end on 'real' files: BEES eliminates the second view
+        of each multi-view scene."""
+        from repro.core.client import BeesScheme
+        from repro.sim.device import Smartphone
+        from repro.sim.session import build_server
+
+        batch = list(FolderDataset(photo_dir))
+        scheme = BeesScheme()
+        report = scheme.process_batch(Smartphone(), build_server(scheme), batch)
+        assert report.n_uploaded == 3
+        assert len(report.eliminated_in_batch) == 2

@@ -1,0 +1,41 @@
+"""Tests for geospatial helpers."""
+
+import pytest
+
+from repro.datasets.geo import PARIS_TEST_BOX, BoundingBox, unique_locations
+from repro.errors import DatasetError
+
+
+class TestBoundingBox:
+    def test_paris_test_box_constants(self):
+        box = BoundingBox.paris_test()
+        assert (box.lon_min, box.lon_max, box.lat_min, box.lat_max) == PARIS_TEST_BOX
+
+    def test_contains_inside(self):
+        box = BoundingBox.paris_test()
+        assert box.contains(2.32, 48.86)
+
+    def test_contains_boundary(self):
+        box = BoundingBox.paris_test()
+        assert box.contains(2.31, 48.855)
+
+    def test_excludes_outside(self):
+        box = BoundingBox.paris_test()
+        assert not box.contains(2.5, 48.86)
+        assert not box.contains(2.32, 48.9)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(DatasetError):
+            BoundingBox(1.0, 1.0, 0.0, 1.0)
+
+
+class TestUniqueLocations:
+    def test_counts_distinct(self):
+        tags = [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0)]
+        assert unique_locations(tags) == 2
+
+    def test_ignores_none(self):
+        assert unique_locations([None, (1.0, 2.0), None]) == 1
+
+    def test_empty(self):
+        assert unique_locations([]) == 0

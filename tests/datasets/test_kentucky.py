@@ -1,0 +1,97 @@
+"""Tests for the synthetic Kentucky imageset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.kentucky import VIEWS_PER_GROUP, SyntheticKentucky
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def kentucky():
+    return SyntheticKentucky(n_groups=8)
+
+
+class TestStructure:
+    def test_len(self, kentucky):
+        assert len(kentucky) == 8 * VIEWS_PER_GROUP
+
+    def test_groups_of_four(self, kentucky):
+        group = kentucky.group(3)
+        assert len(group) == 4
+        assert len({image.group_id for image in group}) == 1
+
+    def test_unique_image_ids(self, kentucky):
+        ids = [image.image_id for image in kentucky]
+        assert len(ids) == len(set(ids))
+
+    def test_iteration_covers_all(self, kentucky):
+        assert sum(1 for _ in kentucky) == len(kentucky)
+
+    def test_query_images_one_per_group(self, kentucky):
+        queries = kentucky.query_images()
+        assert len(queries) == 8
+        assert len({image.group_id for image in queries}) == 8
+
+    def test_deterministic(self):
+        a = SyntheticKentucky(n_groups=3).image(1, 2)
+        b = SyntheticKentucky(n_groups=3).image(1, 2)
+        assert np.array_equal(a.bitmap, b.bitmap)
+
+    def test_views_differ(self, kentucky):
+        group = kentucky.group(0)
+        assert not np.array_equal(group[0].bitmap, group[1].bitmap)
+
+
+class TestValidation:
+    def test_rejects_bad_group(self, kentucky):
+        with pytest.raises(DatasetError):
+            kentucky.image(8, 0)
+
+    def test_rejects_bad_view(self, kentucky):
+        with pytest.raises(DatasetError):
+            kentucky.image(0, 4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            SyntheticKentucky(n_groups=0)
+        with pytest.raises(DatasetError):
+            SyntheticKentucky(shared_fraction=2.0)
+
+
+class TestLabeledPairs:
+    def test_similar_pairs_same_group(self, kentucky):
+        pairs = kentucky.similar_pairs(10)
+        assert len(pairs) == 10
+        for pair in pairs:
+            assert pair.similar
+            assert pair.first.group_id == pair.second.group_id
+            assert pair.first.image_id != pair.second.image_id
+
+    def test_dissimilar_pairs_cross_group(self, kentucky):
+        pairs = kentucky.dissimilar_pairs(10)
+        for pair in pairs:
+            assert not pair.similar
+            assert pair.first.group_id != pair.second.group_id
+
+    def test_pairs_seeded(self, kentucky):
+        a = [(p.first.image_id, p.second.image_id) for p in kentucky.similar_pairs(5, seed=3)]
+        b = [(p.first.image_id, p.second.image_id) for p in kentucky.similar_pairs(5, seed=3)]
+        assert a == b
+
+    def test_ground_truth_separation(self, kentucky, orb):
+        """Similar pairs must score far above dissimilar ones (Fig. 4)."""
+        from repro.features.similarity import jaccard_similarity
+
+        similar = kentucky.similar_pairs(5, seed=1)
+        dissimilar = kentucky.dissimilar_pairs(5, seed=2)
+        sim_scores = [
+            jaccard_similarity(orb.extract(p.first), orb.extract(p.second))
+            for p in similar
+        ]
+        dis_scores = [
+            jaccard_similarity(orb.extract(p.first), orb.extract(p.second))
+            for p in dissimilar
+        ]
+        assert min(sim_scores) > 0.1
+        assert max(dis_scores) < 0.05

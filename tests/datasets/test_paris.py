@@ -1,0 +1,103 @@
+"""Tests for the synthetic Paris imageset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.geo import BoundingBox
+from repro.datasets.paris import SyntheticParis
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def paris():
+    return SyntheticParis(n_images=200, n_locations=50, seed=1)
+
+
+class TestAllocation:
+    def test_total_images(self, paris):
+        assert paris.location_counts.sum() == 200
+        assert len(paris) == 200
+
+    def test_every_location_has_an_image(self, paris):
+        assert (paris.location_counts >= 1).all()
+
+    def test_heavy_tail(self, paris):
+        counts = paris.location_counts
+        # Zipf head: the densest location holds far more than the median.
+        assert counts.max() >= 5 * np.median(counts)
+
+    def test_deterministic(self):
+        a = SyntheticParis(n_images=100, n_locations=20, seed=3)
+        b = SyntheticParis(n_images=100, n_locations=20, seed=3)
+        assert np.array_equal(a.location_counts, b.location_counts)
+        assert a.location(5) == b.location(5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            SyntheticParis(n_images=10, n_locations=20)
+        with pytest.raises(DatasetError):
+            SyntheticParis(n_images=0)
+        with pytest.raises(DatasetError):
+            SyntheticParis(zipf_exponent=0.0)
+
+
+class TestGeotags:
+    def test_locations_inside_box(self, paris):
+        box = BoundingBox.paris_test()
+        for index in range(paris.n_locations):
+            lon, lat = paris.location(index)
+            assert box.contains(lon, lat)
+
+    def test_images_carry_location_geotag(self, paris):
+        image = paris.image(3, 0)
+        assert image.geotag == paris.location(3)
+
+    def test_same_location_same_geotag(self, paris):
+        dense = int(np.argmax(paris.location_counts))
+        a = paris.image(dense, 0)
+        b = paris.image(dense, 1)
+        assert a.geotag == b.geotag
+        assert a.group_id == b.group_id
+
+    def test_rejects_bad_refs(self, paris):
+        with pytest.raises(DatasetError):
+            paris.image(paris.n_locations, 0)
+        with pytest.raises(DatasetError):
+            paris.image(0, 10**6)
+
+
+class TestSimilarityStructure:
+    def test_same_location_images_similar(self, paris, orb):
+        from repro.features.similarity import jaccard_similarity
+
+        dense = int(np.argmax(paris.location_counts))
+        a = orb.extract(paris.image(dense, 0))
+        b = orb.extract(paris.image(dense, 1))
+        assert jaccard_similarity(a, b) > 0.1
+
+    def test_different_locations_dissimilar(self, paris, orb):
+        from repro.features.similarity import jaccard_similarity
+
+        a = orb.extract(paris.image(0, 0))
+        b = orb.extract(paris.image(30, 0))
+        assert jaccard_similarity(a, b) < 0.05
+
+
+class TestRefs:
+    def test_image_refs_cover_dataset(self, paris):
+        refs = paris.image_refs()
+        assert len(refs) == 200
+        assert len(set(refs)) == 200
+
+    def test_shuffled_refs_permutation(self, paris):
+        shuffled = paris.shuffled_refs(seed=9)
+        assert sorted(shuffled) == sorted(paris.image_refs())
+        assert shuffled != paris.image_refs()
+
+    def test_shuffle_seeded(self, paris):
+        assert paris.shuffled_refs(seed=9) == paris.shuffled_refs(seed=9)
+
+    def test_iteration_matches_refs(self, paris):
+        ids = [image.image_id for image in paris]
+        assert len(ids) == 200
+        assert len(set(ids)) == 200

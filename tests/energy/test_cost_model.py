@@ -1,0 +1,102 @@
+"""Tests for the energy/time cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.cost_model import EnergyCostModel, WorkCost, ZERO_COST
+from repro.energy.profiles import DeviceProfile
+from repro.errors import EnergyError
+
+MODEL = EnergyCostModel()
+
+
+class TestWorkCost:
+    def test_addition(self):
+        total = WorkCost(1.0, 2.0) + WorkCost(3.0, 4.0)
+        assert total.seconds == 4.0
+        assert total.joules == 6.0
+
+    def test_zero_cost(self):
+        assert ZERO_COST.seconds == 0.0
+        assert ZERO_COST.joules == 0.0
+
+
+class TestExtractionCost:
+    def test_energy_proportional_to_time(self):
+        cost = MODEL.extraction_cost("orb", 10**6)
+        assert cost.joules == pytest.approx(cost.seconds * MODEL.profile.cpu_power_w)
+
+    def test_orb_two_orders_cheaper_than_sift(self):
+        orb = MODEL.extraction_cost("orb", 10**6)
+        sift = MODEL.extraction_cost("sift", 10**6)
+        assert 30 < sift.joules / orb.joules < 150
+
+    def test_pca_sift_costlier_than_sift(self):
+        sift = MODEL.extraction_cost("sift", 10**6)
+        pca = MODEL.extraction_cost("pca-sift", 10**6)
+        assert pca.joules > sift.joules
+
+    def test_compression_scales_quadratically(self):
+        full = MODEL.extraction_cost("orb", 10**6, 0.0)
+        compressed = MODEL.extraction_cost("orb", 10**6, 0.4)
+        assert compressed.joules == pytest.approx(full.joules * 0.36)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EnergyError):
+            MODEL.extraction_cost("surf", 100)
+
+    def test_rejects_negative_pixels(self):
+        with pytest.raises(EnergyError):
+            MODEL.extraction_cost("orb", -1)
+
+    def test_rejects_bad_proportion(self):
+        with pytest.raises(EnergyError):
+            MODEL.extraction_cost("orb", 100, 1.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.95),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_monotone_in_compression(self, a, b):
+        low, high = sorted((a, b))
+        assert (
+            MODEL.extraction_cost("orb", 10**6, high).joules
+            <= MODEL.extraction_cost("orb", 10**6, low).joules
+        )
+
+
+class TestOtherCosts:
+    def test_compression_cost_linear_in_pixels(self):
+        one = MODEL.compression_cost(10**6)
+        two = MODEL.compression_cost(2 * 10**6)
+        assert two.joules == pytest.approx(2 * one.joules)
+
+    def test_transfer_cost_uses_radio_power(self):
+        cost = MODEL.transfer_cost(10.0)
+        assert cost.joules == pytest.approx(10.0 * MODEL.profile.radio_power_w)
+
+    def test_baseline_cost(self):
+        cost = MODEL.baseline_cost(60.0)
+        assert cost.joules == pytest.approx(60.0 * MODEL.profile.baseline_power_w)
+
+    def test_rejections(self):
+        with pytest.raises(EnergyError):
+            MODEL.compression_cost(-1)
+        with pytest.raises(EnergyError):
+            MODEL.transfer_cost(-1.0)
+        with pytest.raises(EnergyError):
+            MODEL.baseline_cost(-1.0)
+
+
+class TestCalibration:
+    def test_direct_upload_energy_regime(self):
+        # A 700 KB image at ~256 Kbps takes ~22 s and ~38 J — the ratio
+        # every figure's shape hangs on.
+        seconds = 700 * 1024 * 8 / 256_000
+        cost = MODEL.transfer_cost(seconds)
+        assert 30 < cost.joules < 50
+
+    def test_sift_extraction_fraction_of_upload(self):
+        upload = MODEL.transfer_cost(700 * 1024 * 8 / 256_000)
+        sift = MODEL.extraction_cost("sift", 1632 * 1224)
+        assert 0.1 < sift.joules / upload.joules < 0.25

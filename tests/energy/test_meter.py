@@ -1,0 +1,60 @@
+"""Tests for the energy meter ledger."""
+
+import pytest
+
+from repro.energy.meter import FEATURE_EXTRACTION, IMAGE_UPLOAD, EnergyMeter
+from repro.errors import EnergyError
+
+
+class TestRecording:
+    def test_accumulates_by_category(self):
+        meter = EnergyMeter()
+        meter.record(FEATURE_EXTRACTION, 5.0)
+        meter.record(FEATURE_EXTRACTION, 3.0)
+        assert meter.get(FEATURE_EXTRACTION) == 8.0
+
+    def test_total(self):
+        meter = EnergyMeter()
+        meter.record(FEATURE_EXTRACTION, 5.0)
+        meter.record(IMAGE_UPLOAD, 7.0)
+        assert meter.total_j == 12.0
+
+    def test_unknown_category_zero(self):
+        assert EnergyMeter().get("whatever") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(EnergyError):
+            EnergyMeter().record(IMAGE_UPLOAD, -1.0)
+
+    def test_rejects_empty_category(self):
+        with pytest.raises(EnergyError):
+            EnergyMeter().record("", 1.0)
+
+    def test_by_category_is_copy(self):
+        meter = EnergyMeter()
+        meter.record(IMAGE_UPLOAD, 1.0)
+        snapshot = meter.by_category()
+        snapshot[IMAGE_UPLOAD] = 99.0
+        assert meter.get(IMAGE_UPLOAD) == 1.0
+
+
+class TestSnapshots:
+    def test_since_reports_delta(self):
+        meter = EnergyMeter()
+        meter.record(IMAGE_UPLOAD, 5.0)
+        snap = meter.snapshot()
+        meter.record(IMAGE_UPLOAD, 2.0)
+        meter.record(FEATURE_EXTRACTION, 1.0)
+        delta = meter.since(snap)
+        assert delta == {IMAGE_UPLOAD: 2.0, FEATURE_EXTRACTION: 1.0}
+
+    def test_since_empty_when_nothing_recorded(self):
+        meter = EnergyMeter()
+        snap = meter.snapshot()
+        assert meter.since(snap) == {}
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.record(IMAGE_UPLOAD, 5.0)
+        meter.reset()
+        assert meter.total_j == 0.0

@@ -1,0 +1,39 @@
+"""Tests for device profiles."""
+
+import pytest
+
+from repro.energy.profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_J, DeviceProfile
+from repro.errors import EnergyError
+
+
+class TestProfile:
+    def test_battery_capacity_matches_paper_hardware(self):
+        # 3150 mAh * 3.8 V.
+        assert HELIO_X10_BATTERY_J == pytest.approx(43092.0)
+        assert DEFAULT_PROFILE.battery_capacity_j == HELIO_X10_BATTERY_J
+
+    def test_rate_lookup(self):
+        assert DEFAULT_PROFILE.rate_for("orb") > DEFAULT_PROFILE.rate_for("sift")
+
+    def test_pca_sift_slower_than_sift(self):
+        assert DEFAULT_PROFILE.rate_for("pca-sift") < DEFAULT_PROFILE.rate_for("sift")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EnergyError):
+            DEFAULT_PROFILE.rate_for("surf")
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(EnergyError):
+            DeviceProfile(battery_capacity_j=0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(EnergyError):
+            DeviceProfile(extraction_rate={"orb": -1.0})
+
+    def test_rejects_negative_baseline(self):
+        with pytest.raises(EnergyError):
+            DeviceProfile(baseline_power_w=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PROFILE.cpu_power_w = 5.0

@@ -1,0 +1,59 @@
+"""Tests for the FeatureSet container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.base import KEYPOINT_BYTES, FeatureSet
+
+
+def _make(n=4, width=32, kind="orb"):
+    return FeatureSet(
+        kind=kind,
+        descriptors=np.zeros((n, width), dtype=np.uint8),
+        xs=np.zeros(n),
+        ys=np.zeros(n),
+        pixels_processed=1000,
+    )
+
+
+class TestFeatureSet:
+    def test_len(self):
+        assert len(_make(7)) == 7
+
+    def test_descriptor_bytes(self):
+        assert _make(4, 32).descriptor_bytes == 128
+
+    def test_total_bytes_includes_keypoints(self):
+        fs = _make(4, 32)
+        assert fs.total_bytes == 128 + 4 * KEYPOINT_BYTES
+
+    def test_rejects_mismatched_keypoints(self):
+        with pytest.raises(FeatureError):
+            FeatureSet(
+                kind="orb",
+                descriptors=np.zeros((3, 32), dtype=np.uint8),
+                xs=np.zeros(2),
+                ys=np.zeros(3),
+                pixels_processed=0,
+            )
+
+    def test_rejects_non_2d_descriptors(self):
+        with pytest.raises(FeatureError):
+            FeatureSet(
+                kind="orb",
+                descriptors=np.zeros(32, dtype=np.uint8),
+                xs=np.zeros(1),
+                ys=np.zeros(1),
+                pixels_processed=0,
+            )
+
+    def test_rejects_negative_pixels(self):
+        with pytest.raises(FeatureError):
+            FeatureSet(
+                kind="orb",
+                descriptors=np.zeros((1, 32), dtype=np.uint8),
+                xs=np.zeros(1),
+                ys=np.zeros(1),
+                pixels_processed=-1,
+            )

@@ -1,0 +1,103 @@
+"""Tests for the BRIEF sampling pattern machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FeatureError
+from repro.features.brief import (
+    N_ANGLE_BINS,
+    N_PAIRS,
+    PATCH_RADIUS,
+    angle_bins,
+    pack_bits,
+    rotated_patterns,
+    sampling_pattern,
+    unpack_bits,
+)
+
+
+class TestPattern:
+    def test_shape(self):
+        assert sampling_pattern().shape == (N_PAIRS, 2, 2)
+
+    def test_deterministic(self):
+        assert np.array_equal(sampling_pattern(), sampling_pattern())
+
+    def test_clipped_to_patch(self):
+        pattern = sampling_pattern()
+        assert np.abs(pattern).max() <= PATCH_RADIUS
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(FeatureError):
+            sampling_pattern(n_pairs=0)
+        with pytest.raises(FeatureError):
+            sampling_pattern(patch_radius=1)
+
+
+class TestRotation:
+    def test_shape(self):
+        rotated = rotated_patterns(sampling_pattern())
+        assert rotated.shape == (N_ANGLE_BINS, N_PAIRS, 2, 2)
+
+    def test_bin_zero_is_rounded_base(self):
+        pattern = sampling_pattern()
+        rotated = rotated_patterns(pattern)
+        assert np.array_equal(rotated[0], np.rint(pattern).astype(np.int64))
+
+    def test_rotation_preserves_radius(self):
+        rotated = rotated_patterns(sampling_pattern())
+        radii = np.hypot(rotated[..., 0], rotated[..., 1])
+        base = np.hypot(rotated[0, ..., 0], rotated[0, ..., 1])
+        # Rotation changes radius by at most rounding error.
+        assert np.abs(radii - base[None]).max() <= 1.5
+
+    def test_half_turn_negates(self):
+        rotated = rotated_patterns(sampling_pattern(), n_bins=2)
+        assert np.abs(rotated[1] + rotated[0]).max() <= 1.5
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(FeatureError):
+            rotated_patterns(sampling_pattern(), n_bins=0)
+
+
+class TestAngleBins:
+    def test_zero_angle_bin_zero(self):
+        assert angle_bins(np.array([0.0]))[0] == 0
+
+    def test_full_turn_wraps(self):
+        assert angle_bins(np.array([2 * np.pi]))[0] == 0
+
+    def test_negative_angles_wrap(self):
+        bins = angle_bins(np.array([-np.pi / 2]))
+        assert bins[0] == (N_ANGLE_BINS * 3) // 4
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_always_valid_bin(self, angle):
+        b = angle_bins(np.array([angle]))[0]
+        assert 0 <= b < N_ANGLE_BINS
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, (5, 256)).astype(bool)
+        assert np.array_equal(unpack_bits(pack_bits(bits)), bits)
+
+    def test_packed_width(self):
+        bits = np.zeros((3, 256), dtype=bool)
+        assert pack_bits(bits).shape == (3, 32)
+
+    def test_rejects_non_multiple_of_8(self):
+        with pytest.raises(FeatureError):
+            pack_bits(np.zeros((2, 10), dtype=bool))
+
+    def test_rejects_non_2d_unpack(self):
+        with pytest.raises(FeatureError):
+            unpack_bits(np.zeros(32, dtype=np.uint8))
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_property(self, n_rows, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (n_rows, 64)).astype(bool)
+        assert np.array_equal(unpack_bits(pack_bits(bits)), bits)

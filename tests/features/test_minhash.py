@@ -1,0 +1,97 @@
+"""Tests for MinHash descriptor-set sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureSet
+from repro.features.minhash import DEFAULT_SKETCH_SIZE, MinHasher
+
+
+def _orb_set(descriptors, image_id="x"):
+    descriptors = np.asarray(descriptors, dtype=np.uint8)
+    n = len(descriptors)
+    return FeatureSet(
+        kind="orb",
+        descriptors=descriptors,
+        xs=np.zeros(n),
+        ys=np.zeros(n),
+        pixels_processed=0,
+        image_id=image_id,
+    )
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return MinHasher()
+
+
+class TestSketching:
+    def test_sketch_shape(self, hasher, rng):
+        sketch = hasher.sketch(_orb_set(rng.integers(0, 256, (20, 32))))
+        assert sketch.shape == (DEFAULT_SKETCH_SIZE,)
+
+    def test_deterministic(self, hasher, rng):
+        features = _orb_set(rng.integers(0, 256, (20, 32)))
+        assert np.array_equal(hasher.sketch(features), hasher.sketch(features))
+
+    def test_identical_sets_estimate_one(self, hasher, rng):
+        features = _orb_set(rng.integers(0, 256, (20, 32)))
+        sketch = hasher.sketch(features)
+        assert hasher.estimate_similarity(sketch, sketch) == pytest.approx(1.0)
+
+    def test_disjoint_sets_estimate_near_zero(self, hasher, rng):
+        a = hasher.sketch(_orb_set(rng.integers(0, 256, (20, 32))))
+        b = hasher.sketch(_orb_set(rng.integers(0, 256, (20, 32))))
+        assert hasher.estimate_similarity(a, b) < 0.1
+
+    def test_empty_sets(self, hasher):
+        empty = hasher.sketch(_orb_set(np.zeros((0, 32))))
+        assert hasher.estimate_similarity(empty, empty) == 0.0
+
+    def test_rejects_non_orb(self, hasher):
+        sift_like = FeatureSet(
+            kind="sift",
+            descriptors=np.zeros((2, 128), dtype=np.float32),
+            xs=np.zeros(2),
+            ys=np.zeros(2),
+            pixels_processed=0,
+        )
+        with pytest.raises(FeatureError):
+            hasher.sketch(sift_like)
+
+    def test_rejects_bad_sketch_shape(self, hasher):
+        with pytest.raises(FeatureError):
+            hasher.estimate_similarity(np.zeros(3, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(FeatureError):
+            MinHasher(sketch_size=0)
+
+
+class TestEstimationAccuracy:
+    @given(st.integers(0, 10**6), st.integers(5, 40), st.integers(0, 40))
+    @settings(max_examples=25)
+    def test_estimate_tracks_token_jaccard(self, seed, n_shared, n_unique):
+        """|estimate - exact| stays within a few standard errors."""
+        rng = np.random.default_rng(seed)
+        hasher = MinHasher(sketch_size=128)
+        shared = rng.integers(0, 256, (n_shared, 32)).astype(np.uint8)
+        only_a = rng.integers(0, 256, (n_unique, 32)).astype(np.uint8)
+        only_b = rng.integers(0, 256, (n_unique, 32)).astype(np.uint8)
+        a = _orb_set(np.vstack([shared, only_a]))
+        b = _orb_set(np.vstack([shared, only_b]))
+        exact = hasher.token_jaccard(a, b)
+        estimate = hasher.estimate_similarity(hasher.sketch(a), hasher.sketch(b))
+        standard_error = 1.0 / np.sqrt(128)
+        assert abs(estimate - exact) <= 4 * standard_error
+
+    def test_real_images_ranked_correctly(self, hasher, orb_features, orb_features_alt_view, orb_features_other):
+        same = hasher.estimate_similarity(
+            hasher.sketch(orb_features), hasher.sketch(orb_features_alt_view)
+        )
+        different = hasher.estimate_similarity(
+            hasher.sketch(orb_features), hasher.sketch(orb_features_other)
+        )
+        assert same > different

@@ -1,0 +1,85 @@
+"""Tests for the ORB extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.orb import OrbExtractor
+from repro.features.similarity import jaccard_similarity
+from repro.imaging.bitmap import compress_image
+from repro.imaging.image import Image
+
+
+class TestExtraction:
+    def test_descriptor_shape(self, orb_features):
+        assert orb_features.descriptors.shape[1] == 32
+        assert orb_features.descriptors.dtype == np.uint8
+
+    def test_kind(self, orb_features):
+        assert orb_features.kind == "orb"
+
+    def test_keypoints_within_image(self, orb_features, scene_image):
+        assert (orb_features.xs >= 0).all()
+        assert (orb_features.xs < scene_image.width).all()
+        assert (orb_features.ys >= 0).all()
+        assert (orb_features.ys < scene_image.height).all()
+
+    def test_finds_many_keypoints(self, orb_features):
+        assert len(orb_features) > 30
+
+    def test_pixels_processed_counts_pyramid(self, orb_features, scene_image):
+        # Pyramid levels add more pixels than the base image alone.
+        assert orb_features.pixels_processed > scene_image.pixels
+
+    def test_deterministic(self, orb, scene_image):
+        a = orb.extract(scene_image)
+        b = orb.extract(scene_image)
+        assert np.array_equal(a.descriptors, b.descriptors)
+
+    def test_image_id_carried(self, orb_features, scene_image):
+        assert orb_features.image_id == scene_image.image_id
+
+    def test_max_features_enforced(self, scene_image):
+        small = OrbExtractor(max_features=10)
+        assert len(small.extract(scene_image)) <= 10
+
+    def test_flat_image_no_features(self, orb):
+        flat = Image(bitmap=np.full((80, 80, 3), 127, dtype=np.uint8))
+        assert len(orb.extract(flat)) == 0
+
+    def test_small_image_single_level(self, orb):
+        rng = np.random.default_rng(0)
+        tiny = Image(bitmap=rng.integers(0, 255, (40, 40, 3)).astype(np.uint8))
+        features = orb.extract(tiny)  # pyramid levels below min size skipped
+        assert features.pixels_processed == 40 * 40
+
+
+class TestInvariance:
+    def test_same_scene_views_match_strongly(self, orb_features, orb_features_alt_view):
+        assert jaccard_similarity(orb_features, orb_features_alt_view) > 0.15
+
+    def test_different_scenes_do_not_match(self, orb_features, orb_features_other):
+        assert jaccard_similarity(orb_features, orb_features_other) < 0.013
+
+    def test_survives_bitmap_compression(self, orb, scene_image, scene_image_alt_view):
+        compressed = orb.extract(compress_image(scene_image, 0.4))
+        other_view = orb.extract(compress_image(scene_image_alt_view, 0.4))
+        assert jaccard_similarity(compressed, other_view) > 0.05
+
+    def test_compression_reduces_keypoints(self, orb, scene_image, orb_features):
+        compressed = orb.extract(compress_image(scene_image, 0.5))
+        assert len(compressed) < len(orb_features)
+
+
+class TestValidation:
+    def test_rejects_bad_max_features(self):
+        with pytest.raises(FeatureError):
+            OrbExtractor(max_features=0)
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(FeatureError):
+            OrbExtractor(n_levels=0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(FeatureError):
+            OrbExtractor(scale_factor=1.0)

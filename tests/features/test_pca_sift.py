@@ -1,0 +1,73 @@
+"""Tests for PCA-SIFT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.pca_sift import PCA_DIM, PcaSiftExtractor, _trained_basis
+from repro.features.similarity import jaccard_similarity
+
+
+@pytest.fixture(scope="module")
+def pca_features(pca_sift, scene_image):
+    return pca_sift.extract(scene_image)
+
+
+class TestBasis:
+    def test_shape(self):
+        basis = _trained_basis(PCA_DIM)
+        assert basis.shape == (128, PCA_DIM)
+
+    def test_columns_orthonormal(self):
+        basis = _trained_basis(PCA_DIM)
+        gram = basis.T @ basis
+        assert np.allclose(gram, np.eye(PCA_DIM), atol=1e-8)
+
+    def test_cached(self):
+        assert _trained_basis(PCA_DIM) is _trained_basis(PCA_DIM)
+
+
+class TestExtraction:
+    def test_descriptor_dim(self, pca_features):
+        assert pca_features.descriptors.shape[1] == PCA_DIM
+
+    def test_kind(self, pca_features):
+        assert pca_features.kind == "pca-sift"
+
+    def test_same_keypoints_as_sift(self, pca_sift, sift, scene_image):
+        pca = pca_sift.extract(scene_image)
+        base = sift.extract(scene_image)
+        assert np.array_equal(pca.xs, base.xs)
+        assert np.array_equal(pca.ys, base.ys)
+
+    def test_descriptors_normalised(self, pca_features):
+        norms = np.linalg.norm(pca_features.descriptors, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-3)
+
+    def test_smaller_payload_than_sift(self, pca_sift, sift, scene_image):
+        pca = pca_sift.extract(scene_image)
+        base = sift.extract(scene_image)
+        assert pca.descriptor_bytes < base.descriptor_bytes
+        assert pca.descriptor_bytes == pytest.approx(
+            base.descriptor_bytes * PCA_DIM / 128, rel=0.01
+        )
+
+
+class TestInvariance:
+    def test_same_scene_similarity(self, pca_sift, scene_image, scene_image_alt_view):
+        a = pca_sift.extract(scene_image)
+        b = pca_sift.extract(scene_image_alt_view)
+        assert jaccard_similarity(a, b) > 0.05
+
+    def test_cross_scene_dissimilarity(self, pca_sift, scene_image, other_scene_image):
+        a = pca_sift.extract(scene_image)
+        c = pca_sift.extract(other_scene_image)
+        assert jaccard_similarity(a, c) < 0.05
+
+
+class TestValidation:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(FeatureError):
+            PcaSiftExtractor(dim=0)
+        with pytest.raises(FeatureError):
+            PcaSiftExtractor(dim=200)

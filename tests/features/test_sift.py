@@ -1,0 +1,77 @@
+"""Tests for the simplified SIFT extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.sift import DESCRIPTOR_DIM, SiftExtractor
+from repro.features.similarity import jaccard_similarity
+from repro.imaging.image import Image
+
+
+@pytest.fixture(scope="module")
+def sift_features(sift, scene_image):
+    return sift.extract(scene_image)
+
+
+class TestExtraction:
+    def test_descriptor_dim(self, sift_features):
+        assert sift_features.descriptors.shape[1] == DESCRIPTOR_DIM
+        assert sift_features.descriptors.dtype == np.float32
+
+    def test_kind(self, sift_features):
+        assert sift_features.kind == "sift"
+
+    def test_descriptors_normalised(self, sift_features):
+        norms = np.linalg.norm(sift_features.descriptors, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-3)
+
+    def test_descriptors_clipped(self, sift_features):
+        # After clipping at 0.2 and renormalising, components stay in
+        # [0, 1]; the bulk should sit well below the clip ceiling.
+        desc = sift_features.descriptors
+        assert desc.min() >= 0.0
+        assert desc.max() <= 1.0
+        assert float((desc > 0.25).mean()) < 0.2
+
+    def test_finds_keypoints(self, sift_features):
+        assert len(sift_features) > 10
+
+    def test_deterministic(self, sift, scene_image):
+        a = sift.extract(scene_image)
+        b = sift.extract(scene_image)
+        assert np.array_equal(a.descriptors, b.descriptors)
+
+    def test_pixels_processed_counts_scale_space(self, sift_features, scene_image):
+        # Each octave processes scales_per_octave + 3 blurred planes.
+        assert sift_features.pixels_processed > scene_image.pixels * 3
+
+    def test_flat_image_no_features(self, sift):
+        flat = Image(bitmap=np.full((80, 80, 3), 127, dtype=np.uint8))
+        assert len(sift.extract(flat)) == 0
+
+    def test_max_features_enforced(self, scene_image):
+        small = SiftExtractor(max_features=5)
+        assert len(small.extract(scene_image)) <= 5
+
+
+class TestInvariance:
+    def test_same_scene_similarity(self, sift, scene_image, scene_image_alt_view):
+        a = sift.extract(scene_image)
+        b = sift.extract(scene_image_alt_view)
+        assert jaccard_similarity(a, b) > 0.15
+
+    def test_cross_scene_dissimilarity(self, sift, scene_image, other_scene_image):
+        a = sift.extract(scene_image)
+        c = sift.extract(other_scene_image)
+        assert jaccard_similarity(a, c) < 0.1
+
+
+class TestValidation:
+    def test_rejects_bad_max_features(self):
+        with pytest.raises(FeatureError):
+            SiftExtractor(max_features=0)
+
+    def test_rejects_bad_octaves(self):
+        with pytest.raises(FeatureError):
+            SiftExtractor(n_octaves=0)

@@ -1,0 +1,68 @@
+"""Tests for Equation-2 Jaccard similarity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureSet
+from repro.features.similarity import jaccard_similarity
+
+
+def _orb_set(descriptors):
+    n = len(descriptors)
+    return FeatureSet(
+        kind="orb",
+        descriptors=np.asarray(descriptors, dtype=np.uint8),
+        xs=np.zeros(n),
+        ys=np.zeros(n),
+        pixels_processed=100,
+    )
+
+
+class TestJaccard:
+    def test_identical_sets_score_one(self, rng):
+        desc = rng.integers(0, 256, (12, 32)).astype(np.uint8)
+        a = _orb_set(desc)
+        assert jaccard_similarity(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_sets_score_zero(self, rng):
+        a = _orb_set(rng.integers(0, 256, (10, 32)))
+        b = _orb_set(rng.integers(0, 256, (10, 32)))
+        assert jaccard_similarity(a, b) < 0.05
+
+    def test_both_empty_scores_zero(self):
+        empty = _orb_set(np.zeros((0, 32)))
+        assert jaccard_similarity(empty, empty) == 0.0
+
+    def test_one_empty_scores_zero(self, rng):
+        a = _orb_set(rng.integers(0, 256, (5, 32)))
+        empty = _orb_set(np.zeros((0, 32)))
+        assert jaccard_similarity(a, empty) == 0.0
+
+    def test_half_overlap(self, rng):
+        shared = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        only_a = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        only_b = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        a = _orb_set(np.vstack([shared, only_a]))
+        b = _orb_set(np.vstack([shared, only_b]))
+        # |intersection| ~ 10, |union| ~ 30 -> ~1/3.
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_symmetric(self, orb_features, orb_features_alt_view):
+        ab = jaccard_similarity(orb_features, orb_features_alt_view)
+        ba = jaccard_similarity(orb_features_alt_view, orb_features)
+        assert ab == pytest.approx(ba)
+
+    def test_bounded(self, orb_features, orb_features_other):
+        sim = jaccard_similarity(orb_features, orb_features_other)
+        assert 0.0 <= sim <= 1.0
+
+    def test_kind_mismatch_rejected(self, orb_features, sift, scene_image):
+        sift_features = sift.extract(scene_image)
+        with pytest.raises(FeatureError):
+            jaccard_similarity(orb_features, sift_features)
+
+    def test_threshold_passthrough(self, orb_features, orb_features_alt_view):
+        strict = jaccard_similarity(orb_features, orb_features_alt_view, threshold=5)
+        loose = jaccard_similarity(orb_features, orb_features_alt_view, threshold=60)
+        assert strict <= loose

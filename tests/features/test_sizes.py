@@ -1,0 +1,97 @@
+"""Tests for feature space-overhead accounting (Table I)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FeatureError
+from repro.features.base import KEYPOINT_BYTES
+from repro.features.sizes import (
+    DESCRIPTOR_BYTES,
+    NOMINAL_FEATURE_CAP,
+    feature_bytes,
+    nominal_feature_bytes,
+    nominal_feature_count,
+    space_overheads,
+)
+
+
+class TestDescriptorBytes:
+    def test_sift_is_512(self):
+        assert DESCRIPTOR_BYTES["sift"] == 512
+
+    def test_pca_sift_is_144(self):
+        assert DESCRIPTOR_BYTES["pca-sift"] == 144
+
+    def test_orb_is_32(self):
+        assert DESCRIPTOR_BYTES["orb"] == 32
+
+    def test_orb_two_orders_below_sift(self):
+        assert DESCRIPTOR_BYTES["sift"] / DESCRIPTOR_BYTES["orb"] == 16
+
+    def test_pca_quarter_of_sift(self):
+        # Table I: PCA-SIFT ~25% of SIFT.
+        assert DESCRIPTOR_BYTES["pca-sift"] / DESCRIPTOR_BYTES["sift"] == pytest.approx(
+            0.28, abs=0.05
+        )
+
+
+class TestFeatureBytes:
+    def test_includes_keypoint_geometry(self):
+        assert feature_bytes("orb", 10) == 10 * (32 + KEYPOINT_BYTES)
+
+    def test_zero_features(self):
+        assert feature_bytes("sift", 0) == 0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FeatureError):
+            feature_bytes("surf", 5)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(FeatureError):
+            feature_bytes("orb", -1)
+
+
+class TestNominalCounts:
+    def test_density_extrapolation(self):
+        # 100 features on a 19,200 px bitmap -> density ~5.2e-3; a
+        # 48,000 px photo yields 250.
+        assert nominal_feature_count(100, 19200, 48000) == 250
+
+    def test_cap_applied(self):
+        assert nominal_feature_count(100, 100, 10**7) == NOMINAL_FEATURE_CAP
+
+    def test_zero_detected(self):
+        assert nominal_feature_count(0, 1000, 10**6) == 0
+
+    def test_rejects_bad_pixels(self):
+        with pytest.raises(FeatureError):
+            nominal_feature_count(10, 0, 100)
+
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=100, max_value=10**6),
+        st.integers(min_value=100, max_value=10**7),
+    )
+    def test_count_bounded_by_cap(self, detected, bitmap_px, nominal_px):
+        assert 0 <= nominal_feature_count(detected, bitmap_px, nominal_px) <= NOMINAL_FEATURE_CAP
+
+    def test_nominal_bytes(self):
+        expected = nominal_feature_count(100, 19200, 48000) * (32 + KEYPOINT_BYTES)
+        assert nominal_feature_bytes("orb", 100, 19200, 48000) == expected
+
+
+class TestSpaceOverheads:
+    def test_normalised_to_sift(self):
+        rows = space_overheads({"sift": 500, "pca-sift": 500, "orb": 400}, 100)
+        by_kind = {row.kind: row for row in rows}
+        assert by_kind["sift"].fraction_of_sift == pytest.approx(1.0)
+        assert by_kind["pca-sift"].fraction_of_sift < 0.35
+        assert by_kind["orb"].fraction_of_sift < 0.07
+
+    def test_requires_sift_entry(self):
+        with pytest.raises(FeatureError):
+            space_overheads({"orb": 100}, 10)
+
+    def test_rejects_bad_image_count(self):
+        with pytest.raises(FeatureError):
+            space_overheads({"sift": 100}, 0)

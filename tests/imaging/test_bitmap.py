@@ -1,0 +1,76 @@
+"""Tests for bitmap (AFE) compression semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.bitmap import (
+    MAX_PROPORTION,
+    compress_bitmap,
+    compress_image,
+    compressed_dimensions,
+    pixel_fraction,
+    validate_proportion,
+)
+from repro.imaging.image import Image
+
+
+class TestProportionSemantics:
+    def test_paper_example(self):
+        # A 1000x500 bitmap at proportion 0.4 becomes 600x300.
+        assert compressed_dimensions(500, 1000, 0.4) == (300, 600)
+
+    def test_zero_is_identity(self):
+        assert compressed_dimensions(120, 160, 0.0) == (120, 160)
+
+    def test_dimension_floor_is_one(self):
+        assert compressed_dimensions(2, 2, 0.9) == (1, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ImageError):
+            validate_proportion(-0.1)
+        with pytest.raises(ImageError):
+            validate_proportion(MAX_PROPORTION + 0.01)
+
+    @given(st.floats(min_value=0.0, max_value=MAX_PROPORTION))
+    def test_pixel_fraction_is_square_of_linear_scale(self, proportion):
+        assert pixel_fraction(proportion) == pytest.approx((1 - proportion) ** 2)
+
+    @given(
+        st.integers(min_value=8, max_value=400),
+        st.integers(min_value=8, max_value=400),
+        st.floats(min_value=0.0, max_value=MAX_PROPORTION),
+    )
+    def test_compressed_dimensions_monotone_and_bounded(self, h, w, proportion):
+        nh, nw = compressed_dimensions(h, w, proportion)
+        assert 1 <= nh <= h
+        assert 1 <= nw <= w
+
+
+class TestCompressBitmap:
+    def test_shrinks_array(self):
+        bitmap = np.zeros((100, 100, 3), dtype=np.uint8)
+        assert compress_bitmap(bitmap, 0.5).shape == (50, 50, 3)
+
+    def test_identity_returns_same_object(self):
+        bitmap = np.zeros((10, 10, 3), dtype=np.uint8)
+        assert compress_bitmap(bitmap, 0.0) is bitmap
+
+
+class TestCompressImage:
+    def test_preserves_nominal_bytes(self, scene_image):
+        compressed = compress_image(scene_image, 0.4)
+        assert compressed.nominal_bytes == scene_image.nominal_bytes
+
+    def test_preserves_identity_metadata(self, scene_image):
+        compressed = compress_image(scene_image, 0.4)
+        assert compressed.image_id == scene_image.image_id
+        assert compressed.group_id == scene_image.group_id
+
+    def test_shrinks_bitmap(self, scene_image):
+        compressed = compress_image(scene_image, 0.4)
+        assert compressed.pixels < scene_image.pixels
+        assert compressed.pixels == pytest.approx(
+            scene_image.pixels * 0.36, rel=0.05
+        )

@@ -1,0 +1,116 @@
+"""Tests for the Image container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import (
+    DEFAULT_NOMINAL_BYTES,
+    DEFAULT_NOMINAL_RESOLUTION,
+    Image,
+)
+
+
+def _bitmap(h=40, w=60, value=128):
+    return np.full((h, w, 3), value, dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_accepts_uint8_rgb(self):
+        image = Image(bitmap=_bitmap())
+        assert image.height == 40
+        assert image.width == 60
+
+    def test_grayscale_broadcast_to_rgb(self):
+        image = Image(bitmap=np.zeros((10, 12), dtype=np.uint8))
+        assert image.bitmap.shape == (10, 12, 3)
+
+    def test_float_bitmap_is_clipped_and_rounded(self):
+        arr = np.full((8, 8, 3), 300.6)
+        image = Image(bitmap=arr)
+        assert image.bitmap.dtype == np.uint8
+        assert image.bitmap.max() == 255
+
+    def test_negative_int_bitmap_clipped(self):
+        arr = np.full((8, 8, 3), -5, dtype=np.int32)
+        assert Image(bitmap=arr).bitmap.min() == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=np.zeros((0, 4, 3), dtype=np.uint8))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=np.zeros((4, 4, 3), dtype=complex))
+
+    def test_rejects_nonpositive_nominal_bytes(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=_bitmap(), nominal_bytes=0)
+
+    def test_rejects_bad_nominal_resolution(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=_bitmap(), nominal_resolution=(0, 100))
+
+    def test_bitmap_is_readonly(self):
+        image = Image(bitmap=_bitmap())
+        with pytest.raises(ValueError):
+            image.bitmap[0, 0, 0] = 1
+
+
+class TestProperties:
+    def test_defaults(self):
+        image = Image(bitmap=_bitmap())
+        assert image.nominal_bytes == DEFAULT_NOMINAL_BYTES
+        assert image.nominal_resolution == DEFAULT_NOMINAL_RESOLUTION
+
+    def test_resolution_is_width_height(self):
+        assert Image(bitmap=_bitmap(30, 50)).resolution == (50, 30)
+
+    def test_pixels(self):
+        assert Image(bitmap=_bitmap(30, 50)).pixels == 1500
+
+    def test_nominal_pixels(self):
+        image = Image(bitmap=_bitmap(), nominal_resolution=(100, 80))
+        assert image.nominal_pixels == 8000
+
+    def test_gray_uses_bt601_weights(self):
+        arr = np.zeros((10, 10, 3), dtype=np.uint8)
+        arr[:, :, 1] = 100  # green only
+        gray = Image(bitmap=arr).gray()
+        assert np.allclose(gray, 58.7)
+
+    def test_gray_range(self, scene_image):
+        gray = scene_image.gray()
+        assert gray.min() >= 0.0
+        assert gray.max() <= 255.0
+
+
+class TestDerivation:
+    def test_with_bitmap_preserves_metadata(self):
+        image = Image(bitmap=_bitmap(), image_id="x", group_id="g", geotag=(1.0, 2.0))
+        derived = image.with_bitmap(_bitmap(20, 20))
+        assert derived.image_id == "x"
+        assert derived.group_id == "g"
+        assert derived.geotag == (1.0, 2.0)
+        assert derived.height == 20
+
+    def test_with_bitmap_override(self):
+        image = Image(bitmap=_bitmap())
+        derived = image.with_bitmap(_bitmap(), nominal_bytes=100)
+        assert derived.nominal_bytes == 100
+
+    def test_scaled_nominal_bytes(self):
+        image = Image(bitmap=_bitmap(), nominal_bytes=1000)
+        assert image.scaled_nominal_bytes(0.5) == 500
+
+    def test_scaled_nominal_bytes_floor_is_one(self):
+        image = Image(bitmap=_bitmap(), nominal_bytes=1000)
+        assert image.scaled_nominal_bytes(0.0) == 1
+
+    def test_scaled_nominal_bytes_rejects_negative(self):
+        with pytest.raises(ImageError):
+            Image(bitmap=_bitmap()).scaled_nominal_bytes(-0.1)

@@ -1,0 +1,75 @@
+"""Tests for PPM/PGM image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.imaging.io import read_netpbm, write_pgm, write_ppm
+
+
+class TestPpmRoundTrip:
+    def test_roundtrip_preserves_pixels(self, scene_image, tmp_path):
+        path = tmp_path / "scene.ppm"
+        write_ppm(scene_image, path)
+        loaded = read_netpbm(path)
+        assert np.array_equal(loaded.bitmap, scene_image.bitmap)
+
+    def test_image_id_from_stem(self, scene_image, tmp_path):
+        path = tmp_path / "bridge-2.ppm"
+        write_ppm(scene_image, path)
+        assert read_netpbm(path).image_id == "bridge-2"
+
+    def test_pgm_roundtrip_is_luma(self, scene_image, tmp_path):
+        path = tmp_path / "scene.pgm"
+        write_pgm(scene_image, path)
+        loaded = read_netpbm(path)
+        assert loaded.bitmap.shape == scene_image.bitmap.shape
+        # All three channels equal (grayscale broadcast).
+        assert np.array_equal(loaded.bitmap[:, :, 0], loaded.bitmap[:, :, 1])
+        expected = np.clip(np.rint(scene_image.gray()), 0, 255).astype(np.uint8)
+        assert np.array_equal(loaded.bitmap[:, :, 0], expected)
+
+
+class TestHeaderParsing:
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        pixels = bytes(range(12))
+        path.write_bytes(b"P6\n# a comment\n2 2\n# another\n255\n" + pixels)
+        image = read_netpbm(path)
+        assert image.resolution == (2, 2)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n abc")
+        with pytest.raises(CodecError):
+            read_netpbm(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P6\n2 2")
+        with pytest.raises(CodecError):
+            read_netpbm(path)
+
+    def test_truncated_pixels_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P6\n2 2\n255\n\x00\x01")
+        with pytest.raises(CodecError):
+            read_netpbm(path)
+
+    def test_16bit_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P6\n1 1\n65535\n" + b"\x00" * 6)
+        with pytest.raises(CodecError):
+            read_netpbm(path)
+
+    def test_bad_dimensions_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P6\n0 2\n255\n")
+        with pytest.raises(CodecError):
+            read_netpbm(path)
+
+    def test_non_numeric_token_rejected(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P6\ntwo 2\n255\n\x00")
+        with pytest.raises(CodecError):
+            read_netpbm(path)

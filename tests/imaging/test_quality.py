@@ -1,0 +1,52 @@
+"""Tests for MSE/PSNR quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import Image
+from repro.imaging.jpeg import compress_quality
+from repro.imaging.quality import mse, psnr
+from repro.imaging.transforms import add_gaussian_noise
+
+
+class TestMse:
+    def test_identical_images_zero(self, scene_image):
+        assert mse(scene_image, scene_image) == 0.0
+
+    def test_known_value(self):
+        a = Image(bitmap=np.zeros((16, 16, 3), dtype=np.uint8))
+        b = Image(bitmap=np.full((16, 16, 3), 10, dtype=np.uint8))
+        assert mse(a, b) == pytest.approx(100.0)
+
+    def test_symmetric(self, scene_image, scene_image_alt_view):
+        assert mse(scene_image, scene_image_alt_view) == pytest.approx(
+            mse(scene_image_alt_view, scene_image)
+        )
+
+    def test_shape_mismatch_rejected(self, scene_image):
+        small = Image(bitmap=np.zeros((16, 16, 3), dtype=np.uint8))
+        with pytest.raises(ImageError):
+            mse(scene_image, small)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, scene_image):
+        assert psnr(scene_image, scene_image) == float("inf")
+
+    def test_more_noise_lower_psnr(self, scene_image):
+        rng = np.random.default_rng(0)
+        mild = scene_image.with_bitmap(add_gaussian_noise(scene_image.bitmap, 3.0, rng))
+        heavy = scene_image.with_bitmap(add_gaussian_noise(scene_image.bitmap, 30.0, rng))
+        assert psnr(scene_image, heavy) < psnr(scene_image, mild)
+
+    def test_codec_quality_regime(self, scene_image):
+        """A mild JPEG round-trip lands in the familiar 28-50 dB band."""
+        compressed = compress_quality(scene_image, 0.5)
+        value = psnr(scene_image, compressed)
+        assert 25.0 < value < 50.0
+
+    def test_quality_monotone_through_codec(self, scene_image):
+        mild = compress_quality(scene_image, 0.3)
+        harsh = compress_quality(scene_image, 0.95)
+        assert psnr(scene_image, harsh) < psnr(scene_image, mild)

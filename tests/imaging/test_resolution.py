@@ -1,0 +1,73 @@
+"""Tests for resolution (AIU) compression semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.resolution import (
+    SIZE_FLOOR_FRACTION,
+    compress_resolution,
+    compressed_resolution,
+    size_factor,
+)
+
+
+class TestSizeFactor:
+    def test_zero_proportion_is_unity(self):
+        assert size_factor(0.0) == pytest.approx(1.0)
+
+    def test_paper_example_87_percent_saving(self):
+        # Cr = 0.76 (Ebat = 5%) keeps 0.24^2 of the pixels — "about 87%
+        # file size" saved per the paper's 8 MP example.
+        assert 1.0 - size_factor(0.76) == pytest.approx(0.87, abs=0.03)
+
+    @given(st.floats(min_value=0.0, max_value=0.95))
+    def test_bounded_by_floor_and_unity(self, proportion):
+        factor = size_factor(proportion)
+        assert SIZE_FLOOR_FRACTION <= factor <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.95),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_monotone_decreasing(self, a, b):
+        low, high = sorted((a, b))
+        assert size_factor(high) <= size_factor(low)
+
+
+class TestCompressedResolution:
+    def test_paper_example(self):
+        # 1000x500 at proportion 0.2 becomes 800x400.
+        assert compressed_resolution(1000, 500, 0.2) == (800, 400)
+
+    def test_8mp_example(self):
+        # 2448x3264 at Cr = 0.76 is still 588x783 (paper, Section III-C).
+        width, height = compressed_resolution(2448, 3264, 0.76)
+        assert (width, height) == (588, 783)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ImageError):
+            compressed_resolution(0, 100, 0.2)
+
+
+class TestCompressResolution:
+    def test_identity_at_zero(self, scene_image):
+        assert compress_resolution(scene_image, 0.0) is scene_image
+
+    def test_shrinks_bitmap_and_bytes(self, scene_image):
+        compressed = compress_resolution(scene_image, 0.5)
+        assert compressed.width == scene_image.width // 2
+        assert compressed.nominal_bytes < scene_image.nominal_bytes
+
+    def test_shrinks_nominal_resolution(self, scene_image):
+        compressed = compress_resolution(scene_image, 0.5)
+        assert compressed.nominal_resolution[0] == scene_image.nominal_resolution[0] // 2
+
+    def test_byte_scaling_matches_size_factor(self, scene_image):
+        compressed = compress_resolution(scene_image, 0.6)
+        expected = scene_image.nominal_bytes * size_factor(0.6)
+        assert compressed.nominal_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_metadata_preserved(self, scene_image):
+        compressed = compress_resolution(scene_image, 0.3)
+        assert compressed.image_id == scene_image.image_id

@@ -1,0 +1,47 @@
+"""Tests for the SSIM metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import Image
+from repro.imaging.ssim import ssim, ssim_map
+from repro.imaging.transforms import add_gaussian_noise
+
+
+class TestSsim:
+    def test_identical_images_score_one(self, scene_image):
+        assert ssim(scene_image, scene_image) == pytest.approx(1.0)
+
+    def test_symmetric(self, scene_image, scene_image_alt_view):
+        ab = ssim(scene_image, scene_image_alt_view)
+        ba = ssim(scene_image_alt_view, scene_image)
+        assert ab == pytest.approx(ba)
+
+    def test_noise_lowers_score(self, scene_image):
+        rng = np.random.default_rng(0)
+        mild = scene_image.with_bitmap(add_gaussian_noise(scene_image.bitmap, 5.0, rng))
+        heavy = scene_image.with_bitmap(add_gaussian_noise(scene_image.bitmap, 40.0, rng))
+        assert ssim(scene_image, heavy) < ssim(scene_image, mild) < 1.0
+
+    def test_bounded(self, scene_image, other_scene_image):
+        score = ssim(scene_image, other_scene_image)
+        assert -1.0 <= score <= 1.0
+
+    def test_inverted_image_scores_low(self):
+        ramp = np.tile(np.linspace(10, 245, 64), (64, 1))
+        a = Image(bitmap=np.repeat(ramp[:, :, None], 3, axis=2).astype(np.uint8))
+        b = Image(bitmap=(255 - a.bitmap))
+        assert ssim(a, b) < 0.1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ImageError):
+            ssim_map(np.zeros((20, 20)), np.zeros((20, 21)))
+
+    def test_too_small_plane_rejected(self):
+        with pytest.raises(ImageError):
+            ssim_map(np.zeros((5, 5)), np.zeros((5, 5)))
+
+    def test_map_shape(self):
+        plane = np.random.default_rng(0).uniform(0, 255, (30, 40))
+        assert ssim_map(plane, plane).shape == (30, 40)

@@ -1,0 +1,108 @@
+"""Tests for the synthetic scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.ssim import ssim
+from repro.imaging.synth import PerturbationSpec, SceneGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_scene(self, generator):
+        assert np.array_equal(generator.scene(5), generator.scene(5))
+
+    def test_different_seed_different_scene(self, generator):
+        assert not np.array_equal(generator.scene(5), generator.scene(6))
+
+    def test_same_view_reproducible(self, generator):
+        a = generator.view(5, 2)
+        b = generator.view(5, 2)
+        assert np.array_equal(a.bitmap, b.bitmap)
+
+    def test_views_differ_from_canonical(self, generator):
+        assert not np.array_equal(
+            generator.view(5, 0).bitmap, generator.view(5, 1).bitmap
+        )
+
+    def test_fresh_generator_instances_agree(self):
+        assert np.array_equal(SceneGenerator().scene(9), SceneGenerator().scene(9))
+
+
+class TestSimilarityStructure:
+    def test_same_scene_views_more_similar_than_cross_scene(self, generator):
+        base = generator.view(30, 0)
+        same = generator.view(30, 1)
+        other = generator.view(31, 0)
+        assert ssim(base, same) > ssim(base, other)
+
+    def test_shared_fraction_increases_overlap(self, generator):
+        plain = generator.scene(40)
+        shared = generator.scene(40, shared_seed=999, shared_fraction=0.5)
+        assert not np.array_equal(plain, shared)
+
+    def test_shared_fraction_zero_matches_plain(self, generator):
+        plain = generator.scene(40)
+        with_family = generator.scene(40, shared_seed=999, shared_fraction=0.0)
+        assert np.array_equal(plain, with_family)
+
+    def test_family_members_share_content(self, generator):
+        a = generator.scene(41, shared_seed=7, shared_fraction=0.8)
+        b = generator.scene(42, shared_seed=7, shared_fraction=0.8)
+        c = generator.scene(43, shared_seed=8, shared_fraction=0.8)
+        # Same-family scenes correlate more than cross-family ones.
+        corr_ab = np.corrcoef(a.ravel().astype(float), b.ravel().astype(float))[0, 1]
+        corr_ac = np.corrcoef(a.ravel().astype(float), c.ravel().astype(float))[0, 1]
+        assert corr_ab > corr_ac
+
+    def test_rejects_bad_shared_fraction(self, generator):
+        with pytest.raises(ImageError):
+            generator.scene(1, shared_seed=2, shared_fraction=1.5)
+
+
+class TestConfiguration:
+    def test_custom_size(self):
+        gen = SceneGenerator(height=64, width=96)
+        assert gen.view(1, 0).resolution == (96, 64)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ImageError):
+            SceneGenerator(height=16, width=16)
+
+    def test_rejects_bad_shape_range(self):
+        with pytest.raises(ImageError):
+            SceneGenerator(min_shapes=5, max_shapes=2)
+
+    def test_view_ids(self, generator):
+        image = generator.view(3, 1, image_id="custom", group_id="grp")
+        assert image.image_id == "custom"
+        assert image.group_id == "grp"
+
+    def test_default_ids(self, generator):
+        image = generator.view(3, 1)
+        assert image.image_id == "scene3-v1"
+        assert image.group_id == "scene3"
+
+
+class TestPerturbationSpec:
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ImageError):
+            PerturbationSpec(max_shift=-1)
+
+    def test_rejects_bad_crop(self):
+        with pytest.raises(ImageError):
+            PerturbationSpec(min_crop=0.0)
+
+    def test_rejects_bad_contrast(self):
+        with pytest.raises(ImageError):
+            PerturbationSpec(contrast_range=(1.2, 0.8))
+
+    def test_no_perturbation_spec(self):
+        gen = SceneGenerator(
+            perturbation=PerturbationSpec(
+                max_shift=0, max_brightness=0.0, contrast_range=(1.0, 1.0),
+                noise_sigma=0.0, min_crop=1.0,
+            )
+        )
+        # With every knob zeroed, all views equal the canonical scene.
+        assert np.array_equal(gen.view(2, 0).bitmap, gen.view(2, 3).bitmap)

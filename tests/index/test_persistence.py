@@ -1,0 +1,75 @@
+"""Tests for index snapshot & restore."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index import FeatureIndex
+from repro.index.persistence import restore_index, snapshot_index
+
+
+@pytest.fixture()
+def populated_index(orb_features, orb_features_other):
+    index = FeatureIndex()
+    index.add(orb_features)
+    index.add(orb_features_other)
+    return index
+
+
+class TestRoundTrip:
+    def test_restores_entries(self, populated_index):
+        restored = restore_index(snapshot_index(populated_index))
+        assert len(restored) == len(populated_index)
+        assert restored.kind == "orb"
+        for features in populated_index._entries:
+            assert features.image_id in restored
+
+    def test_queries_identical_after_restore(
+        self, populated_index, orb_features_alt_view
+    ):
+        restored = restore_index(snapshot_index(populated_index))
+        before = populated_index.query(orb_features_alt_view)
+        after = restored.query(orb_features_alt_view)
+        assert before.best_id == after.best_id
+        assert before.best_similarity == pytest.approx(after.best_similarity)
+
+    def test_empty_index(self):
+        restored = restore_index(snapshot_index(FeatureIndex()))
+        assert len(restored) == 0
+
+    def test_sift_index(self, sift, scene_image):
+        index = FeatureIndex(kind="sift")
+        index.add(sift.extract(scene_image))
+        restored = restore_index(snapshot_index(index))
+        assert restored.kind == "sift"
+        assert len(restored) == 1
+
+    def test_kwargs_passthrough(self, populated_index):
+        restored = restore_index(snapshot_index(populated_index), n_tables=4)
+        assert restored.n_tables == 4
+
+    def test_restored_index_accepts_new_entries(self, populated_index, orb, generator):
+        restored = restore_index(snapshot_index(populated_index))
+        fresh = orb.extract(generator.view(901, 0, image_id="fresh"))
+        restored.add(fresh)
+        assert "fresh" in restored
+
+
+class TestValidation:
+    def test_rejects_bad_magic(self, populated_index):
+        blob = bytearray(snapshot_index(populated_index))
+        blob[0] = 0
+        with pytest.raises(IndexError_):
+            restore_index(bytes(blob))
+
+    def test_rejects_truncation(self, populated_index):
+        blob = snapshot_index(populated_index)
+        with pytest.raises(IndexError_):
+            restore_index(blob[:-10])
+
+    def test_rejects_trailing_bytes(self, populated_index):
+        with pytest.raises(IndexError_):
+            restore_index(snapshot_index(populated_index) + b"junk")
+
+    def test_rejects_empty_blob(self):
+        with pytest.raises(IndexError_):
+            restore_index(b"")

@@ -1,0 +1,64 @@
+"""Tests for the server-side image store."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.store import ImageStore
+
+
+class TestStore:
+    def test_add_and_get(self, scene_image):
+        store = ImageStore()
+        record = store.add(scene_image)
+        assert store.get(scene_image.image_id) == record
+        assert record.group_id == scene_image.group_id
+
+    def test_default_bytes_is_nominal(self, scene_image):
+        record = ImageStore().add(scene_image)
+        assert record.received_bytes == scene_image.nominal_bytes
+
+    def test_explicit_bytes(self, scene_image):
+        record = ImageStore().add(scene_image, received_bytes=123)
+        assert record.received_bytes == 123
+
+    def test_duplicate_rejected(self, scene_image):
+        store = ImageStore()
+        store.add(scene_image)
+        with pytest.raises(IndexError_):
+            store.add(scene_image)
+
+    def test_missing_id_rejected(self, generator):
+        image = generator.view(1, 0, image_id="x").with_bitmap(
+            generator.view(1, 0).bitmap, image_id=""
+        )
+        with pytest.raises(IndexError_):
+            ImageStore().add(image)
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(IndexError_):
+            ImageStore().get("nope")
+
+    def test_records_in_arrival_order(self, generator):
+        store = ImageStore()
+        for seed in (1, 2, 3):
+            store.add(generator.view(seed, 0, image_id=f"i{seed}"))
+        assert [record.image_id for record in store.records()] == ["i1", "i2", "i3"]
+
+    def test_total_bytes(self, generator):
+        store = ImageStore()
+        store.add(generator.view(1, 0, image_id="a"), received_bytes=10)
+        store.add(generator.view(2, 0, image_id="b"), received_bytes=20)
+        assert store.total_bytes == 30
+
+    def test_len_and_contains(self, scene_image):
+        store = ImageStore()
+        assert len(store) == 0
+        store.add(scene_image)
+        assert len(store) == 1
+        assert scene_image.image_id in store
+
+    def test_geotag_preserved(self, generator):
+        image = generator.view(9, 0, image_id="geo")
+        tagged = image.with_bitmap(image.bitmap, geotag=(2.32, 48.86))
+        record = ImageStore().add(tagged)
+        assert record.geotag == (2.32, 48.86)

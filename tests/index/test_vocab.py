@@ -1,0 +1,124 @@
+"""Tests for the vocabulary-tree / bag-of-words index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.vocab import BagOfWordsIndex, VocabularyTree
+
+
+@pytest.fixture(scope="module")
+def trained(generator, orb):
+    """A trained tree + per-image features (8 scenes x 2 views)."""
+    features = {
+        (scene, view): orb.extract(
+            generator.view(scene, view, image_id=f"v{scene}-{view}")
+        )
+        for scene in range(8)
+        for view in range(2)
+    }
+    training = np.concatenate([f.descriptors for f in features.values()])
+    tree = VocabularyTree(branching=6, depth=2)
+    tree.train(training)
+    return tree, features
+
+
+class TestTree:
+    def test_rejects_bad_params(self):
+        with pytest.raises(IndexError_):
+            VocabularyTree(branching=1)
+        with pytest.raises(IndexError_):
+            VocabularyTree(depth=0)
+
+    def test_untrained_rejects_queries(self):
+        tree = VocabularyTree()
+        with pytest.raises(IndexError_):
+            tree.words(np.zeros((1, 32), dtype=np.uint8))
+
+    def test_rejects_tiny_training_set(self):
+        tree = VocabularyTree(branching=8)
+        with pytest.raises(IndexError_):
+            tree.train(np.zeros((3, 32), dtype=np.uint8))
+
+    def test_words_deterministic(self, trained):
+        tree, features = trained
+        desc = features[(0, 0)].descriptors
+        assert np.array_equal(tree.words(desc), tree.words(desc))
+
+    def test_words_are_leaf_ids(self, trained):
+        tree, features = trained
+        words = tree.words(features[(0, 0)].descriptors)
+        # Leaves are nodes with no children.
+        for word in set(words.tolist()):
+            assert not tree._children[word]
+
+    def test_identical_descriptors_same_word(self, trained):
+        tree, features = trained
+        desc = features[(0, 0)].descriptors[:1]
+        both = np.vstack([desc, desc])
+        words = tree.words(both)
+        assert words[0] == words[1]
+
+    def test_empty_query(self, trained):
+        tree, _ = trained
+        assert tree.words(np.zeros((0, 32), dtype=np.uint8)).shape == (0,)
+
+
+class TestBagOfWordsIndex:
+    @pytest.fixture()
+    def index(self, trained):
+        tree, features = trained
+        index = BagOfWordsIndex(tree=tree)
+        for scene in range(8):
+            index.add(features[(scene, 0)])
+        return index
+
+    def test_len(self, index):
+        assert len(index) == 8
+
+    def test_duplicate_rejected(self, index, trained):
+        _, features = trained
+        with pytest.raises(IndexError_):
+            index.add(features[(0, 0)])
+
+    def test_retrieves_same_scene(self, index, trained):
+        _, features = trained
+        hits = 0
+        for scene in range(8):
+            top = index.query_top(features[(scene, 1)], 1)
+            if top and top[0][0] == f"v{scene}-0":
+                hits += 1
+        # The BoW retrieval finds the right scene almost always.
+        assert hits >= 6
+
+    def test_scores_sorted(self, index, trained):
+        _, features = trained
+        results = index.query_top(features[(0, 1)], 5)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rejects_bad_k(self, index, trained):
+        _, features = trained
+        with pytest.raises(IndexError_):
+            index.query_top(features[(0, 1)], 0)
+
+    def test_empty_index_returns_nothing(self, trained):
+        tree, features = trained
+        assert BagOfWordsIndex(tree=tree).query_top(features[(0, 1)], 3) == []
+
+    def test_requires_image_id(self, trained):
+        tree, features = trained
+        index = BagOfWordsIndex(tree=tree)
+        anonymous = features[(0, 0)]
+        from repro.features.base import FeatureSet
+
+        stripped = FeatureSet(
+            kind="orb",
+            descriptors=anonymous.descriptors,
+            xs=anonymous.xs,
+            ys=anonymous.ys,
+            pixels_processed=0,
+            image_id="",
+        )
+        with pytest.raises(IndexError_):
+            index.add(stripped)

@@ -1,0 +1,47 @@
+"""Tests for the fluctuating channel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.channel import DEFAULT_MEDIAN_BPS, FluctuatingChannel
+
+
+class TestChannel:
+    def test_default_median_is_256kbps(self):
+        assert DEFAULT_MEDIAN_BPS == 256_000
+
+    def test_samples_within_spread(self):
+        channel = FluctuatingChannel(median_bps=100_000, relative_spread=0.5, seed=1)
+        samples = [channel.sample_goodput_bps() for _ in range(200)]
+        assert min(samples) >= 50_000
+        assert max(samples) <= 150_000
+
+    def test_mean_near_median(self):
+        channel = FluctuatingChannel(median_bps=100_000, relative_spread=0.5, seed=1)
+        samples = [channel.sample_goodput_bps() for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(100_000, rel=0.05)
+
+    def test_zero_spread_is_constant(self):
+        channel = FluctuatingChannel(median_bps=100_000, relative_spread=0.0)
+        assert channel.sample_goodput_bps() == 100_000
+
+    def test_seeded_reproducibility(self):
+        a = FluctuatingChannel(seed=7)
+        b = FluctuatingChannel(seed=7)
+        assert [a.sample_goodput_bps() for _ in range(5)] == [
+            b.sample_goodput_bps() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FluctuatingChannel(seed=7)
+        b = FluctuatingChannel(seed=8)
+        assert a.sample_goodput_bps() != b.sample_goodput_bps()
+
+    def test_rejects_bad_median(self):
+        with pytest.raises(NetworkError):
+            FluctuatingChannel(median_bps=0)
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(NetworkError):
+            FluctuatingChannel(relative_spread=1.0)

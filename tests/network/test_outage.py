@@ -1,0 +1,98 @@
+"""Tests for outage injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.link import Uplink
+from repro.network.outage import OUTAGE_TRICKLE_BPS, OutageChannel
+
+
+class TestOutageChannel:
+    def test_no_outages_behaves_like_base(self):
+        channel = OutageChannel(outage_probability=0.0, relative_spread=0.0)
+        samples = [channel.sample_goodput_bps() for _ in range(50)]
+        assert all(sample == channel.median_bps for sample in samples)
+
+    def test_outages_produce_trickle_samples(self):
+        channel = OutageChannel(outage_probability=0.3, seed=1)
+        samples = [channel.sample_goodput_bps() for _ in range(300)]
+        assert OUTAGE_TRICKLE_BPS in samples
+
+    def test_outages_are_bursty(self):
+        """Low recovery probability stretches outages over consecutive
+        transfers — the Gilbert-model burstiness."""
+        channel = OutageChannel(
+            outage_probability=0.2, recovery_probability=0.2, seed=2
+        )
+        samples = np.array([channel.sample_goodput_bps() for _ in range(400)])
+        down = samples == OUTAGE_TRICKLE_BPS
+        runs = np.diff(np.flatnonzero(np.diff(down.astype(int)) != 0))
+        assert down.mean() > 0.2  # substantial downtime
+        assert (runs > 1).any()  # multi-transfer bursts exist
+
+    def test_deterministic(self):
+        a = OutageChannel(outage_probability=0.2, seed=3)
+        b = OutageChannel(outage_probability=0.2, seed=3)
+        assert [a.sample_goodput_bps() for _ in range(20)] == [
+            b.sample_goodput_bps() for _ in range(20)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            OutageChannel(outage_probability=1.5)
+        with pytest.raises(NetworkError):
+            OutageChannel(recovery_probability=0.0)
+        with pytest.raises(NetworkError):
+            OutageChannel(trickle_bps=0.0)
+
+
+class TestOutageImpact:
+    def test_outages_inflate_transfer_times(self):
+        healthy = Uplink(channel=OutageChannel(outage_probability=0.0, seed=4))
+        flaky = Uplink(
+            channel=OutageChannel(
+                outage_probability=0.3, recovery_probability=0.3, seed=4
+            )
+        )
+        healthy_total = sum(healthy.transfer(50_000).seconds for _ in range(40))
+        flaky_total = sum(flaky.transfer(50_000).seconds for _ in range(40))
+        assert flaky_total > 2 * healthy_total
+
+    def test_redundancy_elimination_pays_more_under_outages(self):
+        """The disaster argument: when the network degrades, every
+        avoided upload saves even more time/energy — BEES' advantage
+        over Direct grows."""
+        from repro.core.client import BeesScheme
+        from repro.baselines import DirectUpload
+        from repro.datasets import DisasterDataset
+        from repro.sim.device import Smartphone
+        from repro.sim.session import build_server
+
+        data = DisasterDataset()
+        batch = data.make_batch(n_images=8, n_inbatch_similar=2, seed=3)
+        partners = data.cross_batch_partners(batch, 0.25, seed=4)
+
+        def delays(outage_probability):
+            out = {}
+            for scheme in (DirectUpload(), BeesScheme()):
+                device = Smartphone(
+                    uplink=Uplink(
+                        channel=OutageChannel(
+                            outage_probability=outage_probability,
+                            recovery_probability=0.4,
+                            seed=7,
+                        )
+                    )
+                )
+                report = scheme.process_batch(
+                    device, build_server(scheme, partners), batch
+                )
+                out[scheme.name] = report.average_image_seconds
+            return out
+
+        healthy = delays(0.0)
+        flaky = delays(0.3)
+        healthy_gap = healthy["Direct Upload"] - healthy["BEES"]
+        flaky_gap = flaky["Direct Upload"] - flaky["BEES"]
+        assert flaky_gap > healthy_gap

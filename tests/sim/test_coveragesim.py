@@ -1,0 +1,62 @@
+"""Tests for the coverage experiment driver (small scale)."""
+
+import pytest
+
+from repro.baselines import DirectUpload
+from repro.core.client import BeesScheme
+from repro.datasets.paris import SyntheticParis
+from repro.errors import SimulationError
+from repro.imaging.synth import SceneGenerator
+from repro.sim.coveragesim import CoverageExperiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    dataset = SyntheticParis(
+        n_images=120,
+        n_locations=40,
+        seed=2,
+        generator=SceneGenerator(height=72, width=96),
+    )
+    return CoverageExperiment(
+        dataset=dataset, n_phones=2, group_size=10, capacity_fraction=0.008
+    )
+
+
+@pytest.fixture(scope="module")
+def direct_result(experiment):
+    return experiment.run(DirectUpload())
+
+
+@pytest.fixture(scope="module")
+def bees_result(experiment):
+    return experiment.run(BeesScheme())
+
+
+class TestCoverage:
+    def test_uploads_bounded_by_dataset(self, direct_result, experiment):
+        assert 0 < direct_result.images_uploaded <= len(experiment.dataset)
+
+    def test_locations_bounded_by_uploads(self, direct_result):
+        assert direct_result.locations_covered <= direct_result.images_uploaded
+
+    def test_bees_covers_more_locations(self, direct_result, bees_result):
+        """The headline Figure-12 result: BEES' energy budget covers
+        more unique locations than Direct Upload's."""
+        assert bees_result.locations_covered > direct_result.locations_covered
+
+    def test_bees_more_efficient_per_image(self, direct_result, bees_result):
+        assert bees_result.locations_per_image > direct_result.locations_per_image
+
+    def test_bees_survives_longer(self, direct_result, bees_result):
+        assert bees_result.intervals_survived >= direct_result.intervals_survived
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(SimulationError):
+            CoverageExperiment(n_phones=0)
+        with pytest.raises(SimulationError):
+            CoverageExperiment(group_size=0)
+        with pytest.raises(SimulationError):
+            CoverageExperiment(capacity_fraction=2.0)

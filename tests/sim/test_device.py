@@ -1,0 +1,78 @@
+"""Tests for the simulated smartphone."""
+
+import pytest
+
+from repro.energy import BASELINE, IMAGE_UPLOAD, Battery, WorkCost
+from repro.errors import SimulationError
+from repro.sim.device import Smartphone
+
+
+class TestSpend:
+    def test_drains_battery_and_records(self):
+        device = Smartphone()
+        before = device.battery.remaining_j
+        assert device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
+        assert device.battery.remaining_j == pytest.approx(before - 10.0)
+        assert device.meter.get("work") == 10.0
+
+    def test_returns_false_on_death(self):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=5.0)
+        assert not device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
+        assert not device.alive
+
+    def test_partial_drain_recorded(self):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=5.0)
+        device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
+        assert device.meter.get("work") == 5.0
+
+
+class TestUpload:
+    def test_charges_radio_energy(self):
+        device = Smartphone()
+        result = device.upload(100_000, IMAGE_UPLOAD)
+        expected = result.seconds * device.profile.radio_power_w
+        assert device.meter.get(IMAGE_UPLOAD) == pytest.approx(expected)
+
+    def test_counts_bytes(self):
+        device = Smartphone()
+        device.upload(123, IMAGE_UPLOAD)
+        assert device.uplink.bytes_sent == 123
+
+    def test_dead_device_refuses(self):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=1.0, remaining_j=0.0)
+        assert device.upload(100, IMAGE_UPLOAD) is None
+
+    def test_death_mid_transfer_returns_none(self):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=0.5)
+        assert device.upload(10**6, IMAGE_UPLOAD) is None
+
+
+class TestIdle:
+    def test_baseline_drain(self):
+        device = Smartphone()
+        before = device.battery.remaining_j
+        device.idle(100.0)
+        drained = before - device.battery.remaining_j
+        assert drained == pytest.approx(100.0 * device.profile.baseline_power_w)
+        assert device.meter.get(BASELINE) == pytest.approx(drained)
+
+    def test_idle_can_kill(self):
+        device = Smartphone()
+        device.battery = Battery(capacity_j=1.0)
+        assert not device.idle(10_000.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            Smartphone().idle(-1.0)
+
+
+class TestEbat:
+    def test_tracks_battery_fraction(self):
+        device = Smartphone()
+        assert device.ebat == 1.0
+        device.battery.recharge(0.4)
+        assert device.ebat == pytest.approx(0.4)

@@ -1,0 +1,84 @@
+"""Tests for the battery-lifetime experiment driver (small scale)."""
+
+import pytest
+
+from repro.baselines import DirectUpload, make_bees_ea
+from repro.core.client import BeesScheme
+from repro.errors import SimulationError
+from repro.imaging.synth import SceneGenerator
+from repro.sim.lifetime import LifetimeExperiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    # Tiny scale: 6-image groups, 3% of the real battery, short
+    # intervals (so upload energy, not idle drain, dominates), small
+    # scenes for fast extraction.
+    return LifetimeExperiment(
+        group_size=6,
+        interval_s=300.0,
+        capacity_fraction=0.03,
+        max_groups=40,
+        generator=SceneGenerator(height=72, width=96),
+    )
+
+
+@pytest.fixture(scope="module")
+def direct_result(experiment):
+    return experiment.run(DirectUpload())
+
+
+@pytest.fixture(scope="module")
+def bees_result(experiment):
+    return experiment.run(BeesScheme())
+
+
+class TestTrace:
+    def test_starts_full(self, direct_result):
+        assert direct_result.trace[0].ebat == 1.0
+        assert direct_result.trace[0].minutes == 0.0
+
+    def test_monotone_decreasing(self, direct_result):
+        ebats = [point.ebat for point in direct_result.trace]
+        assert all(a >= b for a, b in zip(ebats, ebats[1:]))
+
+    def test_ends_empty_or_exhausted(self, direct_result):
+        assert direct_result.trace[-1].ebat == pytest.approx(0.0, abs=1e-9)
+
+    def test_time_axis_in_interval_steps(self, direct_result, experiment):
+        minutes = [point.minutes for point in direct_result.trace]
+        step = experiment.interval_s / 60.0
+        for index, value in enumerate(minutes):
+            assert value == pytest.approx(index * step)
+
+
+class TestSchemeComparison:
+    def test_bees_outlives_direct(self, direct_result, bees_result):
+        assert bees_result.lifetime_minutes > direct_result.lifetime_minutes
+
+    def test_bees_completes_more_groups(self, direct_result, bees_result):
+        assert bees_result.groups_completed > direct_result.groups_completed
+
+    def test_direct_uploads_everything_in_its_groups(self, direct_result, experiment):
+        # Each completed group uploaded all its images.
+        assert direct_result.images_uploaded >= (
+            direct_result.groups_completed * experiment.group_size
+        )
+
+    def test_bees_uploads_fraction_per_group(self, bees_result, experiment):
+        # ~50% cross-batch redundancy: far fewer uploads than group size.
+        groups_attempted = len(bees_result.trace) - 1
+        per_group = bees_result.images_uploaded / max(1, groups_attempted)
+        assert per_group < experiment.group_size * 0.8
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(SimulationError):
+            LifetimeExperiment(group_size=0)
+        with pytest.raises(SimulationError):
+            LifetimeExperiment(redundancy_ratio=1.5)
+        with pytest.raises(SimulationError):
+            LifetimeExperiment(capacity_fraction=0.0)
+        with pytest.raises(SimulationError):
+            LifetimeExperiment(max_groups=0)

@@ -1,0 +1,39 @@
+"""Tests for report aggregation."""
+
+import pytest
+
+from repro.baselines.base import BatchReport
+from repro.sim.metrics import summarize
+
+
+def _report(n=10, uploaded=4, energy=50.0, sent=1000, seconds=20.0):
+    report = BatchReport(scheme="X", n_images=n)
+    report.uploaded_ids = [f"i{k}" for k in range(uploaded)]
+    report.energy_by_category = {"image_upload": energy}
+    report.bytes_sent = sent
+    report.total_seconds = seconds
+    report.eliminated_cross_batch = ["a"]
+    report.eliminated_in_batch = ["b", "c"]
+    return report
+
+
+class TestSummarize:
+    def test_single_report(self):
+        metrics = summarize([_report()])
+        assert metrics.scheme == "X"
+        assert metrics.n_images == 10
+        assert metrics.n_uploaded == 4
+        assert metrics.energy_j == 50.0
+        assert metrics.avg_image_seconds == pytest.approx(2.0)
+
+    def test_multiple_reports_accumulate(self):
+        metrics = summarize([_report(), _report()])
+        assert metrics.n_images == 20
+        assert metrics.n_uploaded == 8
+        assert metrics.bytes_sent == 2000
+        assert metrics.eliminated_cross_batch == 2
+        assert metrics.eliminated_in_batch == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,68 @@
+"""Tests for session orchestration."""
+
+import pytest
+
+from repro.baselines import DirectUpload, SmartEye
+from repro.core.client import BeesScheme
+from repro.energy import Battery
+from repro.errors import SimulationError
+from repro.sim.device import Smartphone
+from repro.sim.session import UploadSession, build_server, scheme_extractor
+
+
+class TestSchemeExtractor:
+    def test_bees_uses_orb(self):
+        assert scheme_extractor(BeesScheme()).kind == "orb"
+
+    def test_smarteye_uses_pca_sift(self):
+        assert scheme_extractor(SmartEye()).kind == "pca-sift"
+
+    def test_direct_falls_back_to_orb(self):
+        assert scheme_extractor(DirectUpload()).kind == "orb"
+
+
+class TestBuildServer:
+    def test_index_kind_matches_scheme(self):
+        assert build_server(SmartEye()).index.kind == "pca-sift"
+        assert build_server(BeesScheme()).index.kind == "orb"
+
+    def test_seed_images_preloaded(self, scene_image):
+        server = build_server(BeesScheme(), [scene_image])
+        assert scene_image.image_id in server.store
+        assert scene_image.image_id in server.index
+        assert server.store.get(scene_image.image_id).received_bytes == 0
+
+    def test_fresh_server_each_call(self):
+        assert build_server(BeesScheme()) is not build_server(BeesScheme())
+
+
+class TestUploadSession:
+    def test_runs_batches_and_aggregates(self, small_batch_features):
+        images, _ = small_batch_features
+        scheme = DirectUpload()
+        session = UploadSession(
+            scheme=scheme, device=Smartphone(), server=build_server(scheme)
+        )
+        session.run([images[:4], images[4:]])
+        assert len(session.reports) == 2
+        assert session.total_uploaded == len(images)
+        assert session.total_bytes > 0
+        assert session.total_energy_j > 0
+
+    def test_stops_after_battery_death(self, small_batch_features):
+        images, _ = small_batch_features
+        scheme = DirectUpload()
+        device = Smartphone()
+        device.battery = Battery(capacity_j=60.0)
+        session = UploadSession(scheme=scheme, device=device, server=build_server(scheme))
+        session.run([images[:4], images[4:]])
+        assert len(session.reports) == 1
+        assert session.reports[0].halted
+
+    def test_rejects_empty_batch(self):
+        scheme = DirectUpload()
+        session = UploadSession(
+            scheme=scheme, device=Smartphone(), server=build_server(scheme)
+        )
+        with pytest.raises(SimulationError):
+            session.run_batch([])

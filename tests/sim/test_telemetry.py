@@ -1,0 +1,84 @@
+"""Tests for session telemetry."""
+
+import pytest
+
+from repro.baselines.base import BatchReport
+from repro.core.client import BeesScheme
+from repro.errors import SimulationError
+from repro.sim.device import Smartphone
+from repro.sim.session import UploadSession, build_server
+from repro.sim.telemetry import TimelineRecorder
+
+
+def _report(scheme="X", n=5, uploaded=3, energy=40.0):
+    report = BatchReport(scheme=scheme, n_images=n)
+    report.uploaded_ids = [f"i{k}" for k in range(uploaded)]
+    report.energy_by_category = {"image_upload": energy}
+    report.bytes_sent = 1000
+    return report
+
+
+class TestRecorder:
+    def test_records_rows_in_order(self):
+        recorder = TimelineRecorder()
+        recorder.record(_report(), 1.0, 0.9)
+        recorder.record(_report(), 0.9, 0.85)
+        assert len(recorder) == 2
+        assert [row.batch_index for row in recorder.rows] == [0, 1]
+
+    def test_row_contents(self):
+        recorder = TimelineRecorder()
+        row = recorder.record(_report(uploaded=3, energy=40.0), 1.0, 0.9)
+        assert row.n_uploaded == 3
+        assert row.energy_j == 40.0
+        assert row.ebat_spent == pytest.approx(0.1)
+
+    def test_rejects_inconsistent_battery(self):
+        recorder = TimelineRecorder()
+        with pytest.raises(SimulationError):
+            recorder.record(_report(), 0.5, 0.7)
+
+    def test_series_helpers(self):
+        recorder = TimelineRecorder()
+        recorder.record(_report(n=10, uploaded=5, energy=40.0), 1.0, 0.9)
+        recorder.record(_report(n=10, uploaded=2, energy=20.0), 0.9, 0.85)
+        assert recorder.energy_series() == [40.0, 20.0]
+        assert recorder.upload_ratio_series() == [0.5, 0.2]
+        assert recorder.total_energy_j() == 60.0
+
+
+class TestSessionIntegration:
+    def test_session_feeds_recorder(self, small_batch_features):
+        images, _ = small_batch_features
+        recorder = TimelineRecorder()
+        scheme = BeesScheme()
+        session = UploadSession(
+            scheme=scheme,
+            device=Smartphone(),
+            server=build_server(scheme),
+            recorder=recorder,
+        )
+        session.run([images[:4], images[4:]])
+        assert len(recorder) == 2
+        assert recorder.rows[0].ebat_before == 1.0
+        assert recorder.rows[1].ebat_before == recorder.rows[0].ebat_after
+
+    def test_bees_per_batch_energy_falls_with_battery(self, small_batch_features):
+        """The EAAS trajectory at batch granularity: re-running the same
+        content at ever-lower charge costs ever less."""
+        images, _ = small_batch_features
+        recorder = TimelineRecorder()
+        for index, ebat in enumerate((1.0, 0.5, 0.1)):
+            scheme = BeesScheme()
+            device = Smartphone()
+            device.battery.recharge(ebat)
+            before = device.ebat
+            # Fresh ids per run so the (fresh) server sees unique images.
+            batch = [
+                image.with_bitmap(image.bitmap, image_id=f"r{index}-{image.image_id}")
+                for image in images
+            ]
+            report = scheme.process_batch(device, build_server(scheme), batch)
+            recorder.record(report, before, device.ebat)
+        series = recorder.energy_series()
+        assert series == sorted(series, reverse=True)

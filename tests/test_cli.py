@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_scheme_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--schemes", "nope"])
+
+
+class TestInfo:
+    def test_prints_profile_and_policies(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "battery" in out
+        assert "EAC" in out
+        assert "EDR" in out
+        assert "EAU" in out
+
+
+class TestCompare:
+    def test_small_comparison_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--images", "8",
+                "--in-batch", "1",
+                "--redundancy", "0.25",
+                "--schemes", "direct", "bees",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Direct Upload" in out
+        assert "BEES" in out
+        assert "energy" in out
+
+    def test_photonet_selectable(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--images", "5",
+                "--in-batch", "0",
+                "--schemes", "photonet",
+            ]
+        )
+        assert code == 0
+        assert "PhotoNet" in capsys.readouterr().out
+
+
+class TestLifetime:
+    def test_tiny_lifetime_runs(self, capsys):
+        code = main(
+            [
+                "lifetime",
+                "--group-size", "4",
+                "--interval-minutes", "5",
+                "--capacity", "0.01",
+                "--max-groups", "10",
+                "--schemes", "direct",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Direct Upload" in out
+        assert "groups" in out
+
+
+class TestShare:
+    def test_share_folder(self, generator, tmp_path, capsys):
+        from repro.imaging.io import write_ppm
+
+        for name, (scene, view) in {
+            "bridge-1": (510, 0),
+            "bridge-2": (510, 1),
+            "tower": (511, 0),
+        }.items():
+            write_ppm(generator.view(scene, view), tmp_path / f"{name}.ppm")
+        assert main(["share", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "uploaded:          2" in out
+        assert "in-batch redundant: 1" in out
+
+    def test_share_missing_folder_fails_cleanly(self, tmp_path):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            main(["share", str(tmp_path / "missing")])
+
+
+class TestCoverage:
+    def test_tiny_coverage_runs(self, capsys):
+        code = main(
+            [
+                "coverage",
+                "--images", "40",
+                "--locations", "15",
+                "--phones", "1",
+                "--group-size", "8",
+                "--capacity", "0.004",
+                "--schemes", "bees",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique locations" in out

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.ImageError,
+    errors.CodecError,
+    errors.FeatureError,
+    errors.IndexError_,
+    errors.EnergyError,
+    errors.NetworkError,
+    errors.SimulationError,
+    errors.DatasetError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_all_derive_from_bees_error(self, error_cls):
+        assert issubclass(error_cls, errors.BeesError)
+
+    def test_bees_error_is_an_exception(self):
+        assert issubclass(errors.BeesError, Exception)
+
+    def test_one_except_clause_catches_everything(self):
+        for error_cls in ALL_ERRORS:
+            with pytest.raises(errors.BeesError):
+                raise error_cls("boom")
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)
+
+    def test_library_raises_only_its_own_family(self):
+        """Spot check: invalid inputs surface as BeesError subclasses,
+        never as bare ValueError/TypeError."""
+        from repro.core.policies import eac_policy
+        from repro.energy import Battery
+        from repro.imaging.bitmap import validate_proportion
+
+        with pytest.raises(errors.BeesError):
+            validate_proportion(7.0)
+        with pytest.raises(errors.BeesError):
+            Battery(capacity_j=-1.0)
+        with pytest.raises(errors.BeesError):
+            eac_policy()(5.0)

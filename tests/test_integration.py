@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+import repro
+from repro import (
+    BeesConfig,
+    BeesScheme,
+    DirectUpload,
+    Smartphone,
+    UploadSession,
+    build_server,
+)
+from repro.datasets import DisasterDataset
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_from_docstring(self):
+        batch = DisasterDataset().make_batch(n_images=8, n_inbatch_similar=2)
+        scheme = BeesScheme()
+        report = scheme.process_batch(Smartphone(), build_server(scheme), batch)
+        assert 0 < report.n_uploaded < len(batch)
+
+
+class TestMultiBatchConsistency:
+    def test_second_batch_sees_first_batch_uploads(self):
+        """Images uploaded in batch 1 become cross-batch redundancy for
+        batch 2 — the index genuinely accumulates."""
+        data = DisasterDataset()
+        batch1 = data.make_batch(n_images=6, n_inbatch_similar=0, seed=1, scene_offset=0)
+        # Batch 2 reuses batch 1's scenes (different views, fresh ids).
+        batch2 = [
+            data._view(int(image.group_id.rsplit("s", 1)[1]), 2, f"again-{image.image_id}")
+            for image in batch1
+        ]
+        scheme = BeesScheme()
+        session = UploadSession(
+            scheme=scheme, device=Smartphone(), server=build_server(scheme)
+        )
+        first = session.run_batch(batch1)
+        second = session.run_batch(batch2)
+        assert first.n_uploaded == 6
+        assert second.n_uploaded <= 1  # everything now redundant
+        assert len(second.eliminated_cross_batch) >= 5
+
+    def test_server_state_consistent_after_batches(self):
+        data = DisasterDataset()
+        scheme = BeesScheme()
+        server = build_server(scheme)
+        session = UploadSession(scheme=scheme, device=Smartphone(), server=server)
+        for seed in (1, 2):
+            session.run_batch(
+                data.make_batch(
+                    n_images=5, n_inbatch_similar=0, seed=seed, scene_offset=seed * 50
+                )
+            )
+        assert len(server.store) == session.total_uploaded
+        assert len(server.index) == session.total_uploaded
+
+
+class TestEnergyConservation:
+    def test_meter_matches_battery_drain(self):
+        """Every joule drained from the battery appears in the ledger."""
+        data = DisasterDataset()
+        batch = data.make_batch(n_images=6, n_inbatch_similar=1)
+        device = Smartphone()
+        scheme = BeesScheme()
+        scheme.process_batch(device, build_server(scheme), batch)
+        drained = device.battery.capacity_j - device.battery.remaining_j
+        assert device.meter.total_j == pytest.approx(drained)
+
+    def test_direct_upload_energy_linear_in_batch_size(self):
+        data = DisasterDataset()
+        small = data.make_batch(n_images=4, n_inbatch_similar=0, seed=1)
+        large = data.make_batch(n_images=8, n_inbatch_similar=0, seed=1)
+        device_small = Smartphone()
+        device_large = Smartphone()
+        DirectUpload().process_batch(device_small, build_server(DirectUpload()), small)
+        DirectUpload().process_batch(device_large, build_server(DirectUpload()), large)
+        ratio = device_large.meter.total_j / device_small.meter.total_j
+        assert ratio == pytest.approx(2.0, rel=0.25)
+
+
+class TestAblationConfig:
+    def test_everything_disabled_is_roughly_direct_upload(self):
+        """BEES with all stages off uploads everything at full size,
+        paying only the feature-extraction/query overhead on top."""
+        config = BeesConfig(
+            enable_afe=False, enable_cbrd=False, enable_ssmm=False, enable_aiu=False
+        )
+        data = DisasterDataset()
+        batch = data.make_batch(n_images=5, n_inbatch_similar=1)
+        stripped = BeesScheme(config=config)
+        report = stripped.process_batch(Smartphone(), build_server(stripped), batch)
+        assert report.n_uploaded == len(batch)
+        total_nominal = sum(image.nominal_bytes for image in batch)
+        assert report.bytes_sent >= total_nominal
