@@ -8,13 +8,33 @@ figure to ``benchmarks/results.txt`` for the record.
 
 from __future__ import annotations
 
+import importlib.util
 import pathlib
 
 import pytest
 
-from repro.analysis.reporting import print_figure
-
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+#: The benches need the library (and numpy underneath it) plus the
+#: optional ``pytest-benchmark`` plugin for their ``benchmark`` fixture.
+#: When any of those is missing — a docs-only CI job, a minimal install —
+#: skip collection cleanly instead of erroring out per file.
+_MISSING = [
+    name
+    for name in ("numpy", "repro", "pytest_benchmark")
+    if importlib.util.find_spec(name) is None
+]
+
+if _MISSING:
+    collect_ignore_glob = ["bench_*.py", "common.py"]
+
+    def print_figure(title: str, body: str) -> None:  # pragma: no cover
+        raise pytest.UsageError(
+            f"benchmarks need missing optional deps: {', '.join(_MISSING)}"
+        )
+
+else:
+    from repro.analysis.reporting import print_figure
 
 
 @pytest.fixture()

@@ -23,6 +23,10 @@ from .core import BeesConfig, BeesScheme, BeesServer
 from .energy import Battery, DeviceProfile, EnergyMeter
 from .errors import BeesError
 from .imaging import Image, SceneGenerator
+from .obs import Observability, Tracer
+from .obs import configure as configure_observability
+from .obs import disable as disable_observability
+from .obs import get_obs as get_observability
 from .sim import (
     CoverageExperiment,
     LifetimeExperiment,
@@ -46,12 +50,17 @@ __all__ = [
     "Image",
     "LifetimeExperiment",
     "Mrc",
+    "Observability",
     "SceneGenerator",
     "SharingScheme",
     "SmartEye",
     "Smartphone",
+    "Tracer",
     "UploadSession",
     "__version__",
     "build_server",
+    "configure_observability",
+    "disable_observability",
+    "get_observability",
     "make_bees_ea",
 ]

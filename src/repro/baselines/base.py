@@ -13,6 +13,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..obs.runtime import get_obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.server import BeesServer
     from ..imaging.image import Image
@@ -31,6 +33,10 @@ class BatchReport:
     bytes_sent: int = 0
     total_seconds: float = 0.0
     per_image_seconds: list = field(default_factory=list)
+    #: Detection-phase seconds spent on images that were *eliminated*
+    #: before upload — kept out of ``per_image_seconds`` so per-image
+    #: delays describe only images that went through the pipeline.
+    elimination_seconds: float = 0.0
     energy_by_category: dict = field(default_factory=dict)
     halted: bool = False
 
@@ -45,16 +51,22 @@ class BatchReport:
         return float(sum(self.energy_by_category.values()))
 
     @property
+    def pipeline_seconds(self) -> float:
+        """All simulated seconds the batch cost, elimination included."""
+        return self.total_seconds + self.elimination_seconds
+
+    @property
     def average_image_seconds(self) -> float:
         """Mean per-image delay across the *whole* batch.
 
         The paper's "average delay of uploading an image" (Figure 11)
         divides the batch's total processing time by the batch size —
-        eliminated images count with their (small) detection-only cost.
+        eliminated images count with their (small) detection-only cost,
+        carried by ``elimination_seconds``.
         """
         if self.n_images == 0:
             return 0.0
-        return self.total_seconds / self.n_images
+        return self.pipeline_seconds / self.n_images
 
 
 class SharingScheme(abc.ABC):
@@ -72,3 +84,17 @@ class SharingScheme(abc.ABC):
         Implementations must charge every joule through ``device`` and
         must stop (setting ``halted``) when the battery dies mid-batch.
         """
+
+    def observe_batch(self, report: BatchReport) -> BatchReport:
+        """The shared observability hook: fold *report* into the global
+        metric set (bytes, joules, eliminations, uploads per scheme).
+
+        Every scheme — BEES and baselines alike — returns its finished
+        report through this, so per-scheme totals stay comparable no
+        matter how a scheme structures its pipeline.  A no-op while
+        observability is disabled (the default).
+        """
+        obs = get_obs()
+        if obs.enabled:
+            obs.observe_batch_report(report)
+        return report

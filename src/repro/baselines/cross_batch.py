@@ -113,4 +113,4 @@ class CrossBatchOnlyScheme(SharingScheme):
         report.total_seconds = float(sum(report.per_image_seconds))
         report.bytes_sent = device.uplink.bytes_sent - bytes_before
         report.energy_by_category = device.meter.since(before)
-        return report
+        return self.observe_batch(report)

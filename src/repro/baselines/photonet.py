@@ -151,4 +151,4 @@ class PhotoNet(CrossBatchOnlyScheme):
         report.total_seconds = float(sum(report.per_image_seconds))
         report.bytes_sent = device.uplink.bytes_sent - bytes_before
         report.energy_by_category = device.meter.since(before)
-        return report
+        return self.observe_batch(report)

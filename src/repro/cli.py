@@ -1,19 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands drive the main experiments without writing code:
+Six subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
 * ``coverage`` — the multi-phone city-coverage run (Fig. 12)
 * ``share``    — run a scheme over a folder of real PPM/PGM photos
-* ``info``     — versions, device profile, and policy constants
+* ``metrics``  — render a captured Prometheus metrics file as a table
+* ``info``     — versions, device profile, policies, observability
+
+``compare``, ``lifetime``, and ``coverage`` accept ``--trace PATH``
+(JSONL span log) and ``--metrics PATH`` (Prometheus text exposition),
+which switch the :mod:`repro.obs` layer on for the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from . import obs as obs_module
 from . import __version__
 from .analysis.charts import bar_chart, sparkline
 from .analysis.reporting import format_bytes, format_table
@@ -52,6 +59,39 @@ def _fast_generator() -> SceneGenerator:
     return SceneGenerator(height=72, width=96)
 
 
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Enable tracing/metrics for one command when flags ask for it.
+
+    Configures the global :mod:`repro.obs` context before the run,
+    flushes the export files afterwards, and always resets to the
+    disabled default so back-to-back ``main()`` calls stay independent.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        yield obs_module.get_obs()
+        return
+    obs = obs_module.configure(trace_path=trace_path, metrics_path=metrics_path)
+    try:
+        yield obs
+        for path in obs.flush():
+            print(f"\nwrote {path}")
+    finally:
+        obs_module.disable()
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL span trace of the run to PATH",
+    )
+    subparser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write Prometheus-format metrics of the run to PATH",
+    )
+
+
 # -- subcommands -------------------------------------------------------------
 
 
@@ -64,33 +104,35 @@ def cmd_compare(args: argparse.Namespace) -> int:
     partners = data.cross_batch_partners(batch, args.redundancy, seed=args.seed + 1)
     rows = []
     energies = []
-    for scheme in _schemes(args.schemes):
-        server = build_server(scheme, partners)
-        report = scheme.process_batch(Smartphone(), server, batch)
-        rows.append(
-            [
-                scheme.name,
-                report.n_uploaded,
-                len(report.eliminated_cross_batch),
-                len(report.eliminated_in_batch),
-                f"{report.total_energy_j:.0f} J",
-                format_bytes(report.bytes_sent),
-                f"{report.average_image_seconds:.1f} s",
-            ]
+    with _observability(args):
+        for scheme in _schemes(args.schemes):
+            server = build_server(scheme, partners)
+            report = scheme.process_batch(Smartphone(), server, batch)
+            rows.append(
+                [
+                    scheme.name,
+                    report.n_uploaded,
+                    len(report.eliminated_cross_batch),
+                    len(report.eliminated_in_batch),
+                    f"{report.total_energy_j:.0f} J",
+                    format_bytes(report.bytes_sent),
+                    f"{report.average_image_seconds:.1f} s",
+                ]
+            )
+            energies.append((scheme.name, report.total_energy_j))
+        print(
+            f"batch: {args.images} images, {args.in_batch} in-batch duplicates, "
+            f"{int(args.redundancy * 100)}% cross-batch redundancy\n"
         )
-        energies.append((scheme.name, report.total_energy_j))
-    print(
-        f"batch: {args.images} images, {args.in_batch} in-batch duplicates, "
-        f"{int(args.redundancy * 100)}% cross-batch redundancy\n"
-    )
-    print(
-        format_table(
-            ["scheme", "uploaded", "x-batch", "in-batch", "energy", "bandwidth", "delay"],
-            rows,
+        print(
+            format_table(
+                ["scheme", "uploaded", "x-batch", "in-batch", "energy", "bandwidth",
+                 "delay"],
+                rows,
+            )
         )
-    )
-    print("\nenergy:")
-    print(bar_chart(energies))
+        print("\nenergy:")
+        print(bar_chart(energies))
     return 0
 
 
@@ -109,15 +151,16 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
         f"{int(args.redundancy * 100)}% redundancy, "
         f"{args.capacity:.0%} of a {DEFAULT_PROFILE.battery_capacity_j:.0f} J battery\n"
     )
-    for scheme in _schemes(args.schemes):
-        result = experiment.run(scheme)
-        trace = [point.ebat for point in result.trace]
-        print(f"{result.scheme:14s} {sparkline(trace, lo=0.0, hi=1.0)}")
-        print(
-            f"{'':14s} {result.lifetime_minutes:.0f} min, "
-            f"{result.groups_completed} groups, "
-            f"{result.images_uploaded} images"
-        )
+    with _observability(args):
+        for scheme in _schemes(args.schemes):
+            result = experiment.run(scheme)
+            trace = [point.ebat for point in result.trace]
+            print(f"{result.scheme:14s} {sparkline(trace, lo=0.0, hi=1.0)}")
+            print(
+                f"{'':14s} {result.lifetime_minutes:.0f} min, "
+                f"{result.groups_completed} groups, "
+                f"{result.images_uploaded} images"
+            )
     return 0
 
 
@@ -141,17 +184,20 @@ def cmd_coverage(args: argparse.Namespace) -> int:
         f"{args.phones} phones\n"
     )
     rows = []
-    for scheme in _schemes(args.schemes):
-        result = experiment.run(scheme)
-        rows.append(
-            [
-                result.scheme,
-                result.images_uploaded,
-                result.locations_covered,
-                f"{result.locations_per_image:.3f}",
-            ]
+    with _observability(args):
+        for scheme in _schemes(args.schemes):
+            result = experiment.run(scheme)
+            rows.append(
+                [
+                    result.scheme,
+                    result.images_uploaded,
+                    result.locations_covered,
+                    f"{result.locations_per_image:.3f}",
+                ]
+            )
+        print(
+            format_table(["scheme", "uploaded", "unique locations", "loc/image"], rows)
         )
-    print(format_table(["scheme", "uploaded", "unique locations", "loc/image"], rows))
     return 0
 
 
@@ -177,8 +223,14 @@ def cmd_share(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a captured Prometheus metrics file as a console table."""
+    print(obs_module.render_metrics_file(args.path))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
-    """Print version, device profile, and EAAS policy constants."""
+    """Print version, device profile, EAAS policies, and observability."""
     profile = DEFAULT_PROFILE
     print(f"repro {__version__} — BEES (ICDCS 2017) reproduction")
     print(f"\ndevice profile: {profile.name}")
@@ -194,6 +246,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     ):
         values = "  ".join(f"{policy(e):.3f}" for e in (1.0, 0.5, 0.0))
         print(f"  {name:30s} {values}")
+    obs = obs_module.get_obs()
+    exporters = obs.exporters()
+    print("\nobservability:")
+    print(f"  enabled        {obs.enabled}")
+    print(f"  exporters      {', '.join(exporters) if exporters else '(none)'}")
+    print(f"  metrics        {len(obs.registry)} registered")
+    buckets = ", ".join(f"{b:g}" for b in obs.stage_buckets)
+    print(f"  stage buckets  {buckets} s")
     print(f"\nschemes: {', '.join(sorted(_SCHEME_FACTORIES))}")
     return 0
 
@@ -218,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--schemes", nargs="+", default=["direct", "smarteye", "mrc", "bees"]
     )
+    _add_obs_flags(compare)
     compare.set_defaults(handler=cmd_compare)
 
     lifetime = commands.add_parser("lifetime", help="battery drain race (Fig. 9)")
@@ -229,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument(
         "--schemes", nargs="+", default=["direct", "mrc", "bees-ea", "bees"]
     )
+    _add_obs_flags(lifetime)
     lifetime.set_defaults(handler=cmd_lifetime)
 
     coverage = commands.add_parser("coverage", help="city coverage (Fig. 12)")
@@ -239,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--capacity", type=float, default=0.015)
     coverage.add_argument("--seed", type=int, default=9)
     coverage.add_argument("--schemes", nargs="+", default=["direct", "bees"])
+    _add_obs_flags(coverage)
     coverage.set_defaults(handler=cmd_coverage)
 
     share = commands.add_parser(
@@ -251,7 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     share.set_defaults(handler=cmd_share)
 
-    info = commands.add_parser("info", help="profile and policy constants")
+    metrics = commands.add_parser(
+        "metrics", help="render a captured Prometheus metrics file"
+    )
+    metrics.add_argument("path", help="a file written by --metrics PATH")
+    metrics.set_defaults(handler=cmd_metrics)
+
+    info = commands.add_parser("info", help="profile, policies, observability")
     info.set_defaults(handler=cmd_info)
     return parser
 

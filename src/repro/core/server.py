@@ -9,6 +9,7 @@ grow the index as images arrive.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -16,6 +17,7 @@ from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..imaging.image import Image
 from ..index import FeatureIndex, ImageStore, QueryResult
+from ..obs.runtime import get_obs
 
 
 @dataclass
@@ -31,7 +33,20 @@ class BeesServer:
     def query_features(self, features: FeatureSet) -> QueryResult:
         """Answer a CBRD query: the max similarity over stored images."""
         self.queries_served += 1
-        return self.index.query(features)
+        obs = get_obs()
+        if not obs.enabled:
+            return self.index.query(features)
+        with obs.span(
+            "server.query", image_id=features.image_id, index_size=len(self.index)
+        ) as span:
+            t0 = time.perf_counter()
+            result = self.index.query(features)
+            latency = time.perf_counter() - t0
+            span.set_attribute("best_similarity", result.best_similarity)
+        obs.index_queries.inc()
+        obs.index_query_latency.set(latency)
+        obs.index_size.set(len(self.index))
+        return result
 
     def query_top(self, features: FeatureSet, k: int) -> "list[tuple[str, float]]":
         """Top-*k* most similar stored images (precision experiments)."""
@@ -53,8 +68,16 @@ class BeesServer:
                 f"feature id {features.image_id!r} does not match image "
                 f"{image.image_id!r}"
             )
-        self.store.add(image, received_bytes=received_bytes)
-        self.index.add(features)
+        obs = get_obs()
+        with obs.span(
+            "server.receive",
+            image_id=image.image_id,
+            received_bytes=received_bytes if received_bytes is not None else -1,
+        ):
+            self.store.add(image, received_bytes=received_bytes)
+            self.index.add(features)
+        if obs.enabled:
+            obs.index_size.set(len(self.index))
 
     def seed_image(self, image: Image, features: FeatureSet) -> None:
         """Pre-populate the server (experiment setup: cross-batch

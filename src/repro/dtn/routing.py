@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.runtime import get_obs
 from .node import CarriedImage, DropPolicy, DtnNode
 
 
@@ -96,6 +97,9 @@ class EpidemicSimulation:
             self.transmissions += 1
             sent += 1
             receiver.offer(carried)
+        obs = get_obs()
+        if obs.enabled and sent:
+            obs.dtn_transmissions.inc(sent, kind="relay")
 
     def step(self) -> None:
         """One round: a few pairwise contacts + possible gateway visits."""
@@ -103,18 +107,27 @@ class EpidemicSimulation:
             a, b = self._rng.choice(self.n_nodes, size=2, replace=False)
             self._exchange(self.nodes[int(a)], self.nodes[int(b)])
             self._exchange(self.nodes[int(b)], self.nodes[int(a)])
+        obs = get_obs()
         for node in self.nodes:
             if self._rng.random() < self.gateway_probability:
                 drained = node.take_all()
                 self.transmissions += len(drained)
                 self.delivered.extend(drained)
+                if obs.enabled and drained:
+                    obs.dtn_transmissions.inc(len(drained), kind="gateway")
+                    obs.dtn_delivered.inc(len(drained))
 
     def run(self, rounds: int) -> DeliveryReport:
         """Advance *rounds* steps and report what the gateway received."""
         if rounds < 0:
             raise SimulationError(f"rounds must be >= 0, got {rounds}")
-        for _ in range(rounds):
-            self.step()
+        with get_obs().span(
+            "dtn.run", rounds=rounds, n_nodes=self.n_nodes
+        ) as span:
+            for _ in range(rounds):
+                self.step()
+            span.set_attribute("delivered", len(self.delivered))
+            span.set_attribute("transmissions", self.transmissions)
         unique: dict[str, CarriedImage] = {}
         for carried in self.delivered:
             unique.setdefault(carried.image_id, carried)

@@ -46,3 +46,7 @@ class SimulationError(BeesError):
 
 class DatasetError(BeesError):
     """A synthetic dataset request was invalid."""
+
+
+class ObservabilityError(BeesError):
+    """A tracing or metrics operation was misused (bad labels, ...)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import NetworkError
+from ..obs.runtime import get_obs
 from .channel import FluctuatingChannel
 
 
@@ -44,6 +45,11 @@ class Uplink:
         seconds = self.latency_s + payload_bytes * 8.0 / goodput
         self.bytes_sent += payload_bytes
         self.transfer_count += 1
+        obs = get_obs()
+        if obs.enabled:
+            obs.link_transfers.inc()
+            obs.link_bytes.inc(payload_bytes)
+            obs.link_transfer_seconds.observe(seconds)
         return TransferResult(
             payload_bytes=payload_bytes, seconds=seconds, goodput_bps=goodput
         )

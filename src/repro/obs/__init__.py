@@ -1,0 +1,69 @@
+"""Observability for the BEES pipeline: spans, metrics, exporters.
+
+The paper's whole argument is quantitative — bandwidth, energy,
+precision, delay per AFE → ARD → AIU stage — so this package gives
+every layer of the reproduction a shared tracing and metrics substrate:
+
+* :mod:`repro.obs.tracer` — nested, timed spans with attributes;
+* :mod:`repro.obs.metrics` — labelled ``Counter`` / ``Gauge`` /
+  ``Histogram`` behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.exporters` — JSONL span logs, Prometheus text
+  exposition, console tables;
+* :mod:`repro.obs.runtime` — the process-wide context wired into the
+  client pipeline, server index, uplink, DTN, and every baseline.
+
+Disabled by default: :func:`get_obs` returns a context whose spans are
+a shared no-op and whose hot-path guards are a single attribute check.
+"""
+
+from .exporters import (
+    console_summary,
+    generate_latest,
+    parse_prometheus,
+    read_jsonl,
+    render_metrics_file,
+    spans_to_jsonl,
+    write_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_STAGE_BUCKETS,
+    MAX_LABEL_SETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import (
+    PIPELINE_STAGES,
+    Observability,
+    configure,
+    disable,
+    get_obs,
+)
+from .tracer import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "DEFAULT_STAGE_BUCKETS",
+    "MAX_LABEL_SETS",
+    "PIPELINE_STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "configure",
+    "console_summary",
+    "disable",
+    "generate_latest",
+    "get_obs",
+    "parse_prometheus",
+    "read_jsonl",
+    "render_metrics_file",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "write_prometheus",
+]

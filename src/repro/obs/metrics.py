@@ -1,0 +1,216 @@
+"""Labeled metrics: counters, gauges, and histograms.
+
+A deliberately small, dependency-free subset of the Prometheus data
+model.  Metrics are created through a :class:`MetricsRegistry` (which
+deduplicates by name and checks for conflicting re-registration), carry
+a fixed tuple of label names, and are updated with label values passed
+as keyword arguments::
+
+    registry = MetricsRegistry()
+    bytes_sent = registry.counter(
+        "bees_bytes_sent_total", "Bytes pushed through the uplink", ("scheme",)
+    )
+    bytes_sent.inc(1024, scheme="BEES")
+
+Histogram buckets follow Prometheus semantics: ``le`` is inclusive and
+cumulative, and every histogram implicitly ends with ``+Inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from ..errors import ObservabilityError
+
+#: Upper bound on distinct label-value sets per metric.  Unbounded label
+#: values (image ids!) silently turn a metric into a memory leak; the
+#: cap converts that mistake into a loud error.
+MAX_LABEL_SETS = 1024
+
+#: Default buckets for pipeline-stage durations (simulated seconds).
+DEFAULT_STAGE_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Metric:
+    """Shared labeled-series bookkeeping for all metric types."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: "tuple[str, ...]" = ()):
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ObservabilityError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._series: dict = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ObservabilityError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        if key not in self._series and len(self._series) >= MAX_LABEL_SETS:
+            raise ObservabilityError(
+                f"{self.name}: label cardinality exceeds {MAX_LABEL_SETS} series "
+                f"(offending labels: {dict(labels)!r})"
+            )
+        return key
+
+    def labeled_values(self) -> "list[tuple[dict, object]]":
+        """``(labels, value)`` per series, in insertion order."""
+        return [
+            (dict(zip(self.labelnames, key)), value)
+            for key, value in self._series.items()
+        ]
+
+    def value(self, **labels: object):
+        """The current value of one series (0 when never touched)."""
+        return self._series.get(self._key(labels), self._zero())
+
+    def _zero(self):
+        return 0.0
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class Counter(Metric):
+    """Monotonically increasing total."""
+
+    type_name = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"{self.name}: counters only go up, got {amount}"
+            )
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, latest latency)."""
+
+    type_name = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+class HistogramSeries:
+    """One labeled histogram: per-bucket counts + sum + count."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets  # non-cumulative, excludes +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Distribution over fixed buckets (Prometheus ``le`` semantics)."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "tuple[str, ...]" = (),
+        buckets: "tuple[float, ...]" = DEFAULT_STAGE_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ObservabilityError(f"{name}: a histogram needs buckets")
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ObservabilityError(
+                f"{name}: buckets must be strictly increasing, got {buckets}"
+            )
+        if math.isinf(buckets[-1]):
+            buckets = buckets[:-1]  # +Inf is implicit
+        self.buckets = buckets
+
+    def _zero(self) -> HistogramSeries:
+        return HistogramSeries(len(self.buckets))
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = HistogramSeries(len(self.buckets))
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:  # `le` is inclusive
+                series.bucket_counts[index] += 1
+                break
+        series.sum += value
+        series.count += 1
+
+    def cumulative_buckets(self, **labels: object) -> "list[tuple[float, int]]":
+        """``(le, cumulative_count)`` pairs including the +Inf bucket."""
+        series = self.value(**labels)
+        pairs = []
+        running = 0
+        for bound, count in zip(self.buckets, series.bucket_counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, series.count))
+        return pairs
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and iterates metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, Metric]" = {}
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.type_name}{existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help_text, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name, help_text="", labelnames=()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self, name, help_text="", labelnames=(), buckets=DEFAULT_STAGE_BUCKETS
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> "Metric | None":
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Clear every metric's series (definitions stay registered)."""
+        for metric in self._metrics.values():
+            metric.clear()

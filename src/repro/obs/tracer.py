@@ -1,0 +1,149 @@
+"""Span tracing for the BEES pipeline.
+
+A :class:`Tracer` produces nested, wall-clock-timed :class:`Span`\\ s via
+a context manager::
+
+    with tracer.span("bees.batch", scheme="BEES", n_images=30) as span:
+        with tracer.span("bees.afe", image_id="img-0"):
+            ...
+        span.set_attribute("bytes_sent", 1234)
+
+Finished spans accumulate on ``tracer.finished`` (in completion order)
+and serialise to JSONL through :mod:`repro.obs.exporters`.  A disabled
+tracer hands out one shared, stateless :data:`NULL_SPAN` context
+manager, so instrumentation left in hot paths costs a dict build and an
+attribute check — nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly nested under a parent."""
+
+    name: str
+    span_id: int
+    parent_id: "int | None"
+    #: Wall-clock epoch seconds when the span opened.
+    start: float
+    #: Seconds the span stayed open (filled on exit).
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    #: ``"ExcType: message"`` when the span exited via an exception.
+    error: "str | None" = None
+    _t0: float = field(default=0.0, repr=False)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        """The JSONL representation of this span."""
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class _NullSpan:
+    """The reusable no-op span: accepts everything, records nothing.
+
+    Stateless, so one shared instance can be (re-)entered from any
+    number of ``with`` blocks, including nested ones.
+    """
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False  # never swallow exceptions
+
+
+#: Shared no-op span/context-manager handed out by disabled tracers.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on a tracer's active stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - span._t0
+        if exc_type is not None:
+            span.error = f"{exc_type.__name__}: {exc_value}"
+        stack = self._tracer._stack
+        # Exception safety: pop *this* span even if inner spans leaked.
+        while stack:
+            popped = stack.pop()
+            if popped is span:
+                break
+        self._tracer.finished.append(span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans; collects them as they finish."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.finished: "list[Span]" = []
+        self._stack: "list[Span]" = []
+        self._next_id = 0
+
+    def span(self, name: str, **attributes: object):
+        """Open a span nested under the currently active one."""
+        if not self.enabled:
+            return NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=time.time(),
+            attributes=dict(attributes),
+            _t0=time.perf_counter(),
+        )
+        return _SpanContext(self, span)
+
+    @property
+    def active(self) -> "Span | None":
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all finished spans and any leaked open ones."""
+        self.finished.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self.finished)

@@ -9,7 +9,9 @@ shifts as the battery drains) rather than just end-state aggregates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import csv
+import pathlib
+from dataclasses import asdict, dataclass, field, fields
 
 from ..baselines.base import BatchReport
 from ..errors import SimulationError
@@ -76,6 +78,10 @@ class TimelineRecorder:
         """Per-batch energy — BEES' falls as Ebat drains (EAAS)."""
         return [row.energy_j for row in self.rows]
 
+    def bytes_series(self) -> "list[int]":
+        """Per-batch uplink bytes — the bandwidth trajectory."""
+        return [row.bytes_sent for row in self.rows]
+
     def upload_ratio_series(self) -> "list[float]":
         """Per-batch fraction of images actually uploaded."""
         return [
@@ -86,3 +92,19 @@ class TimelineRecorder:
     def total_energy_j(self) -> float:
         """Total joules across all recorded batches."""
         return float(sum(row.energy_j for row in self.rows))
+
+    # -- exports ---------------------------------------------------------------
+
+    def to_dicts(self) -> "list[dict]":
+        """The timeline as plain dicts — the shared data path that the
+        observability exporters and notebooks both consume."""
+        return [asdict(row) for row in self.rows]
+
+    def to_csv(self, path) -> int:
+        """Write one CSV row per batch to *path*; returns row count."""
+        columns = [column.name for column in fields(TimelineRow)]
+        with pathlib.Path(path).open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(self.to_dicts())
+        return len(self.rows)

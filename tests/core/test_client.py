@@ -67,6 +67,32 @@ class TestPipeline:
         assert len(report.per_image_seconds) == len(batch)
         assert report.total_seconds == pytest.approx(sum(report.per_image_seconds))
         assert report.average_image_seconds > 0
+        # Nothing was cross-batch eliminated, so there is no
+        # elimination-phase overhead to attribute.
+        assert report.elimination_seconds == 0.0
+
+    def test_eliminated_images_do_not_inflate_total_seconds(
+        self, device, batch, generator
+    ):
+        """Regression: CBRD-eliminated images used to leave their AFE +
+        feature-upload seconds in ``per_image_seconds`` (and therefore
+        ``total_seconds``); that time is elimination overhead and now
+        lands in ``elimination_seconds`` instead."""
+        scheme = BeesScheme()
+        partner = generator.view(20, 4, image_id="seed-20-delay", group_id="s20")
+        server = build_server(scheme, [partner])
+        report = scheme.process_batch(device, server, batch)
+        assert report.eliminated_cross_batch  # the seed must bite
+        assert len(report.per_image_seconds) == len(batch) - len(
+            report.eliminated_cross_batch
+        )
+        assert report.total_seconds == pytest.approx(sum(report.per_image_seconds))
+        assert report.elimination_seconds > 0.0
+        # The paper's Figure-11 average still counts the detection-only
+        # cost of eliminated images.
+        assert report.average_image_seconds == pytest.approx(
+            (report.total_seconds + report.elimination_seconds) / len(batch)
+        )
 
     def test_empty_battery_halts(self, batch):
         device = Smartphone()

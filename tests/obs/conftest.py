@@ -1,0 +1,12 @@
+"""Observability test fixtures: never leak an enabled global context."""
+
+import pytest
+
+from repro.obs import disable
+
+
+@pytest.fixture(autouse=True)
+def reset_observability():
+    """Leave the process-wide context disabled after every test."""
+    yield
+    disable()

@@ -1,0 +1,147 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    MAX_LABEL_SETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_are_independent(self):
+        counter = Counter("c_total", "help", ("scheme",))
+        counter.inc(1, scheme="BEES")
+        counter.inc(2, scheme="MRC")
+        assert counter.value(scheme="BEES") == 1
+        assert counter.value(scheme="MRC") == 2
+
+    def test_never_decreases(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_untouched_series_reads_zero(self):
+        counter = Counter("c_total", "help", ("scheme",))
+        assert counter.value(scheme="nope") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13
+
+
+class TestLabelValidation:
+    def test_unknown_label_rejected(self):
+        counter = Counter("c_total", "help", ("scheme",))
+        with pytest.raises(ObservabilityError):
+            counter.inc(1, scheme="BEES", extra="nope")
+
+    def test_missing_label_rejected(self):
+        counter = Counter("c_total", "help", ("scheme", "stage"))
+        with pytest.raises(ObservabilityError):
+            counter.inc(1, scheme="BEES")
+
+    def test_cardinality_cap_enforced(self):
+        counter = Counter("c_total", "help", ("image_id",))
+        for index in range(MAX_LABEL_SETS):
+            counter.inc(1, image_id=f"img-{index}")
+        with pytest.raises(ObservabilityError):
+            counter.inc(1, image_id="one-too-many")
+        # existing series keep working at the cap
+        counter.inc(1, image_id="img-0")
+        assert counter.value(image_id="img-0") == 2
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter("bad name!", "help")
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_lower_bucket(self):
+        # `le` is inclusive: an observation equal to a bound belongs to
+        # that bound's bucket.
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(2.0001)
+        cumulative = dict(histogram.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 2
+        assert cumulative[4.0] == 3
+        assert cumulative[math.inf] == 3
+
+    def test_overflow_goes_to_inf_only(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        histogram.observe(100.0)
+        cumulative = dict(histogram.cumulative_buckets())
+        assert cumulative[1.0] == 0
+        assert cumulative[math.inf] == 1
+
+    def test_sum_and_count(self):
+        histogram = Histogram("h", "help", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            histogram.observe(value)
+        series = histogram.value()
+        assert series.count == 3
+        assert series.sum == pytest.approx(22.5)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", "help", buckets=())
+
+    def test_explicit_inf_bucket_is_folded(self):
+        histogram = Histogram("h", "help", buckets=(1.0, math.inf))
+        assert histogram.buckets == (1.0,)
+
+    def test_labeled_histograms_are_independent(self):
+        histogram = Histogram("h", "help", ("stage",), buckets=(1.0,))
+        histogram.observe(0.5, stage="afe")
+        histogram.observe(0.7, stage="aiu")
+        assert histogram.value(stage="afe").count == 1
+        assert histogram.value(stage="aiu").count == 1
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("scheme",))
+        second = registry.counter("c_total", "help", ("scheme",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m", "help")
+        with pytest.raises(ObservabilityError):
+            registry.counter("m", "help", ("scheme",))
+
+    def test_reset_clears_series_not_definitions(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.get("c_total") is counter

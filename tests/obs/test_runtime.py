@@ -1,0 +1,124 @@
+"""Tests for the process-wide observability context and the pipeline
+instrumentation that reports through it."""
+
+import pytest
+
+from repro.baselines import DirectUpload
+from repro.baselines.base import BatchReport
+from repro.core.client import BeesScheme
+from repro.obs import (
+    NULL_SPAN,
+    PIPELINE_STAGES,
+    configure,
+    disable,
+    generate_latest,
+    get_obs,
+)
+from repro.sim.device import Smartphone
+from repro.sim.session import build_server
+
+
+class TestGlobalContext:
+    def test_disabled_by_default(self):
+        obs = disable()
+        assert get_obs() is obs
+        assert not obs.enabled
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_configure_enables_and_replaces(self):
+        obs = configure()
+        assert obs.enabled
+        assert get_obs() is obs
+        replacement = configure()
+        assert get_obs() is replacement
+        assert replacement is not obs
+
+    def test_flush_writes_both_exports(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        obs = configure(trace_path=trace_path, metrics_path=metrics_path)
+        with obs.span("one"):
+            pass
+        obs.bytes_sent.inc(10, scheme="BEES")
+        written = obs.flush()
+        assert {str(trace_path), str(metrics_path)} == set(written)
+        assert trace_path.read_text().count("\n") == 1
+        assert "bees_bytes_sent_total" in metrics_path.read_text()
+
+    def test_exporters_listing(self, tmp_path):
+        assert disable().exporters() == []
+        obs = configure(trace_path=tmp_path / "t.jsonl")
+        assert obs.exporters() == [f"jsonl({tmp_path / 't.jsonl'})"]
+
+
+class TestBatchReportHook:
+    def test_report_folds_into_metrics(self):
+        obs = configure()
+        report = BatchReport(scheme="BEES", n_images=10)
+        report.uploaded_ids = ["a", "b"]
+        report.eliminated_cross_batch = ["c", "d", "e"]
+        report.eliminated_in_batch = ["f"]
+        report.bytes_sent = 2048
+        report.energy_by_category = {"image_upload": 5.0, "compression": 1.5}
+        obs.observe_batch_report(report)
+        assert obs.bytes_sent.value(scheme="BEES") == 2048
+        assert obs.energy_joules.value(scheme="BEES", category="image_upload") == 5.0
+        assert obs.eliminations.value(scheme="BEES", kind="cross") == 3
+        assert obs.eliminations.value(scheme="BEES", kind="in_batch") == 1
+        assert obs.images.value(scheme="BEES", outcome="input") == 10
+        assert obs.images.value(scheme="BEES", outcome="uploaded") == 2
+        assert obs.batches.value(scheme="BEES") == 1
+
+
+class TestPipelineInstrumentation:
+    @pytest.fixture(scope="class")
+    def batch(self, small_batch_features):
+        images, _ = small_batch_features
+        return images
+
+    def test_bees_batch_records_spans_and_stage_metrics(self, batch):
+        obs = configure()
+        scheme = BeesScheme()
+        scheme.process_batch(Smartphone(), build_server(scheme), batch)
+
+        names = {span.name for span in obs.tracer.finished}
+        assert {"bees.batch", "bees.afe", "bees.feature_upload", "bees.cbrd",
+                "bees.ssmm", "bees.aiu", "bees.image_upload"} <= names
+
+        by_id = {span.span_id: span for span in obs.tracer.finished}
+        roots = [span for span in obs.tracer.finished if span.name == "bees.batch"]
+        assert len(roots) == 1
+        for span in obs.tracer.finished:
+            if span.name.startswith("bees.") and span.name != "bees.batch":
+                assert by_id[span.parent_id].name == "bees.batch"
+
+        for stage in ("afe", "feature_upload", "aiu", "image_upload"):
+            assert stage in PIPELINE_STAGES
+            series = obs.stage_seconds.value(scheme="BEES", stage=stage)
+            assert series.count > 0, stage
+
+        assert obs.bytes_sent.value(scheme="BEES") > 0
+        assert obs.energy_joules.value(scheme="BEES", category="image_upload") > 0
+        assert obs.index_queries.value() == len(batch)
+        assert obs.index_size.value() > 0
+        assert obs.link_transfers.value() > 0
+        assert obs.link_bytes.value() == obs.bytes_sent.value(scheme="BEES")
+
+    def test_direct_upload_reports_through_shared_hook(self, batch):
+        obs = configure()
+        scheme = DirectUpload()
+        scheme.process_batch(Smartphone(), build_server(scheme), batch)
+        assert obs.batches.value(scheme="Direct Upload") == 1
+        assert obs.bytes_sent.value(scheme="Direct Upload") > 0
+        assert obs.images.value(scheme="Direct Upload", outcome="uploaded") == len(
+            batch
+        )
+
+    def test_disabled_pipeline_records_nothing(self, batch):
+        disable()
+        scheme = BeesScheme()
+        scheme.process_batch(Smartphone(), build_server(scheme), batch)
+        obs = get_obs()
+        assert len(obs.tracer) == 0
+        assert obs.bytes_sent.value(scheme="BEES") == 0
+        assert generate_latest(obs.registry).count("bees_stage_seconds_bucket") == 0

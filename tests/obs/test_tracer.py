@@ -1,0 +1,125 @@
+"""Tests for the span tracer: nesting, exception safety, no-op mode."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+
+class TestNesting:
+    def test_parent_ids_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_finished_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.finished] == ["outer", "inner"][::-1]
+
+    def test_active_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.active is None
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.active.name == "inner"
+            assert tracer.active.name == "outer"
+        assert tracer.active is None
+
+
+class TestTiming:
+    def test_duration_and_start_filled(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        span = tracer.finished[0]
+        assert span.duration >= 0.0
+        assert span.start > 0.0
+
+    def test_attributes_from_kwargs_and_setter(self):
+        tracer = Tracer()
+        with tracer.span("attrs", image_id="img-1", ebat=0.5) as span:
+            span.set_attribute("bytes", 1024)
+        recorded = tracer.finished[0].attributes
+        assert recorded == {"image_id": "img-1", "ebat": 0.5, "bytes": 1024}
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_and_span_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert len(tracer.finished) == 1
+        span = tracer.finished[0]
+        assert span.error == "ValueError: boom"
+        assert span.duration >= 0.0
+        assert tracer.active is None  # stack unwound
+
+    def test_outer_span_survives_inner_failure(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with pytest.raises(RuntimeError):
+                with tracer.span("inner"):
+                    raise RuntimeError("inner boom")
+            # outer is still the active span and can keep recording
+            assert tracer.active is outer
+        assert outer.error is None
+        assert tracer.finished[-1] is outer
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", key="value") is NULL_SPAN
+
+    def test_null_span_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as span:
+            span.set_attribute("ignored", 1)
+            with tracer.span("b"):
+                pass
+        assert tracer.finished == []
+        assert tracer.active is None
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        tracer = Tracer(enabled=False)
+        with pytest.raises(KeyError):
+            with tracer.span("a"):
+                raise KeyError("k")
+
+
+class TestSerialisation:
+    def test_to_dict_has_required_fields(self):
+        span = Span(name="n", span_id=3, parent_id=1, start=12.0, duration=0.5)
+        record = span.to_dict()
+        for key in ("name", "span_id", "parent_id", "start", "duration"):
+            assert key in record
+        assert "error" not in record
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        with tracer.span("y") as span:
+            pass
+        assert span.span_id == 0

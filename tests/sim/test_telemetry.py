@@ -45,6 +45,36 @@ class TestRecorder:
         assert recorder.energy_series() == [40.0, 20.0]
         assert recorder.upload_ratio_series() == [0.5, 0.2]
         assert recorder.total_energy_j() == 60.0
+        assert recorder.bytes_series() == [1000, 1000]
+
+
+class TestExports:
+    def test_to_dicts_matches_rows(self):
+        recorder = TimelineRecorder()
+        recorder.record(_report(scheme="BEES", uploaded=3, energy=40.0), 1.0, 0.9)
+        (row,) = recorder.to_dicts()
+        assert row["scheme"] == "BEES"
+        assert row["n_uploaded"] == 3
+        assert row["energy_j"] == 40.0
+        assert row["ebat_before"] == 1.0
+        assert row["ebat_after"] == 0.9
+        assert row["bytes_sent"] == 1000
+        assert row["halted"] is False
+
+    def test_to_csv_round_trips(self, tmp_path):
+        import csv
+
+        recorder = TimelineRecorder()
+        recorder.record(_report(), 1.0, 0.9)
+        recorder.record(_report(), 0.9, 0.85)
+        path = tmp_path / "timeline.csv"
+        assert recorder.to_csv(path) == 2
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["batch_index"] == "0"
+        assert rows[1]["ebat_before"] == "0.9"
+        assert set(rows[0]) == set(recorder.to_dicts()[0])
 
 
 class TestSessionIntegration:

@@ -29,6 +29,14 @@ class TestInfo:
         assert "EDR" in out
         assert "EAU" in out
 
+    def test_prints_observability_configuration(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        assert "enabled        False" in out
+        assert "exporters      (none)" in out
+        assert "stage buckets" in out
+
 
 class TestCompare:
     def test_small_comparison_runs(self, capsys):
@@ -46,6 +54,47 @@ class TestCompare:
         assert "Direct Upload" in out
         assert "BEES" in out
         assert "energy" in out
+
+    def test_trace_and_metrics_exports(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "compare",
+                "--images", "6",
+                "--in-batch", "1",
+                "--redundancy", "0.25",
+                "--schemes", "direct", "bees",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(trace_path) in out
+        assert str(metrics_path) in out
+
+        spans = [
+            json.loads(line) for line in trace_path.read_text().splitlines() if line
+        ]
+        assert spans
+        for span in spans:
+            for key in ("name", "start", "duration", "span_id", "parent_id"):
+                assert key in span
+        assert any(span["name"] == "bees.batch" for span in spans)
+
+        metrics_text = metrics_path.read_text()
+        assert "bees_bytes_sent_total" in metrics_text
+        assert "bees_energy_joules_total" in metrics_text
+        for stage in ("afe", "feature_upload", "aiu", "image_upload"):
+            assert f'bees_stage_seconds_bucket{{le="+Inf",scheme="BEES",stage="{stage}"}}' in metrics_text
+
+        # The global context must be back to disabled after the command.
+        from repro.obs import get_obs
+
+        assert not get_obs().enabled
 
     def test_photonet_selectable(self, capsys):
         code = main(
@@ -98,6 +147,32 @@ class TestShare:
 
         with pytest.raises(DatasetError):
             main(["share", str(tmp_path / "missing")])
+
+
+class TestMetricsCommand:
+    def test_renders_captured_metrics_file(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "compare",
+                    "--images", "5",
+                    "--in-batch", "0",
+                    "--schemes", "bees",
+                    "--metrics", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bees_bytes_sent_total" in out
+        assert "scheme=BEES" in out
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["metrics", str(tmp_path / "nope.prom")])
 
 
 class TestCoverage:
