@@ -26,10 +26,24 @@ from repro.core.policies import (
 from repro.sim.device import Smartphone
 from repro.sim.session import build_server
 
-from common import disaster_batch
+from common import BATCH_SIZE, IN_BATCH_SIMILAR, disaster_batch, merge_params, report_summary
 
 EBAT = 0.1
 REDUNDANCY = 0.25
+
+PARAMS = {"n_images": BATCH_SIZE, "n_inbatch_similar": IN_BATCH_SIMILAR}
+QUICK_PARAMS = {"n_images": 12, "n_inbatch_similar": 2}
+
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    results = run_ablation(
+        n_images=p["n_images"], n_inbatch_similar=p["n_inbatch_similar"]
+    )
+    return {
+        "variants": {name: report_summary(report) for name, report in results.items()}
+    }
 
 
 def _variants():
@@ -47,8 +61,12 @@ def _variants():
     }
 
 
-def run_ablation():
-    data, batch = disaster_batch(seed=6)
+def run_ablation(
+    n_images: int = BATCH_SIZE, n_inbatch_similar: int = IN_BATCH_SIMILAR
+):
+    data, batch = disaster_batch(
+        seed=6, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+    )
     partners = data.cross_batch_partners(batch, REDUNDANCY, seed=106)
     results = {}
     for name, config in _variants().items():

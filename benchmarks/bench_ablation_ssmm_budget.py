@@ -20,20 +20,47 @@ from repro.core.ssmm import select_unique_subset, similarity_matrix
 from repro.datasets.disaster import DisasterDataset
 from repro.features.orb import OrbExtractor
 
+from common import merge_params
+
 BATCH = 24
 CUT = 0.019
 #: (label, n_inbatch_similar) — batches from diverse to duplicate-heavy.
 BATCH_SHAPES = [("diverse", 0), ("mixed", 6), ("duplicate-heavy", 12)]
 FIXED_BUDGETS = (6, 12, 18)
 
+PARAMS = {"batch_size": BATCH}
+QUICK_PARAMS = {"batch_size": 12}
 
-def run_ablation():
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    rows = run_ablation(batch_size=p["batch_size"])
+    return {
+        "batches": [
+            {
+                "batch": label,
+                "distinct_scenes": int(distinct),
+                "rules": {
+                    rule: {"uploads": int(uploads), "scenes_kept": int(kept)}
+                    for rule, (uploads, kept) in entries.items()
+                },
+            }
+            for label, distinct, entries in rows
+        ]
+    }
+
+
+def run_ablation(batch_size: int = BATCH):
     data = DisasterDataset()
     extractor = OrbExtractor()
     rows = []
     for label, n_similar in BATCH_SHAPES:
         batch = data.make_batch(
-            n_images=BATCH, n_inbatch_similar=n_similar, seed=7, scene_offset=n_similar * 500
+            n_images=batch_size,
+            n_inbatch_similar=min(n_similar, batch_size // 2),
+            seed=7,
+            scene_offset=n_similar * 500,
         )
         features = [extractor.extract(image) for image in batch]
         weights = similarity_matrix(features)

@@ -27,6 +27,8 @@ from repro.dtn import CareDropPolicy, CarriedImage, EpidemicSimulation, FifoDrop
 from repro.features.orb import OrbExtractor
 from repro.imaging.synth import SceneGenerator
 
+from common import merge_params
+
 N_IMAGES = 30
 N_INBATCH = 12  # heavy duplication: buffer pressure must matter
 N_NODES = 5
@@ -35,12 +37,33 @@ ROUNDS = 40
 GATEWAY_PROBABILITY = 0.1
 SEEDS = tuple(range(6))
 
+PARAMS = {"n_images": N_IMAGES, "n_inbatch_similar": N_INBATCH, "n_seeds": len(SEEDS), "rounds": ROUNDS}
+QUICK_PARAMS = {"n_images": 16, "n_inbatch_similar": 6, "n_seeds": 2, "rounds": 25}
 
-def _node_queues():
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    data = run_dtn_comparison(**p)
+    return {
+        "n_scenes": int(data["n_scenes"]),
+        "policies": {
+            name: [
+                {"unique_groups": int(g), "delivered": int(d), "transmissions": int(t)}
+                for g, d, t in per_seed
+            ]
+            for name, per_seed in data["results"].items()
+        },
+    }
+
+
+def _node_queues(n_images: int = N_IMAGES, n_inbatch_similar: int = N_INBATCH):
     """Per-node photo queues with bursts co-located at one node."""
     data = DisasterDataset(generator=SceneGenerator(height=72, width=96))
     extractor = OrbExtractor()
-    batch = data.make_batch(n_images=N_IMAGES, n_inbatch_similar=N_INBATCH, seed=9)
+    batch = data.make_batch(
+        n_images=n_images, n_inbatch_similar=n_inbatch_similar, seed=9
+    )
     by_scene = defaultdict(list)
     for image in batch:
         by_scene[image.group_id].append(
@@ -53,12 +76,17 @@ def _node_queues():
     return dict(queues), len(scenes)
 
 
-def run_dtn_comparison():
-    queues, n_scenes = _node_queues()
+def run_dtn_comparison(
+    n_images: int = N_IMAGES,
+    n_inbatch_similar: int = N_INBATCH,
+    n_seeds: int = len(SEEDS),
+    rounds: int = ROUNDS,
+):
+    queues, n_scenes = _node_queues(n_images, n_inbatch_similar)
     results = {}
     for policy_factory in (FifoDropPolicy, CareDropPolicy):
         per_seed = []
-        for seed in SEEDS:
+        for seed in range(n_seeds):
             sim = EpidemicSimulation(
                 n_nodes=N_NODES,
                 buffer_capacity=CAPACITY,
@@ -69,7 +97,7 @@ def run_dtn_comparison():
                 seed=seed,
             )
             pending = {node: list(queue) for node, queue in queues.items()}
-            for _ in range(ROUNDS):
+            for _ in range(rounds):
                 for node, queue in pending.items():
                     if queue:
                         sim.inject(node, queue.pop(0))

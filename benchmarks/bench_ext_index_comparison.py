@@ -25,12 +25,23 @@ from repro.datasets.kentucky import SyntheticKentucky
 from repro.features.orb import OrbExtractor
 from repro.index import BagOfWordsIndex, FeatureIndex, VocabularyTree
 
+from common import merge_params
+
 N_GROUPS = 20
 TOP_K = 4
 
+PARAMS = {"n_groups": N_GROUPS}
+QUICK_PARAMS = {"n_groups": 8}
 
-def run_index_comparison():
-    dataset = SyntheticKentucky(n_groups=N_GROUPS)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    return {"indexes": run_index_comparison(n_groups=p["n_groups"])}
+
+
+def run_index_comparison(n_groups: int = N_GROUPS):
+    dataset = SyntheticKentucky(n_groups=n_groups)
     extractor = OrbExtractor()
     features = {image.image_id: extractor.extract(image) for image in dataset}
     group_of = {image.image_id: image.group_id for image in dataset}
@@ -45,7 +56,7 @@ def run_index_comparison():
     for feature_set in features.values():
         bow.add(feature_set)
 
-    queries = [dataset.image(group, 0) for group in range(N_GROUPS)]
+    queries = [dataset.image(group, 0) for group in range(n_groups)]
     results = {}
     for name, index in (("LSH + exact verify", lsh), ("vocabulary tree (BoW)", bow)):
         precisions = []

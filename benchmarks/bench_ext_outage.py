@@ -18,17 +18,52 @@ from repro.network.outage import OutageChannel
 from repro.sim.device import Smartphone
 from repro.sim.session import build_server
 
-from common import disaster_batch
+from common import BATCH_SIZE, IN_BATCH_SIMILAR, disaster_batch, merge_params, report_summary
 
 OUTAGE_LEVELS = (0.0, 0.1, 0.25)
 REDUNDANCY = 0.5
 
+PARAMS = {
+    "n_images": BATCH_SIZE,
+    "n_inbatch_similar": IN_BATCH_SIMILAR,
+    "outage_levels": list(OUTAGE_LEVELS),
+}
+QUICK_PARAMS = {
+    "n_images": 12,
+    "n_inbatch_similar": 2,
+    "outage_levels": [0.0, 0.25],
+}
 
-def run_outage_sweep():
-    data, batch = disaster_batch(seed=8)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    results = run_outage_sweep(
+        outage_levels=p["outage_levels"],
+        n_images=p["n_images"],
+        n_inbatch_similar=p["n_inbatch_similar"],
+    )
+    return {
+        "outage": {
+            str(outage): {
+                name: report_summary(report) for name, report in reports.items()
+            }
+            for outage, reports in results.items()
+        }
+    }
+
+
+def run_outage_sweep(
+    outage_levels=OUTAGE_LEVELS,
+    n_images: int = BATCH_SIZE,
+    n_inbatch_similar: int = IN_BATCH_SIMILAR,
+):
+    data, batch = disaster_batch(
+        seed=8, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+    )
     partners = data.cross_batch_partners(batch, REDUNDANCY, seed=108)
     results = {}
-    for outage in OUTAGE_LEVELS:
+    for outage in outage_levels:
         per_scheme = {}
         for scheme in (DirectUpload(), BeesScheme()):
             device = Smartphone(

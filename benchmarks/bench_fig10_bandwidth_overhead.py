@@ -12,11 +12,52 @@ from __future__ import annotations
 
 from repro.analysis.reporting import format_bytes, format_table
 
-from common import REDUNDANCY_RATIOS, run_comparison
+from common import (
+    BATCH_SIZE,
+    IN_BATCH_SIMILAR,
+    REDUNDANCY_RATIOS,
+    merge_params,
+    report_summary,
+    run_comparison,
+)
+
+PARAMS = {
+    "n_images": BATCH_SIZE,
+    "n_inbatch_similar": IN_BATCH_SIMILAR,
+    "ratios": list(REDUNDANCY_RATIOS),
+}
+QUICK_PARAMS = {"n_images": 12, "n_inbatch_similar": 2, "ratios": [0.0, 0.5]}
 
 
-def run_figure10():
-    return {ratio: run_comparison(ratio, seed=2) for ratio in REDUNDANCY_RATIOS}
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    sweep = run_figure10(
+        ratios=p["ratios"],
+        n_images=p["n_images"],
+        n_inbatch_similar=p["n_inbatch_similar"],
+    )
+    return {
+        "bandwidth": {
+            str(ratio): {
+                name: report_summary(report) for name, report in reports.items()
+            }
+            for ratio, reports in sweep.items()
+        }
+    }
+
+
+def run_figure10(
+    ratios=REDUNDANCY_RATIOS,
+    n_images: int = BATCH_SIZE,
+    n_inbatch_similar: int = IN_BATCH_SIMILAR,
+):
+    return {
+        ratio: run_comparison(
+            ratio, seed=2, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+        )
+        for ratio in ratios
+    }
 
 
 def test_fig10_bandwidth_overhead(benchmark, emit):

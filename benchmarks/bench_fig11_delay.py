@@ -17,17 +17,55 @@ from repro.network import KBPS, FluctuatingChannel, Uplink
 from repro.sim.device import Smartphone
 from repro.sim.session import build_server
 
-from common import comparison_schemes, disaster_batch
+from common import (
+    BATCH_SIZE,
+    IN_BATCH_SIMILAR,
+    comparison_schemes,
+    disaster_batch,
+    merge_params,
+)
 
 BITRATES_KBPS = (128, 256, 512)
 REDUNDANCY = 0.5
 
+PARAMS = {
+    "n_images": BATCH_SIZE,
+    "n_inbatch_similar": IN_BATCH_SIMILAR,
+    "bitrates_kbps": list(BITRATES_KBPS),
+}
+QUICK_PARAMS = {
+    "n_images": 12,
+    "n_inbatch_similar": 2,
+    "bitrates_kbps": [128, 512],
+}
 
-def run_figure11():
-    data, batch = disaster_batch(seed=4)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    results = run_figure11(
+        bitrates_kbps=p["bitrates_kbps"],
+        n_images=p["n_images"],
+        n_inbatch_similar=p["n_inbatch_similar"],
+    )
+    return {
+        "delay_seconds": {
+            str(kbps): dict(per_scheme) for kbps, per_scheme in results.items()
+        }
+    }
+
+
+def run_figure11(
+    bitrates_kbps=BITRATES_KBPS,
+    n_images: int = BATCH_SIZE,
+    n_inbatch_similar: int = IN_BATCH_SIMILAR,
+):
+    data, batch = disaster_batch(
+        seed=4, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+    )
     partners = data.cross_batch_partners(batch, REDUNDANCY, seed=104)
     results = {}
-    for kbps in BITRATES_KBPS:
+    for kbps in bitrates_kbps:
         per_scheme = {}
         for scheme in comparison_schemes():
             device = Smartphone(

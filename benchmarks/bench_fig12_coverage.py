@@ -21,7 +21,7 @@ from repro.datasets.geo import BoundingBox
 from repro.datasets.paris import SyntheticParis
 from repro.sim.coveragesim import CoverageExperiment
 
-from common import FAST_GENERATOR
+from common import FAST_GENERATOR, merge_params
 
 N_IMAGES = 600
 N_LOCATIONS = 150
@@ -29,20 +29,61 @@ N_PHONES = 3
 GROUP_SIZE = 15
 CAPACITY_FRACTION = 0.02
 
+PARAMS = {
+    "n_images": N_IMAGES,
+    "n_locations": N_LOCATIONS,
+    "n_phones": N_PHONES,
+    "group_size": GROUP_SIZE,
+    "capacity_fraction": CAPACITY_FRACTION,
+}
+QUICK_PARAMS = {
+    "n_images": 180,
+    "n_locations": 50,
+    "n_phones": 2,
+    "group_size": 10,
+    "capacity_fraction": 0.012,
+}
 
-def run_figure12():
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    data = run_figure12(**p)
+    return {
+        "dataset": {
+            "n_images": int(data["dataset"].n_images),
+            "n_unique_locations": int(data["dataset"].n_unique_locations),
+        },
+        "coverage": {
+            name: {
+                "images_uploaded": int(result.images_uploaded),
+                "locations_covered": int(result.locations_covered),
+                "locations_per_image": float(result.locations_per_image),
+            }
+            for name, result in data["results"].items()
+        },
+    }
+
+
+def run_figure12(
+    n_images: int = N_IMAGES,
+    n_locations: int = N_LOCATIONS,
+    n_phones: int = N_PHONES,
+    group_size: int = GROUP_SIZE,
+    capacity_fraction: float = CAPACITY_FRACTION,
+):
     dataset = SyntheticParis(
-        n_images=N_IMAGES, n_locations=N_LOCATIONS, seed=5, generator=FAST_GENERATOR
+        n_images=n_images, n_locations=n_locations, seed=5, generator=FAST_GENERATOR
     )
     experiment = CoverageExperiment(
         dataset=dataset,
-        n_phones=N_PHONES,
-        group_size=GROUP_SIZE,
+        n_phones=n_phones,
+        group_size=group_size,
         interval_s=300.0,
-        capacity_fraction=CAPACITY_FRACTION,
+        capacity_fraction=capacity_fraction,
     )
     test_summary = summarize_geotags(
-        [dataset.location(i) for i in range(N_LOCATIONS) for _ in range(int(dataset.location_counts[i]))]
+        [dataset.location(i) for i in range(n_locations) for _ in range(int(dataset.location_counts[i]))]
     )
     results = {}
     for scheme in (DirectUpload(), BeesScheme()):

@@ -21,12 +21,23 @@ from repro.energy import EnergyCostModel
 from repro.features.orb import OrbExtractor
 from repro.imaging.bitmap import compress_image
 
+from common import merge_params
+
 N_GROUPS = 30
 PROPORTIONS = [round(0.1 * i, 1) for i in range(10)]  # 0.0 .. 0.9
 
+PARAMS = {"n_groups": N_GROUPS}
+QUICK_PARAMS = {"n_groups": 8}
 
-def run_figure3():
-    dataset = SyntheticKentucky(n_groups=N_GROUPS)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    return {"rows": run_figure3(n_groups=p["n_groups"])}
+
+
+def run_figure3(n_groups: int = N_GROUPS):
+    dataset = SyntheticKentucky(n_groups=n_groups)
     extractor = OrbExtractor()
     cost_model = EnergyCostModel()
 

@@ -17,12 +17,34 @@ from repro.analysis.reporting import format_percent, format_table
 from repro.datasets.kentucky import SyntheticKentucky
 from repro.features.orb import OrbExtractor
 
+from common import merge_params
+
 N_PAIRS = 150  # per class; the paper uses 5,000
+N_GROUPS = 40
 THRESHOLDS = [0.005, 0.01, 0.013, 0.016, 0.019, 0.03, 0.05, 0.1, 0.2]
 
+PARAMS = {"n_groups": N_GROUPS, "n_pairs": N_PAIRS}
+QUICK_PARAMS = {"n_groups": 12, "n_pairs": 40}
 
-def run_figure4():
-    dataset = SyntheticKentucky(n_groups=40)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    points = run_figure4(n_groups=p["n_groups"], n_pairs=p["n_pairs"])
+    return {
+        "points": [
+            {
+                "threshold": point.threshold,
+                "tpr": point.true_positive_rate,
+                "fpr": point.false_positive_rate,
+            }
+            for point in points
+        ]
+    }
+
+
+def run_figure4(n_groups: int = N_GROUPS, n_pairs: int = N_PAIRS):
+    dataset = SyntheticKentucky(n_groups=n_groups)
     extractor = OrbExtractor()
     cache = {}
 
@@ -31,8 +53,8 @@ def run_figure4():
             cache[image.image_id] = extractor.extract(image)
         return cache[image.image_id]
 
-    pairs = dataset.similar_pairs(N_PAIRS, seed=11) + dataset.dissimilar_pairs(
-        N_PAIRS, seed=12
+    pairs = dataset.similar_pairs(n_pairs, seed=11) + dataset.dissimilar_pairs(
+        n_pairs, seed=12
     )
     similar, dissimilar = pair_similarities(pairs, extract)
     return rate_curve(similar, dissimilar, THRESHOLDS)

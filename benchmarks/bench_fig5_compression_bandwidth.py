@@ -18,13 +18,35 @@ from repro.imaging.jpeg import compress_quality
 from repro.imaging.resolution import compress_resolution
 from repro.imaging.ssim import ssim
 
+from common import merge_params
+
 N_IMAGES = 20  # per series; the paper plots 100/200/300
 QUALITY_PROPORTIONS = [0.0, 0.2, 0.4, 0.6, 0.8, 0.85, 0.9, 0.95]
 RESOLUTION_PROPORTIONS = [0.0, 0.2, 0.4, 0.6, 0.8]
 
+PARAMS = {"n_images": N_IMAGES}
+QUICK_PARAMS = {"n_images": 8}
 
-def run_figure5():
-    images = DisasterDataset().make_batch(n_images=N_IMAGES, n_inbatch_similar=0)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    data = run_figure5(n_images=p["n_images"])
+    return {
+        "baseline_bytes": data["baseline"],
+        "quality": [
+            {"proportion": prop, "bytes": total, "ssim": quality}
+            for prop, total, quality in data["quality"]
+        ],
+        "resolution": [
+            {"proportion": prop, "bytes": total}
+            for prop, total in data["resolution"]
+        ],
+    }
+
+
+def run_figure5(n_images: int = N_IMAGES):
+    images = DisasterDataset().make_batch(n_images=n_images, n_inbatch_similar=0)
     baseline = sum(image.nominal_bytes for image in images)
 
     quality_rows = []

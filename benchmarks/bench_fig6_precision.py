@@ -33,8 +33,19 @@ from repro.imaging.bitmap import compress_image
 from repro.imaging.synth import PerturbationSpec, SceneGenerator
 from repro.index import FeatureIndex
 
+from common import merge_params
+
 N_GROUPS = 25
 EBAT_LEVELS = (1.0, 0.7, 0.4, 0.1)
+
+PARAMS = {"n_groups": N_GROUPS}
+QUICK_PARAMS = {"n_groups": 8}
+
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    return {"precision": run_figure6(n_groups=p["n_groups"])}
 
 #: Harsh view perturbations (big shifts, zoom, lighting, noise) so the
 #: detectors are actually stressed.
@@ -60,9 +71,9 @@ def _precision_for(extractor, dataset, transform=None):
     return dataset_precision(server, queries, group_of)
 
 
-def run_figure6():
+def run_figure6(n_groups: int = N_GROUPS):
     dataset = SyntheticKentucky(
-        n_groups=N_GROUPS,
+        n_groups=n_groups,
         generator=SceneGenerator(perturbation=HARD_PERTURBATION),
     )
     results = {}

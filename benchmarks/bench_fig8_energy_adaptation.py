@@ -24,13 +24,34 @@ from repro.energy import (
 from repro.sim.device import Smartphone
 from repro.sim.session import build_server
 
-from common import disaster_batch
+from common import BATCH_SIZE, IN_BATCH_SIMILAR, disaster_batch, merge_params
 
 EBAT_LEVELS = (1.0, 0.7, 0.4, 0.1)
 
+PARAMS = {"n_images": BATCH_SIZE, "n_inbatch_similar": IN_BATCH_SIMILAR}
+QUICK_PARAMS = {"n_images": 12, "n_inbatch_similar": 2}
 
-def run_figure8():
-    data, batch = disaster_batch(seed=3)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    results = run_figure8(
+        n_images=p["n_images"], n_inbatch_similar=p["n_inbatch_similar"]
+    )
+    return {
+        "energy_by_category": {
+            str(ebat): {cat: float(j) for cat, j in by_category.items()}
+            for ebat, by_category in results.items()
+        }
+    }
+
+
+def run_figure8(
+    n_images: int = BATCH_SIZE, n_inbatch_similar: int = IN_BATCH_SIMILAR
+):
+    data, batch = disaster_batch(
+        seed=3, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+    )
     partners = data.cross_batch_partners(batch, 0.25, seed=103)
     results = {}
     for ebat in EBAT_LEVELS:

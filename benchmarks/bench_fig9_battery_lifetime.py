@@ -22,21 +22,49 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.sim.lifetime import LifetimeExperiment
 
-from common import FAST_GENERATOR, lifetime_schemes
+from common import FAST_GENERATOR, lifetime_schemes, merge_params
 
 GROUP_SIZE = 12
 INTERVAL_S = 300.0
 CAPACITY_FRACTION = 0.15
+MAX_GROUPS = 200
+
+PARAMS = {
+    "group_size": GROUP_SIZE,
+    "capacity_fraction": CAPACITY_FRACTION,
+    "max_groups": MAX_GROUPS,
+}
+QUICK_PARAMS = {"group_size": 6, "capacity_fraction": 0.04, "max_groups": 60}
 
 
-def run_figure9():
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    results = run_figure9(**p)
+    return {
+        "lifetime": {
+            name: {
+                "lifetime_minutes": float(result.lifetime_minutes),
+                "groups_completed": int(result.groups_completed),
+                "images_uploaded": int(result.images_uploaded),
+            }
+            for name, result in results.items()
+        }
+    }
+
+
+def run_figure9(
+    group_size: int = GROUP_SIZE,
+    capacity_fraction: float = CAPACITY_FRACTION,
+    max_groups: int = MAX_GROUPS,
+):
     results = {}
     for scheme in lifetime_schemes():
         experiment = LifetimeExperiment(
-            group_size=GROUP_SIZE,
+            group_size=group_size,
             interval_s=INTERVAL_S,
-            capacity_fraction=CAPACITY_FRACTION,
-            max_groups=200,
+            capacity_fraction=capacity_fraction,
+            max_groups=max_groups,
             generator=FAST_GENERATOR,
         )
         results[scheme.name] = experiment.run(scheme)

@@ -22,6 +22,8 @@ from repro.features.pca_sift import PcaSiftExtractor
 from repro.features.sift import SiftExtractor
 from repro.features.sizes import nominal_feature_count, space_overheads
 
+from common import merge_params
+
 SAMPLE_IMAGES = 10
 
 DATASETS = {
@@ -30,9 +32,33 @@ DATASETS = {
     "Paris": (501_356, 1024 * 768, 756 * 1024),
 }
 
+PARAMS = {"sample_images": SAMPLE_IMAGES}
+QUICK_PARAMS = {"sample_images": 4}
 
-def run_table1():
-    dataset = SyntheticKentucky(n_groups=SAMPLE_IMAGES)
+
+def run(params: "dict | None" = None) -> dict:
+    """Registered bench entry point (``repro bench run``)."""
+    p = merge_params(PARAMS, params)
+    table = run_table1(sample_images=p["sample_images"])
+    return {
+        "space": {
+            name: {
+                "image_bytes_total": int(data["image_bytes_total"]),
+                "features": {
+                    row.kind: {
+                        "total_bytes": int(row.total_bytes),
+                        "fraction_of_sift": float(row.fraction_of_sift),
+                    }
+                    for row in data["rows"]
+                },
+            }
+            for name, data in table.items()
+        }
+    }
+
+
+def run_table1(sample_images: int = SAMPLE_IMAGES):
+    dataset = SyntheticKentucky(n_groups=sample_images)
     samples = dataset.query_images()
     extractors = {
         "sift": SiftExtractor(),

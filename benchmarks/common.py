@@ -2,10 +2,14 @@
 
 The benches run the paper's experiments at a laptop-friendly scale; the
 constants here are the single place where that scale is set.  Every
-builder is deterministic.
+builder is deterministic, and every builder takes the scale knobs as
+keyword arguments (defaulting to the constants) so the registered
+``repro bench`` cases can run the same code at ``--quick`` sizes.
 """
 
 from __future__ import annotations
+
+import pathlib
 
 from repro.baselines import DirectUpload, Mrc, SmartEye, make_bees_ea
 from repro.core.client import BeesScheme
@@ -24,6 +28,23 @@ REDUNDANCY_RATIOS = (0.0, 0.25, 0.5, 0.75)
 #: Smaller scenes keep the long simulations fast.
 FAST_GENERATOR = SceneGenerator(height=72, width=96)
 
+#: Where the benches' figure blocks land (one file per run, gitignored).
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(title: str, body: str, filename: str = "results.txt") -> pathlib.Path:
+    """Append one figure block to ``benchmarks/results/<filename>``.
+
+    Creates the directory on first use; returns the path written.  The
+    per-run file replaces the old repo-root ``results.txt`` that every
+    run clobbered in place.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    with path.open("a") as handle:
+        handle.write(f"\n== {title} ==\n{body}\n")
+    return path
+
 
 def comparison_schemes():
     """The four schemes of Figures 7, 10, 11 (fresh instances)."""
@@ -35,21 +56,58 @@ def lifetime_schemes():
     return [DirectUpload(), SmartEye(), Mrc(), make_bees_ea(), BeesScheme()]
 
 
-def disaster_batch(seed: int = 1):
+def disaster_batch(
+    seed: int = 1,
+    n_images: int = BATCH_SIZE,
+    n_inbatch_similar: int = IN_BATCH_SIMILAR,
+):
     """The Figure-7 style controlled batch."""
     data = DisasterDataset()
     return data, data.make_batch(
-        n_images=BATCH_SIZE, n_inbatch_similar=IN_BATCH_SIMILAR, seed=seed
+        n_images=n_images, n_inbatch_similar=n_inbatch_similar, seed=seed
     )
 
 
-def run_comparison(ratio: float, schemes=None, seed: int = 1):
+def run_comparison(
+    ratio: float,
+    schemes=None,
+    seed: int = 1,
+    n_images: int = BATCH_SIZE,
+    n_inbatch_similar: int = IN_BATCH_SIMILAR,
+):
     """Run the controlled batch through each scheme at one redundancy
     ratio; returns ``{scheme_name: BatchReport}``."""
-    data, batch = disaster_batch(seed)
+    data, batch = disaster_batch(
+        seed, n_images=n_images, n_inbatch_similar=n_inbatch_similar
+    )
     partners = data.cross_batch_partners(batch, ratio, seed=seed + 100)
     reports = {}
     for scheme in schemes or comparison_schemes():
         server = build_server(scheme, partners)
         reports[scheme.name] = scheme.process_batch(Smartphone(), server, batch)
     return reports
+
+
+def report_summary(report) -> dict:
+    """Distil one :class:`BatchReport` into a JSON-able summary dict."""
+    return {
+        "bytes_sent": int(report.bytes_sent),
+        "energy_j": float(report.total_energy_j),
+        "n_uploaded": int(report.n_uploaded),
+        "eliminated_cross": len(report.eliminated_cross_batch),
+        "eliminated_in_batch": len(report.eliminated_in_batch),
+        "avg_image_seconds": float(report.average_image_seconds),
+        "halted": bool(report.halted),
+    }
+
+
+def merge_params(defaults: dict, params: "dict | None") -> dict:
+    """Overlay *params* on *defaults*, rejecting unknown keys loudly."""
+    merged = dict(defaults)
+    for key, value in (params or {}).items():
+        if key not in defaults:
+            raise KeyError(
+                f"unknown bench parameter {key!r}; expected one of {sorted(defaults)}"
+            )
+        merged[key] = value
+    return merged

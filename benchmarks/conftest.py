@@ -3,17 +3,16 @@
 Every bench regenerates one table/figure of the paper's evaluation and
 prints its rows.  The ``emit`` fixture bypasses pytest's capture (so the
 figures appear on the terminal even without ``-s``) and appends every
-figure to ``benchmarks/results.txt`` for the record.
+figure to a per-run file under ``benchmarks/results/`` (gitignored) —
+runs no longer clobber each other's output in place.
 """
 
 from __future__ import annotations
 
 import importlib.util
-import pathlib
+import time
 
 import pytest
-
-RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 
 #: The benches need the library (and numpy underneath it) plus the
 #: optional ``pytest-benchmark`` plugin for their ``benchmark`` fixture.
@@ -33,8 +32,18 @@ if _MISSING:
             f"benchmarks need missing optional deps: {', '.join(_MISSING)}"
         )
 
+    def save_result(title: str, body: str, filename: str):  # pragma: no cover
+        raise pytest.UsageError(
+            f"benchmarks need missing optional deps: {', '.join(_MISSING)}"
+        )
+
 else:
     from repro.analysis.reporting import print_figure
+
+    from common import save_result
+
+#: One results file per pytest session, stamped at collection time.
+_SESSION_FILENAME = time.strftime("results-%Y%m%d-%H%M%S.txt")
 
 
 @pytest.fixture()
@@ -44,13 +53,6 @@ def emit(capsys):
     def _emit(title: str, body: str) -> None:
         with capsys.disabled():
             print_figure(title, body)
-        with RESULTS_PATH.open("a") as handle:
-            handle.write(f"\n== {title} ==\n{body}\n")
+        save_result(title, body, filename=_SESSION_FILENAME)
 
     return _emit
-
-
-def pytest_sessionstart(session):
-    """Start each bench session with a fresh results file."""
-    if RESULTS_PATH.exists():
-        RESULTS_PATH.unlink()

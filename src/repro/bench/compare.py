@@ -1,0 +1,177 @@
+"""Diff two ``BENCH_*.json`` artifacts and flag regressions.
+
+The comparator scores each case on three headline series — wall-clock
+seconds, total bytes sent, and total energy joules — and flags a
+regression when the candidate grows past a configurable relative
+threshold over the baseline (default: 10%, the figure the paper's own
+bandwidth/energy claims are an order of magnitude larger than).  Bytes
+and joules are deterministic in this simulation, so any growth there is
+a real behaviour change; wall time is hardware-noisy, which is why its
+threshold is separate and why CI treats it as a warning first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import BenchError
+from .schema import read_artifact, validate_artifact
+
+#: Relative growth beyond which a metric counts as regressed.
+DEFAULT_THRESHOLDS = {"wall_seconds": 0.10, "bytes_sent": 0.10, "energy_joules": 0.10}
+
+#: Ignore absolute values below this when computing relative growth —
+#: a 3-byte case doubling to 6 bytes is noise, not a regression.
+MIN_BASELINE = {"wall_seconds": 0.05, "bytes_sent": 1024.0, "energy_joules": 0.5}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one case, in both artifacts."""
+
+    metric: str
+    baseline: float
+    candidate: float
+    regressed: bool
+
+    @property
+    def relative(self) -> float:
+        """Relative growth (0.1 = +10%); ``inf`` for a zero baseline."""
+        if self.baseline == 0:
+            return math.inf if self.candidate > 0 else 0.0
+        return self.candidate / self.baseline - 1.0
+
+
+@dataclass
+class CaseComparison:
+    """All compared metrics of one case."""
+
+    case_id: str
+    deltas: "list[MetricDelta]" = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return any(delta.regressed for delta in self.deltas)
+
+
+@dataclass
+class ComparisonResult:
+    """The full diff of two artifacts."""
+
+    cases: "list[CaseComparison]" = field(default_factory=list)
+    missing_in_candidate: "list[str]" = field(default_factory=list)
+    added_in_candidate: "list[str]" = field(default_factory=list)
+
+    @property
+    def regressions(self) -> "list[CaseComparison]":
+        return [case for case in self.cases if case.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no case disappeared."""
+        return not self.regressions and not self.missing_in_candidate
+
+
+def _case_totals(case_block: dict) -> dict:
+    """The three headline series of one case block."""
+    return {
+        "wall_seconds": float(case_block["wall_seconds"]),
+        "bytes_sent": float(sum(case_block["bytes_sent"].values())),
+        "energy_joules": float(sum(case_block["energy_joules"].values())),
+    }
+
+
+def compare_artifacts(
+    baseline: dict, candidate: dict, thresholds: "dict | None" = None
+) -> ComparisonResult:
+    """Diff *candidate* against *baseline* (validated artifact dicts)."""
+    validate_artifact(baseline)
+    validate_artifact(candidate)
+    limits = dict(DEFAULT_THRESHOLDS)
+    for metric, value in (thresholds or {}).items():
+        if metric not in limits:
+            raise BenchError(
+                f"unknown comparison metric {metric!r}; "
+                f"choose from {sorted(limits)}"
+            )
+        limits[metric] = float(value)
+    base_cases = baseline["cases"]
+    cand_cases = candidate["cases"]
+    result = ComparisonResult(
+        missing_in_candidate=sorted(set(base_cases) - set(cand_cases)),
+        added_in_candidate=sorted(set(cand_cases) - set(base_cases)),
+    )
+    for case_id in (key for key in base_cases if key in cand_cases):
+        base_totals = _case_totals(base_cases[case_id])
+        cand_totals = _case_totals(cand_cases[case_id])
+        comparison = CaseComparison(case_id=case_id)
+        for metric, base_value in base_totals.items():
+            cand_value = cand_totals[metric]
+            regressed = (
+                base_value >= MIN_BASELINE[metric]
+                and cand_value > base_value * (1.0 + limits[metric])
+            )
+            comparison.deltas.append(
+                MetricDelta(
+                    metric=metric,
+                    baseline=base_value,
+                    candidate=cand_value,
+                    regressed=regressed,
+                )
+            )
+        result.cases.append(comparison)
+    return result
+
+
+def compare_files(
+    baseline_path, candidate_path, thresholds: "dict | None" = None
+) -> ComparisonResult:
+    """:func:`compare_artifacts` over two artifact files."""
+    return compare_artifacts(
+        read_artifact(baseline_path), read_artifact(candidate_path), thresholds
+    )
+
+
+def format_comparison(result: ComparisonResult) -> str:
+    """Render the per-case delta table plus a verdict line."""
+    from ..analysis.reporting import format_table  # lazy: avoids import cycle
+
+    rows = []
+    for case in result.cases:
+        for delta in case.deltas:
+            relative = delta.relative
+            shown = "new" if math.isinf(relative) else f"{relative:+.1%}"
+            rows.append(
+                [
+                    case.case_id,
+                    delta.metric,
+                    f"{delta.baseline:.4g}",
+                    f"{delta.candidate:.4g}",
+                    shown,
+                    "REGRESSED" if delta.regressed else "ok",
+                ]
+            )
+    lines = []
+    if rows:
+        lines.append(
+            format_table(
+                ["case", "metric", "baseline", "candidate", "delta", "verdict"], rows
+            )
+        )
+    for case_id in result.missing_in_candidate:
+        lines.append(f"MISSING: case {case_id!r} present in baseline only")
+    for case_id in result.added_in_candidate:
+        lines.append(f"new case {case_id!r} (candidate only, not compared)")
+    verdict = (
+        "no regressions"
+        if result.ok
+        else f"{len(result.regressions)} case(s) regressed"
+        + (
+            f", {len(result.missing_in_candidate)} missing"
+            if result.missing_in_candidate
+            else ""
+        )
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

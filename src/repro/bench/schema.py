@@ -1,0 +1,127 @@
+"""The ``BENCH_*.json`` artifact schema.
+
+One artifact captures one ``repro bench run``: an environment block
+(python/numpy/platform/git SHA), and per-case telemetry — wall time,
+per-stage latency summaries (p50/p95/p99 from ``bees_stage_seconds``),
+bytes sent, energy joules, elimination counts, and the case's own
+summary dict.  Artifacts are versioned so the comparator can refuse to
+diff across incompatible layouts, and validated on both write and read.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+
+from .. import __version__
+from ..errors import BenchError
+
+#: Bump when the artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Numeric per-case fields every artifact must carry.
+_CASE_SCALARS = ("wall_seconds",)
+#: Mapping-valued per-case fields every artifact must carry.
+_CASE_MAPPINGS = ("stage_seconds", "bytes_sent", "energy_joules", "eliminations")
+#: Keys every stage summary must carry.
+_STAGE_KEYS = ("count", "sum", "mean", "p50", "p95", "p99")
+
+
+def git_sha() -> "str | None":
+    """The current git commit, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_block() -> dict:
+    """The reproducibility context stamped into every artifact."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "repro": __version__,
+        "git_sha": git_sha(),
+        "argv": list(sys.argv),
+    }
+
+
+def validate_artifact(artifact: object) -> dict:
+    """Check *artifact* against the schema; returns it on success.
+
+    Raises :class:`BenchError` naming the first offending path — the
+    comparator and the CLI both call this before trusting a file.
+    """
+    if not isinstance(artifact, dict):
+        raise BenchError(f"artifact must be a JSON object, got {type(artifact).__name__}")
+    version = artifact.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchError(
+            f"unsupported artifact schema_version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    for key in ("run_id", "env", "cases"):
+        if key not in artifact:
+            raise BenchError(f"artifact missing required key {key!r}")
+    if not isinstance(artifact["env"], dict):
+        raise BenchError("artifact 'env' must be an object")
+    cases = artifact["cases"]
+    if not isinstance(cases, dict):
+        raise BenchError("artifact 'cases' must be an object keyed by case id")
+    for case_id, case in cases.items():
+        where = f"cases[{case_id!r}]"
+        if not isinstance(case, dict):
+            raise BenchError(f"{where} must be an object")
+        for key in _CASE_SCALARS:
+            if not isinstance(case.get(key), (int, float)):
+                raise BenchError(f"{where}.{key} must be a number")
+        for key in _CASE_MAPPINGS:
+            if not isinstance(case.get(key), dict):
+                raise BenchError(f"{where}.{key} must be an object")
+        for series, summary in case["stage_seconds"].items():
+            if not isinstance(summary, dict) or any(
+                key not in summary for key in _STAGE_KEYS
+            ):
+                raise BenchError(
+                    f"{where}.stage_seconds[{series!r}] must carry {_STAGE_KEYS}"
+                )
+    return artifact
+
+
+def write_artifact(artifact: dict, path) -> pathlib.Path:
+    """Validate and pretty-print *artifact* to *path*."""
+    validate_artifact(artifact)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_artifact(path) -> dict:
+    """Load and validate one ``BENCH_*.json`` file."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchError(f"no such artifact: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"{path} is not valid JSON: {exc}") from None
+    return validate_artifact(data)

@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands drive the main experiments without writing code:
+Seven subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
 * ``coverage`` — the multi-phone city-coverage run (Fig. 12)
 * ``share``    — run a scheme over a folder of real PPM/PGM photos
+* ``bench``    — the benchmark telemetry harness (run/list/compare/report)
 * ``metrics``  — render a captured Prometheus metrics file as a table
 * ``info``     — versions, device profile, policies, observability
 
@@ -18,10 +19,13 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 
+from . import bench as bench_module
 from . import obs as obs_module
 from . import __version__
+from .errors import BenchError
 from .analysis.charts import bar_chart, sparkline
 from .analysis.reporting import format_bytes, format_table
 from .baselines import DirectUpload, Mrc, PhotoNet, SmartEye, make_bees_ea
@@ -223,6 +227,126 @@ def cmd_share(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_case_params(pairs: "list[str]") -> dict:
+    """``["n_images=12", "ratios=[0,0.5]"]`` -> a params override dict."""
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run bench cases and write one ``BENCH_<runid>.json`` artifact."""
+    params = _parse_case_params(args.param)
+    if params and (args.cases is None or len(args.cases) != 1):
+        raise SystemExit(
+            "--param overrides case-specific keys; select exactly one case "
+            "with --cases when using it"
+        )
+
+    def progress(case_id: str, seconds: float) -> None:
+        print(f"  {case_id:30s} {seconds:7.2f} s")
+
+    mode = "quick" if args.quick else "full"
+    selected = args.cases or bench_module.case_ids()
+    print(f"running {len(selected)} bench case(s) [{mode}]:")
+    try:
+        artifact = bench_module.run_suite(
+            case_ids=args.cases, quick=args.quick, params=params, progress=progress
+        )
+        path = bench_module.save_suite(artifact, out=args.out)
+    except BenchError as exc:
+        raise SystemExit(f"bench run failed: {exc}") from None
+    total = sum(case["wall_seconds"] for case in artifact["cases"].values())
+    print(f"\nwrote {path} ({total:.1f} s total)")
+    return 0
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    """Print the registered bench cases (no benchmark imports needed)."""
+    rows = [
+        [case_id, module, figure, description]
+        for case_id, module, figure, description in bench_module.CASE_SPECS
+    ]
+    print(format_table(["case", "module", "figure", "measures"], rows))
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Diff two artifacts; exit 1 when the candidate regressed."""
+    thresholds = {
+        "wall_seconds": args.max_wall_growth,
+        "bytes_sent": args.max_bytes_growth,
+        "energy_joules": args.max_energy_growth,
+    }
+    try:
+        result = bench_module.compare_files(args.baseline, args.candidate, thresholds)
+    except BenchError as exc:
+        raise SystemExit(f"bench compare failed: {exc}") from None
+    print(bench_module.format_comparison(result))
+    return 0 if result.ok else 1
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Render one artifact as console tables."""
+    try:
+        artifact = bench_module.read_artifact(args.artifact)
+    except BenchError as exc:
+        raise SystemExit(f"bench report failed: {exc}") from None
+    env = artifact["env"]
+    mode = "quick" if artifact.get("quick") else "full"
+    sha = env.get("git_sha") or "unknown"
+    print(
+        f"run {artifact['run_id']} [{mode}] — python {env.get('python')}, "
+        f"numpy {env.get('numpy')}, git {sha[:12]}"
+    )
+    rows = []
+    for case_id in sorted(artifact["cases"]):
+        case = artifact["cases"][case_id]
+        rows.append(
+            [
+                case_id,
+                f"{case['wall_seconds']:.2f} s",
+                format_bytes(sum(case["bytes_sent"].values())),
+                f"{sum(case['energy_joules'].values()):.0f} J",
+                f"{sum(case['eliminations'].values()):.0f}",
+                f"{case.get('spans', 0)}",
+            ]
+        )
+    print()
+    print(format_table(["case", "wall", "bytes", "energy", "elim", "spans"], rows))
+    if args.stages:
+        stage_rows = []
+        for case_id in sorted(artifact["cases"]):
+            for series in sorted(artifact["cases"][case_id]["stage_seconds"]):
+                summary = artifact["cases"][case_id]["stage_seconds"][series]
+                stage_rows.append(
+                    [
+                        case_id,
+                        series,
+                        f"{summary['count']:.0f}",
+                        f"{summary['p50']:.3f}",
+                        f"{summary['p95']:.3f}",
+                        f"{summary['p99']:.3f}",
+                    ]
+                )
+        if stage_rows:
+            print()
+            print(
+                format_table(
+                    ["case", "scheme/stage", "n", "p50 s", "p95 s", "p99 s"],
+                    stage_rows,
+                )
+            )
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Render a captured Prometheus metrics file as a console table."""
     print(obs_module.render_metrics_file(args.path))
@@ -313,6 +437,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--battery", type=float, default=1.0, help="starting charge fraction"
     )
     share.set_defaults(handler=cmd_share)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark telemetry harness (BENCH_*.json artifacts)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run bench cases and write a BENCH_<runid>.json artifact"
+    )
+    bench_run.add_argument(
+        "--quick", action="store_true",
+        help="use each case's reduced QUICK_PARAMS (CI-sized, ~seconds/case)",
+    )
+    bench_run.add_argument(
+        "--cases", nargs="+", metavar="CASE", default=None,
+        help="run only these case ids (see `repro bench list`)",
+    )
+    bench_run.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="artifact path (default: BENCH_<runid>.json in the cwd)",
+    )
+    bench_run.add_argument(
+        "--param", action="append", metavar="KEY=VALUE", default=[],
+        help="override one case parameter (requires a single --cases entry; "
+        "VALUE is parsed as JSON, repeatable)",
+    )
+    bench_run.set_defaults(handler=cmd_bench_run)
+
+    bench_list = bench_commands.add_parser("list", help="list registered cases")
+    bench_list.set_defaults(handler=cmd_bench_list)
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="diff two artifacts; exit 1 on regression"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--max-wall-growth", type=float, default=0.10, metavar="FRAC",
+        help="allowed relative wall-time growth (default 0.10 = +10%%)",
+    )
+    bench_compare.add_argument(
+        "--max-bytes-growth", type=float, default=0.10, metavar="FRAC",
+        help="allowed relative bytes-sent growth (default 0.10)",
+    )
+    bench_compare.add_argument(
+        "--max-energy-growth", type=float, default=0.10, metavar="FRAC",
+        help="allowed relative energy growth (default 0.10)",
+    )
+    bench_compare.set_defaults(handler=cmd_bench_compare)
+
+    bench_report = bench_commands.add_parser(
+        "report", help="render one artifact as console tables"
+    )
+    bench_report.add_argument("artifact", help="a BENCH_*.json file")
+    bench_report.add_argument(
+        "--stages", action="store_true",
+        help="include the per-stage p50/p95/p99 latency table",
+    )
+    bench_report.set_defaults(handler=cmd_bench_report)
 
     metrics = commands.add_parser(
         "metrics", help="render a captured Prometheus metrics file"

@@ -50,3 +50,7 @@ class DatasetError(BeesError):
 
 class ObservabilityError(BeesError):
     """A tracing or metrics operation was misused (bad labels, ...)."""
+
+
+class BenchError(BeesError):
+    """A benchmark case, artifact, or comparison is invalid."""

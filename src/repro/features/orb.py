@@ -22,7 +22,7 @@ from ..errors import FeatureError
 from ..imaging.filters import box_blur
 from ..imaging.image import Image
 from ..imaging.transforms import resize_bilinear
-from .base import FeatureSet
+from .base import FeatureSet, traced_extract
 from .brief import (
     N_ANGLE_BINS,
     PATCH_RADIUS,
@@ -99,6 +99,7 @@ class OrbExtractor:
 
     # -- public API -------------------------------------------------------
 
+    @traced_extract
     def extract(self, image: Image) -> FeatureSet:
         """Extract ORB features from *image*."""
         base = image.gray()

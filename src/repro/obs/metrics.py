@@ -168,6 +168,49 @@ class Histogram(Metric):
         pairs.append((math.inf, series.count))
         return pairs
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimate the *q*-quantile of one series from its buckets.
+
+        Follows Prometheus ``histogram_quantile`` semantics: linear
+        interpolation within the bucket that crosses rank ``q * count``
+        (assuming observations spread uniformly inside a bucket), with
+        the first bucket interpolated from zero and anything landing in
+        the implicit +Inf bucket clamped to the largest finite bound.
+        Returns ``nan`` for an empty series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"{self.name}: quantile must be in [0, 1], got {q}")
+        series = self.value(**labels)
+        if series.count == 0:
+            return math.nan
+        rank = q * series.count
+        running = 0
+        for index, (bound, count) in enumerate(zip(self.buckets, series.bucket_counts)):
+            running += count
+            if count and running >= rank:
+                lower = 0.0 if index == 0 else self.buckets[index - 1]
+                fraction = (rank - (running - count)) / count
+                return lower + (bound - lower) * max(0.0, min(1.0, fraction))
+        # Rank falls in the +Inf bucket: the best defensible answer is
+        # the largest finite bound (exactly what Prometheus returns).
+        return self.buckets[-1]
+
+    def summary(self, quantiles: "tuple[float, ...]" = (0.5, 0.95, 0.99), **labels: object) -> dict:
+        """``{count, sum, mean, p50, p95, p99}`` for one series.
+
+        The quantile keys follow the percentile naming (``p50`` for
+        ``q=0.5``); an empty series reports zeros and ``nan`` quantiles.
+        """
+        series = self.value(**labels)
+        out = {
+            "count": series.count,
+            "sum": series.sum,
+            "mean": series.sum / series.count if series.count else 0.0,
+        }
+        for q in quantiles:
+            out[f"p{round(q * 100):d}"] = self.quantile(q, **labels)
+        return out
+
 
 class MetricsRegistry:
     """Creates, deduplicates, and iterates metrics."""

@@ -1,0 +1,12 @@
+"""Bench-harness test fixtures."""
+
+import pytest
+
+from repro.obs import disable
+
+
+@pytest.fixture(autouse=True)
+def reset_observability():
+    """Leave the process-wide obs context disabled after every test."""
+    yield
+    disable()

@@ -1,0 +1,148 @@
+"""Tests for the artifact comparator and its regression gates."""
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    compare_artifacts,
+    compare_files,
+    format_comparison,
+    write_artifact,
+)
+from repro.errors import BenchError
+
+
+def make_case(wall=10.0, bytes_sent=None, energy=None) -> dict:
+    return {
+        "wall_seconds": wall,
+        "stage_seconds": {},
+        "bytes_sent": {"BEES": 1_000_000.0} if bytes_sent is None else bytes_sent,
+        "energy_joules": {"BEES/radio": 100.0} if energy is None else energy,
+        "eliminations": {},
+    }
+
+
+def make_artifact(cases) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": "synthetic",
+        "created_unix": 0,
+        "quick": False,
+        "env": {},
+        "cases": cases,
+    }
+
+
+class TestRegressionGate:
+    def test_identical_artifacts_pass(self):
+        artifact = make_artifact({"c": make_case()})
+        result = compare_artifacts(artifact, make_artifact({"c": make_case()}))
+        assert result.ok
+        assert result.regressions == []
+        (case,) = result.cases
+        assert all(delta.relative == 0.0 for delta in case.deltas)
+
+    def test_wall_time_growth_past_threshold_regresses(self):
+        baseline = make_artifact({"c": make_case(wall=10.0)})
+        candidate = make_artifact({"c": make_case(wall=12.0)})
+        result = compare_artifacts(baseline, candidate)
+        assert not result.ok
+        (case,) = result.regressions
+        (delta,) = [d for d in case.deltas if d.regressed]
+        assert delta.metric == "wall_seconds"
+        assert delta.relative == pytest.approx(0.2)
+
+    def test_growth_within_threshold_passes(self):
+        baseline = make_artifact({"c": make_case(wall=10.0)})
+        candidate = make_artifact({"c": make_case(wall=10.5)})
+        assert compare_artifacts(baseline, candidate).ok
+
+    def test_improvement_is_never_a_regression(self):
+        baseline = make_artifact({"c": make_case(wall=10.0)})
+        candidate = make_artifact({"c": make_case(wall=1.0)})
+        result = compare_artifacts(baseline, candidate)
+        assert result.ok
+        assert result.cases[0].deltas[0].relative == pytest.approx(-0.9)
+
+    def test_custom_thresholds(self):
+        baseline = make_artifact({"c": make_case(wall=10.0)})
+        candidate = make_artifact({"c": make_case(wall=10.5)})
+        loose = compare_artifacts(baseline, candidate, {"wall_seconds": 0.5})
+        strict = compare_artifacts(baseline, candidate, {"wall_seconds": 0.01})
+        assert loose.ok
+        assert not strict.ok
+
+    def test_unknown_threshold_metric_rejected(self):
+        artifact = make_artifact({"c": make_case()})
+        with pytest.raises(BenchError):
+            compare_artifacts(artifact, artifact, {"latency": 0.1})
+
+    def test_bytes_totals_sum_across_schemes(self):
+        baseline = make_artifact(
+            {"c": make_case(bytes_sent={"BEES": 1e6, "MRC": 1e6})}
+        )
+        candidate = make_artifact({"c": make_case(bytes_sent={"BEES": 2.5e6})})
+        result = compare_artifacts(baseline, candidate)
+        assert not result.ok
+        (delta,) = [
+            d for d in result.cases[0].deltas if d.metric == "bytes_sent"
+        ]
+        assert delta.regressed
+        assert delta.relative == pytest.approx(0.25)
+
+    def test_tiny_baselines_are_noise_not_regressions(self):
+        baseline = make_artifact(
+            {"c": make_case(wall=0.01, bytes_sent={"BEES": 10.0},
+                            energy={"BEES/radio": 0.1})}
+        )
+        candidate = make_artifact(
+            {"c": make_case(wall=1.0, bytes_sent={"BEES": 1000.0},
+                            energy={"BEES/radio": 0.4})}
+        )
+        assert compare_artifacts(baseline, candidate).ok
+
+
+class TestCaseSetChanges:
+    def test_missing_case_fails_the_gate(self):
+        baseline = make_artifact({"a": make_case(), "b": make_case()})
+        candidate = make_artifact({"a": make_case()})
+        result = compare_artifacts(baseline, candidate)
+        assert not result.ok
+        assert result.missing_in_candidate == ["b"]
+
+    def test_added_case_is_reported_but_passes(self):
+        baseline = make_artifact({"a": make_case()})
+        candidate = make_artifact({"a": make_case(), "zz_new": make_case()})
+        result = compare_artifacts(baseline, candidate)
+        assert result.ok
+        assert result.added_in_candidate == ["zz_new"]
+
+
+class TestFormatAndFiles:
+    def test_table_names_the_regressed_metric(self):
+        baseline = make_artifact({"slow_case": make_case(wall=10.0)})
+        candidate = make_artifact({"slow_case": make_case(wall=20.0)})
+        text = format_comparison(compare_artifacts(baseline, candidate))
+        assert "slow_case" in text
+        assert "REGRESSED" in text
+        assert "+100.0%" in text
+        assert "1 case(s) regressed" in text
+
+    def test_clean_diff_says_so(self):
+        artifact = make_artifact({"c": make_case()})
+        text = format_comparison(compare_artifacts(artifact, artifact))
+        assert "no regressions" in text
+        assert "REGRESSED" not in text
+
+    def test_compare_files_roundtrip(self, tmp_path):
+        baseline = make_artifact({"c": make_case(wall=10.0)})
+        candidate = make_artifact({"c": make_case(wall=30.0)})
+        base_path = write_artifact(baseline, tmp_path / "BENCH_base.json")
+        cand_path = write_artifact(candidate, tmp_path / "BENCH_cand.json")
+        result = compare_files(base_path, cand_path)
+        assert not result.ok
+
+    def test_invalid_artifact_rejected(self):
+        good = make_artifact({"c": make_case()})
+        with pytest.raises(BenchError):
+            compare_artifacts(good, {"schema_version": 999})

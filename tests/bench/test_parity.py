@@ -1,0 +1,68 @@
+"""Standalone-vs-registered parity.
+
+Every ``benchmarks/bench_*.py`` stays a plain pytest script; the
+registry merely re-exposes the same core through ``run(params)``.  These
+tests pin that contract for two cheap cases: calling the module's core
+function directly (the standalone path) must yield exactly the numbers
+the registered entry point reports, and the core's default arguments
+must equal ``PARAMS`` so the full-scale runs agree too.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.bench import load_cases
+
+
+def load_module(case_id: str):
+    (case,) = load_cases([case_id])
+    # load_cases put benchmarks/ on sys.path and imported the module
+    return importlib.import_module(case.module)
+
+
+class TestTable1Parity:
+    def test_core_defaults_match_registered_params(self):
+        module = load_module("table1_space_overhead")
+        signature = inspect.signature(module.run_table1)
+        assert (
+            signature.parameters["sample_images"].default
+            == module.PARAMS["sample_images"]
+        )
+
+    def test_standalone_numbers_equal_registered_numbers(self):
+        module = load_module("table1_space_overhead")
+        registered = module.run({"sample_images": 4})
+        standalone = module.run_table1(sample_images=4)
+        assert set(registered["space"]) == set(standalone)
+        for name, data in standalone.items():
+            block = registered["space"][name]
+            assert block["image_bytes_total"] == int(data["image_bytes_total"])
+            for row in data["rows"]:
+                feature = block["features"][row.kind]
+                assert feature["total_bytes"] == int(row.total_bytes)
+                assert feature["fraction_of_sift"] == pytest.approx(
+                    row.fraction_of_sift
+                )
+
+
+class TestFigure5Parity:
+    def test_core_defaults_match_registered_params(self):
+        module = load_module("fig5_compression_bandwidth")
+        signature = inspect.signature(module.run_figure5)
+        assert signature.parameters["n_images"].default == module.PARAMS["n_images"]
+
+    def test_standalone_numbers_equal_registered_numbers(self):
+        module = load_module("fig5_compression_bandwidth")
+        registered = module.run({"n_images": 8})
+        standalone = module.run_figure5(n_images=8)
+        assert registered["baseline_bytes"] == standalone["baseline"]
+        assert [
+            (point["proportion"], point["bytes"], point["ssim"])
+            for point in registered["quality"]
+        ] == standalone["quality"]
+        assert [
+            (point["proportion"], point["bytes"])
+            for point in registered["resolution"]
+        ] == standalone["resolution"]

@@ -1,0 +1,133 @@
+"""Tests for the BENCH_*.json artifact schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    environment_block,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.errors import BenchError
+
+STAGE_SUMMARY = {
+    "count": 3, "sum": 1.5, "mean": 0.5, "p50": 0.4, "p95": 0.9, "p99": 1.0,
+}
+
+
+def make_case(**overrides) -> dict:
+    case = {
+        "wall_seconds": 1.0,
+        "stage_seconds": {"BEES/afe": dict(STAGE_SUMMARY)},
+        "bytes_sent": {"BEES": 4096.0},
+        "energy_joules": {"BEES/image_upload": 12.0},
+        "eliminations": {},
+    }
+    case.update(overrides)
+    return case
+
+
+def make_artifact(cases=None) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": "test-run",
+        "created_unix": 0,
+        "quick": True,
+        "env": {"python": "x"},
+        "cases": {"a_case": make_case()} if cases is None else cases,
+    }
+
+
+class TestValidate:
+    def test_valid_artifact_passes(self):
+        artifact = make_artifact()
+        assert validate_artifact(artifact) is artifact
+
+    def test_non_object_rejected(self):
+        with pytest.raises(BenchError):
+            validate_artifact([])
+
+    def test_wrong_schema_version_rejected(self):
+        artifact = make_artifact()
+        artifact["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchError) as excinfo:
+            validate_artifact(artifact)
+        assert "schema_version" in str(excinfo.value)
+
+    @pytest.mark.parametrize("missing", ["run_id", "env", "cases"])
+    def test_missing_top_level_key_rejected(self, missing):
+        artifact = make_artifact()
+        del artifact[missing]
+        with pytest.raises(BenchError) as excinfo:
+            validate_artifact(artifact)
+        assert missing in str(excinfo.value)
+
+    def test_non_numeric_wall_seconds_rejected(self):
+        artifact = make_artifact({"c": make_case(wall_seconds="fast")})
+        with pytest.raises(BenchError) as excinfo:
+            validate_artifact(artifact)
+        assert "wall_seconds" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "mapping", ["stage_seconds", "bytes_sent", "energy_joules", "eliminations"]
+    )
+    def test_non_mapping_metric_block_rejected(self, mapping):
+        artifact = make_artifact({"c": make_case(**{mapping: 7})})
+        with pytest.raises(BenchError) as excinfo:
+            validate_artifact(artifact)
+        assert mapping in str(excinfo.value)
+
+    def test_stage_summary_missing_quantiles_rejected(self):
+        broken = dict(STAGE_SUMMARY)
+        del broken["p95"]
+        artifact = make_artifact(
+            {"c": make_case(stage_seconds={"BEES/afe": broken})}
+        )
+        with pytest.raises(BenchError) as excinfo:
+            validate_artifact(artifact)
+        assert "stage_seconds" in str(excinfo.value)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path):
+        artifact = make_artifact()
+        path = write_artifact(artifact, tmp_path / "BENCH_test.json")
+        assert read_artifact(path) == artifact
+
+    def test_write_validates_first(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        with pytest.raises(BenchError):
+            write_artifact({"schema_version": 999}, path)
+        assert not path.exists()
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(BenchError) as excinfo:
+            read_artifact(tmp_path / "BENCH_nope.json")
+        assert "no such artifact" in str(excinfo.value)
+
+    def test_read_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError) as excinfo:
+            read_artifact(path)
+        assert "not valid JSON" in str(excinfo.value)
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        path = write_artifact(make_artifact(), tmp_path / "BENCH_a.json")
+        text = path.read_text()
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+
+class TestEnvironmentBlock:
+    def test_carries_reproducibility_context(self):
+        env = environment_block()
+        assert set(env) >= {
+            "python", "implementation", "platform", "machine",
+            "numpy", "repro", "git_sha", "argv",
+        }
+        assert env["python"].count(".") == 2
+        # this test runs inside the repo checkout, so the SHA resolves
+        assert env["git_sha"] is None or len(env["git_sha"]) == 40

@@ -73,6 +73,72 @@ class TestLabelValidation:
             Counter("bad name!", "help")
 
 
+class TestHistogramQuantile:
+    def _loaded(self) -> Histogram:
+        """4 obs in (0,1], 4 in (1,2], 2 in (2,4] — count 10, sum 14."""
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 3.0, 3.0):
+            histogram.observe(value)
+        return histogram
+
+    def test_interpolates_within_the_crossing_bucket(self):
+        histogram = self._loaded()
+        # rank 5 of 10 sits a quarter of the way into the (1, 2] bucket
+        assert histogram.quantile(0.5) == pytest.approx(1.25)
+        # rank 9 sits halfway into the (2, 4] bucket
+        assert histogram.quantile(0.9) == pytest.approx(3.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = Histogram("h", "help", buckets=(2.0, 4.0))
+        histogram.observe(1.0)
+        histogram.observe(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+
+    def test_empty_series_is_nan(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+
+    def test_overflow_observations_clamp_to_largest_bound(self):
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_labeled_series_are_independent(self):
+        histogram = Histogram("h", "help", ("stage",), buckets=(1.0, 2.0))
+        histogram.observe(0.5, stage="afe")
+        histogram.observe(1.5, stage="aiu")
+        assert histogram.quantile(1.0, stage="afe") <= 1.0
+        assert histogram.quantile(1.0, stage="aiu") > 1.0
+
+    def test_summary_shape_and_values(self):
+        summary = self._loaded().summary()
+        assert set(summary) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert summary["count"] == 10
+        assert summary["sum"] == pytest.approx(14.0)
+        assert summary["mean"] == pytest.approx(1.4)
+        assert summary["p50"] == pytest.approx(1.25)
+        assert summary["p95"] <= summary["p99"] <= 4.0
+
+    def test_summary_of_empty_series(self):
+        summary = Histogram("h", "help", buckets=(1.0,)).summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert math.isnan(summary["p50"])
+
+    def test_summary_custom_quantiles(self):
+        summary = self._loaded().summary(quantiles=(0.25,))
+        assert set(summary) == {"count", "sum", "mean", "p25"}
+
+
 class TestHistogram:
     def test_boundary_value_lands_in_lower_bucket(self):
         # `le` is inclusive: an observation equal to a bound belongs to
