@@ -87,21 +87,21 @@ def test_ablation_eaas(benchmark, emit):
             [
                 [
                     name,
-                    f"{report.total_energy_j:.1f}",
-                    f"{report.bytes_sent / 1024**2:.2f}",
+                    f"{report.total_energy_joules:.1f}",
+                    f"{report.sent_bytes / 1024**2:.2f}",
                     report.n_uploaded,
                 ]
                 for name, report in results.items()
             ],
         ),
     )
-    full = results["BEES (all adaptive)"].total_energy_j
+    full = results["BEES (all adaptive)"].total_energy_joules
     # Disabling any knob costs energy at low battery.
     for name in ("no EAC", "no EDR", "no EAU", "BEES-EA (none)"):
-        assert results[name].total_energy_j >= full * 0.98
+        assert results[name].total_energy_joules >= full * 0.98
     # All-off is (within channel noise) the most expensive variant.
-    most = max(report.total_energy_j for report in results.values())
-    assert results["BEES-EA (none)"].total_energy_j >= 0.98 * most
+    most = max(report.total_energy_joules for report in results.values())
+    assert results["BEES-EA (none)"].total_energy_joules >= 0.98 * most
     # EAU is the single biggest lever: removing it costs more than
     # removing EAC.
-    assert results["no EAU"].total_energy_j > results["no EAC"].total_energy_j
+    assert results["no EAU"].total_energy_joules > results["no EAC"].total_energy_joules

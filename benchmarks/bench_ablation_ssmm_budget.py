@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from repro.analysis.reporting import format_table
 from repro.core.ssmm import select_unique_subset, similarity_matrix
+from repro.core.config import EDR_THRESHOLD_MAX
 from repro.datasets.disaster import DisasterDataset
 from repro.features.orb import OrbExtractor
 
 from common import merge_params
 
 BATCH = 24
-CUT = 0.019
+CUT = EDR_THRESHOLD_MAX
 #: (label, n_inbatch_similar) — batches from diverse to duplicate-heavy.
 BATCH_SHAPES = [("diverse", 0), ("mixed", 6), ("duplicate-heavy", 12)]
 FIXED_BUDGETS = (6, 12, 18)

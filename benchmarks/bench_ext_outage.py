@@ -95,8 +95,8 @@ def test_ext_outage(benchmark, emit):
                 f"{bees.average_image_seconds:.1f} s"
                 + (" (battery died)" if bees.halted else ""),
                 f"{direct.average_image_seconds - bees.average_image_seconds:.1f} s",
-                f"{direct.total_energy_j:.0f} J",
-                f"{bees.total_energy_j:.0f} J",
+                f"{direct.total_energy_joules:.0f} J",
+                f"{bees.total_energy_joules:.0f} J",
             ]
         )
     emit(

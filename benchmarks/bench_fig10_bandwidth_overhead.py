@@ -69,7 +69,7 @@ def test_fig10_bandwidth_overhead(benchmark, emit):
             ["redundancy"] + scheme_names,
             [
                 [f"{int(ratio * 100)}%"]
-                + [format_bytes(sweep[ratio][name].bytes_sent) for name in scheme_names]
+                + [format_bytes(sweep[ratio][name].sent_bytes) for name in scheme_names]
                 for ratio in REDUNDANCY_RATIOS
             ],
         ),
@@ -78,23 +78,23 @@ def test_fig10_bandwidth_overhead(benchmark, emit):
     for ratio in REDUNDANCY_RATIOS:
         reports = sweep[ratio]
         # BEES sends the least at every ratio.
-        bees = reports["BEES"].bytes_sent
+        bees = reports["BEES"].sent_bytes
         for name in ("Direct Upload", "SmartEye", "MRC"):
-            assert bees < reports[name].bytes_sent
+            assert bees < reports[name].sent_bytes
 
     # Smart schemes send less as redundancy rises; Direct is flat.
     for name in ("SmartEye", "MRC", "BEES"):
-        series = [sweep[ratio][name].bytes_sent for ratio in REDUNDANCY_RATIOS]
+        series = [sweep[ratio][name].sent_bytes for ratio in REDUNDANCY_RATIOS]
         assert series == sorted(series, reverse=True)
-    direct = [sweep[ratio]["Direct Upload"].bytes_sent for ratio in REDUNDANCY_RATIOS]
+    direct = [sweep[ratio]["Direct Upload"].sent_bytes for ratio in REDUNDANCY_RATIOS]
     assert max(direct) == min(direct)
 
     # Headline: BEES far below SmartEye (paper: 77.4-79.2% less).
     mid = sweep[0.5]
-    saving = 1 - mid["BEES"].bytes_sent / mid["SmartEye"].bytes_sent
+    saving = 1 - mid["BEES"].sent_bytes / mid["SmartEye"].sent_bytes
     assert saving > 0.5
 
     # MRC vs SmartEye stay comparable (thumbnails vs. bigger features).
     for ratio in REDUNDANCY_RATIOS:
-        ratio_bytes = sweep[ratio]["MRC"].bytes_sent / sweep[ratio]["SmartEye"].bytes_sent
+        ratio_bytes = sweep[ratio]["MRC"].sent_bytes / sweep[ratio]["SmartEye"].sent_bytes
         assert 0.7 < ratio_bytes < 1.3

@@ -13,11 +13,10 @@ Scaled for the bench: 600 images over 150 locations, 3 phones,
 
 from __future__ import annotations
 
-from repro.analysis.coverage import density_grid, summarize_geotags
+from repro.analysis.coverage import summarize_geotags
 from repro.analysis.reporting import format_table
 from repro.baselines import DirectUpload
 from repro.core.client import BeesScheme
-from repro.datasets.geo import BoundingBox
 from repro.datasets.paris import SyntheticParis
 from repro.sim.coveragesim import CoverageExperiment
 
@@ -79,7 +78,7 @@ def run_figure12(
         dataset=dataset,
         n_phones=n_phones,
         group_size=group_size,
-        interval_s=300.0,
+        interval_seconds=300.0,
         capacity_fraction=capacity_fraction,
     )
     test_summary = summarize_geotags(

@@ -11,7 +11,6 @@ beyond; energy falls monotonically (the EAC rationale).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.precision import dataset_precision
 from repro.analysis.reporting import format_table
@@ -86,7 +85,7 @@ def test_fig3_bitmap_compression(benchmark, emit):
     )
     by_c = {r["proportion"]: r for r in rows}
     # Paper: C = 0.4 keeps normalized precision above ~0.9.
-    assert by_c[0.4]["norm_precision"] > 0.85
+    assert by_c[0.4]["norm_precision"] > 0.85  # beeslint: disable=paper-constants (precision bound, not the quality proportion)
     # Energy decreases monotonically with the proportion.
     energies = [r["norm_energy"] for r in rows]
     assert energies == sorted(energies, reverse=True)

@@ -15,13 +15,14 @@ from __future__ import annotations
 from repro.analysis.precision import pair_similarities, rate_curve
 from repro.analysis.reporting import format_percent, format_table
 from repro.datasets.kentucky import SyntheticKentucky
+from repro.core.config import EDR_THRESHOLD_MAX, EDR_THRESHOLD_MIN
 from repro.features.orb import OrbExtractor
 
 from common import merge_params
 
 N_PAIRS = 150  # per class; the paper uses 5,000
 N_GROUPS = 40
-THRESHOLDS = [0.005, 0.01, 0.013, 0.016, 0.019, 0.03, 0.05, 0.1, 0.2]
+THRESHOLDS = [0.005, 0.01, EDR_THRESHOLD_MIN, 0.016, EDR_THRESHOLD_MAX, 0.03, 0.05, 0.1, 0.2]
 
 PARAMS = {"n_groups": N_GROUPS, "n_pairs": N_PAIRS}
 QUICK_PARAMS = {"n_groups": 12, "n_pairs": 40}
@@ -83,7 +84,7 @@ def test_fig4_similarity_distribution(benchmark, emit):
     assert tprs == sorted(tprs, reverse=True)
     assert fprs == sorted(fprs, reverse=True)
     # The paper's operating point: high TPR, ~10% FPR at T = 0.013.
-    assert by_t[0.013].true_positive_rate > 0.9
-    assert by_t[0.013].false_positive_rate < 0.25
+    assert by_t[EDR_THRESHOLD_MIN].true_positive_rate > 0.9
+    assert by_t[EDR_THRESHOLD_MIN].false_positive_rate < 0.25
     # The EDR band [0.013, 0.019] keeps detection near-lossless.
-    assert by_t[0.019].true_positive_rate > 0.9
+    assert by_t[EDR_THRESHOLD_MAX].true_positive_rate > 0.9

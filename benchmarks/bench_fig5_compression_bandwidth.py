@@ -13,6 +13,7 @@ quality proportion there.
 from __future__ import annotations
 
 from repro.analysis.reporting import format_bytes, format_table
+from repro.core.config import DEFAULT_QUALITY_PROPORTION, FIT_PROPORTIONS
 from repro.datasets.disaster import DisasterDataset
 from repro.imaging.jpeg import compress_quality
 from repro.imaging.resolution import compress_resolution
@@ -21,7 +22,7 @@ from repro.imaging.ssim import ssim
 from common import merge_params
 
 N_IMAGES = 20  # per series; the paper plots 100/200/300
-QUALITY_PROPORTIONS = [0.0, 0.2, 0.4, 0.6, 0.8, 0.85, 0.9, 0.95]
+QUALITY_PROPORTIONS = list(FIT_PROPORTIONS)
 RESOLUTION_PROPORTIONS = [0.0, 0.2, 0.4, 0.6, 0.8]
 
 PARAMS = {"n_images": N_IMAGES}
@@ -96,10 +97,10 @@ def test_fig5_compression_bandwidth(benchmark, emit):
     totals = [total for _, total, _ in data["quality"]]
     assert totals == sorted(totals, reverse=True)
     # SSIM stays decent at the fixed 0.85 and degrades beyond.
-    assert quality[0.85][1] > 0.8
-    assert quality[0.95][1] < quality[0.85][1]
+    assert quality[DEFAULT_QUALITY_PROPORTION][1] > 0.8
+    assert quality[0.95][1] < quality[DEFAULT_QUALITY_PROPORTION][1]
     # Quality compression at 0.85 removes a large share of the bytes.
-    assert quality[0.85][0] < 0.6 * baseline
+    assert quality[DEFAULT_QUALITY_PROPORTION][0] < 0.6 * baseline
     # Resolution compression's quadratic savings.
     resolution = dict(data["resolution"])
     assert resolution[0.8] < 0.15 * baseline

@@ -107,7 +107,7 @@ def test_fig6_precision(benchmark, emit):
     # Paper: BEES(10) still above ~85% of SIFT.
     assert results["BEES(10)"] / sift > 0.8
     # PCA-SIFT close to SIFT (the projection costs little precision).
-    assert results["PCA-SIFT"] / sift > 0.85
+    assert results["PCA-SIFT"] / sift > 0.85  # beeslint: disable=paper-constants (precision ratio, not the quality proportion)
     # Precision decreases (weakly) as Ebat falls.
     bees = [results[f"BEES({int(e * 100)})"] for e in EBAT_LEVELS]
     assert all(a >= b - 0.05 for a, b in zip(bees, bees[1:]))

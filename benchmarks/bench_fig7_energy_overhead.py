@@ -72,7 +72,7 @@ def test_fig7_energy_overhead(benchmark, emit):
             ["redundancy"] + scheme_names,
             [
                 [f"{int(ratio * 100)}%"]
-                + [f"{sweep[ratio][name].total_energy_j:.1f}" for name in scheme_names]
+                + [f"{sweep[ratio][name].total_energy_joules:.1f}" for name in scheme_names]
                 for ratio in REDUNDANCY_RATIOS
             ],
         ),
@@ -81,26 +81,26 @@ def test_fig7_energy_overhead(benchmark, emit):
     for ratio in REDUNDANCY_RATIOS:
         reports = sweep[ratio]
         # BEES is the cheapest scheme at every ratio.
-        bees = reports["BEES"].total_energy_j
+        bees = reports["BEES"].total_energy_joules
         for name in ("Direct Upload", "SmartEye", "MRC"):
-            assert bees < reports[name].total_energy_j
+            assert bees < reports[name].total_energy_joules
         # MRC below SmartEye: ORB extraction vs. PCA-SIFT.
-        assert reports["MRC"].total_energy_j < reports["SmartEye"].total_energy_j
+        assert reports["MRC"].total_energy_joules < reports["SmartEye"].total_energy_joules
 
     # At 0% redundancy the detection overhead makes SmartEye and MRC
     # *more* expensive than Direct Upload (the paper's worst case).
     zero = sweep[0.0]
-    assert zero["SmartEye"].total_energy_j > zero["Direct Upload"].total_energy_j
-    assert zero["MRC"].total_energy_j > zero["Direct Upload"].total_energy_j
+    assert zero["SmartEye"].total_energy_joules > zero["Direct Upload"].total_energy_joules
+    assert zero["MRC"].total_energy_joules > zero["Direct Upload"].total_energy_joules
     # ... while BEES still saves most of the energy (paper: 67.6%).
-    assert zero["BEES"].total_energy_j < 0.5 * zero["Direct Upload"].total_energy_j
+    assert zero["BEES"].total_energy_joules < 0.5 * zero["Direct Upload"].total_energy_joules
 
     # Smart schemes get cheaper as the redundancy ratio rises.
     for name in ("SmartEye", "MRC", "BEES"):
-        energies = [sweep[ratio][name].total_energy_j for ratio in REDUNDANCY_RATIOS]
+        energies = [sweep[ratio][name].total_energy_joules for ratio in REDUNDANCY_RATIOS]
         assert energies == sorted(energies, reverse=True)
 
     # The headline claim: large savings vs. MRC (paper: 67.3-70.8%).
     mid = sweep[0.25]
-    saving = 1 - mid["BEES"].total_energy_j / mid["MRC"].total_energy_j
+    saving = 1 - mid["BEES"].total_energy_joules / mid["MRC"].total_energy_joules
     assert saving > 0.5

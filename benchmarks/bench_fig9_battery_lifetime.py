@@ -25,7 +25,7 @@ from repro.sim.lifetime import LifetimeExperiment
 from common import FAST_GENERATOR, lifetime_schemes, merge_params
 
 GROUP_SIZE = 12
-INTERVAL_S = 300.0
+INTERVAL_SECONDS = 300.0
 CAPACITY_FRACTION = 0.15
 MAX_GROUPS = 200
 
@@ -62,7 +62,7 @@ def run_figure9(
     for scheme in lifetime_schemes():
         experiment = LifetimeExperiment(
             group_size=group_size,
-            interval_s=INTERVAL_S,
+            interval_seconds=INTERVAL_SECONDS,
             capacity_fraction=capacity_fraction,
             max_groups=max_groups,
             generator=FAST_GENERATOR,

@@ -91,8 +91,8 @@ def run_comparison(
 def report_summary(report) -> dict:
     """Distil one :class:`BatchReport` into a JSON-able summary dict."""
     return {
-        "bytes_sent": int(report.bytes_sent),
-        "energy_j": float(report.total_energy_j),
+        "bytes_sent": int(report.sent_bytes),
+        "energy_j": float(report.total_energy_joules),
         "n_uploaded": int(report.n_uploaded),
         "eliminated_cross": len(report.eliminated_cross_batch),
         "eliminated_in_batch": len(report.eliminated_in_batch),

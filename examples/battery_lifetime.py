@@ -21,7 +21,7 @@ from repro.sim.lifetime import LifetimeExperiment
 def main() -> None:
     experiment = LifetimeExperiment(
         group_size=10,
-        interval_s=300.0,  # one group every 5 minutes, screen bright
+        interval_seconds=300.0,  # one group every 5 minutes, screen bright
         redundancy_ratio=0.5,
         capacity_fraction=0.1,
         max_groups=100,

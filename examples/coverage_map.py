@@ -51,7 +51,7 @@ def main() -> None:
         dataset=dataset,
         n_phones=3,
         group_size=12,
-        interval_s=300.0,
+        interval_seconds=300.0,
         capacity_fraction=0.015,
     )
 

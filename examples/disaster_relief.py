@@ -32,8 +32,8 @@ def run_at_ratio(ratio: float) -> str:
                 report.n_uploaded,
                 len(report.eliminated_cross_batch),
                 len(report.eliminated_in_batch),
-                f"{report.total_energy_j:.0f} J",
-                format_bytes(report.bytes_sent),
+                f"{report.total_energy_joules:.0f} J",
+                format_bytes(report.sent_bytes),
                 f"{report.average_image_seconds:.1f} s",
             ]
         )

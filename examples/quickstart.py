@@ -38,9 +38,9 @@ def main() -> None:
           f"({', '.join(report.eliminated_cross_batch[:3])}, ...)")
     print(f"in-batch redundant:    {len(report.eliminated_in_batch)}")
     print(f"uploaded:              {report.n_uploaded}")
-    print(f"bytes sent:            {report.bytes_sent / 1024**2:.2f} MB "
+    print(f"bytes sent:            {report.sent_bytes / 1024**2:.2f} MB "
           f"(vs {sum(i.nominal_bytes for i in batch) / 1024**2:.2f} MB raw)")
-    print(f"energy spent:          {report.total_energy_j:.1f} J "
+    print(f"energy spent:          {report.total_energy_joules:.1f} J "
           f"({phone.ebat * 100:.2f}% battery remaining)")
     print(f"avg delay per image:   {report.average_image_seconds:.2f} s")
     print()

@@ -30,7 +30,7 @@ class BatchReport:
     uploaded_ids: list = field(default_factory=list)
     eliminated_cross_batch: list = field(default_factory=list)
     eliminated_in_batch: list = field(default_factory=list)
-    bytes_sent: int = 0
+    sent_bytes: int = 0
     total_seconds: float = 0.0
     per_image_seconds: list = field(default_factory=list)
     #: Detection-phase seconds spent on images that were *eliminated*
@@ -46,7 +46,7 @@ class BatchReport:
         return len(self.uploaded_ids)
 
     @property
-    def total_energy_j(self) -> float:
+    def total_energy_joules(self) -> float:
         """Total joules this batch cost (all categories)."""
         return float(sum(self.energy_by_category.values()))
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.config import EDR_THRESHOLD_MAX
 from ..core.server import BeesServer
 from ..energy import FEATURE_EXTRACTION, FEATURE_UPLOAD, IMAGE_UPLOAD
 from ..features.base import FeatureSet
@@ -25,7 +26,7 @@ from .base import BatchReport, SharingScheme
 class CrossBatchOnlyScheme(SharingScheme):
     """Extract -> query (batch-start index) -> upload unique."""
 
-    threshold: float = 0.019
+    threshold: float = EDR_THRESHOLD_MAX
     name: str = "cross-batch-only"
 
     # -- hooks ----------------------------------------------------------------
@@ -54,7 +55,7 @@ class CrossBatchOnlyScheme(SharingScheme):
     ) -> BatchReport:
         report = BatchReport(scheme=self.name, n_images=len(images))
         before = device.meter.snapshot()
-        bytes_before = device.uplink.bytes_sent
+        before_bytes = device.uplink.sent_bytes
 
         # Phase 1: extract + upload features + query, for the whole batch,
         # against the index as it stood at batch arrival.
@@ -111,6 +112,6 @@ class CrossBatchOnlyScheme(SharingScheme):
             report.per_image_seconds.append(seconds + transfer.seconds)
 
         report.total_seconds = float(sum(report.per_image_seconds))
-        report.bytes_sent = device.uplink.bytes_sent - bytes_before
+        report.sent_bytes = device.uplink.sent_bytes - before_bytes
         report.energy_by_category = device.meter.since(before)
         return self.observe_batch(report)

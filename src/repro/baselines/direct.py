@@ -35,7 +35,7 @@ class DirectUpload(SharingScheme):
     ) -> BatchReport:
         report = BatchReport(scheme=self.name, n_images=len(images))
         before = device.meter.snapshot()
-        bytes_before = device.uplink.bytes_sent
+        before_bytes = device.uplink.sent_bytes
         for image in images:
             if not device.alive:
                 report.halted = True
@@ -52,6 +52,6 @@ class DirectUpload(SharingScheme):
             else:
                 server.store.add(image)
         report.total_seconds = float(sum(report.per_image_seconds))
-        report.bytes_sent = device.uplink.bytes_sent - bytes_before
+        report.sent_bytes = device.uplink.sent_bytes - before_bytes
         report.energy_by_category = device.meter.since(before)
         return self.observe_batch(report)

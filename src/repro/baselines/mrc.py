@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.config import EDR_THRESHOLD_MAX
 from ..energy import COMPRESSION
 from ..features.base import FeatureSet
 from ..features.orb import OrbExtractor
@@ -23,7 +24,7 @@ from ..sim.device import Smartphone
 from .cross_batch import CrossBatchOnlyScheme
 
 #: MRC's fixed similarity threshold (same operating point as SmartEye).
-MRC_THRESHOLD = 0.019
+MRC_THRESHOLD = EDR_THRESHOLD_MAX
 
 #: Size of the thumbnail each queried image sends for verification.
 THUMBNAIL_BYTES = 16 * 1024

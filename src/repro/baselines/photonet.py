@@ -105,7 +105,7 @@ class PhotoNet(CrossBatchOnlyScheme):
 
         report = BatchReport(scheme=self.name, n_images=len(images))
         before = device.meter.snapshot()
-        bytes_before = device.uplink.bytes_sent
+        before_bytes = device.uplink.sent_bytes
 
         verdicts = []
         snapshot = dict(self._histograms)  # batch-start metadata index
@@ -149,6 +149,6 @@ class PhotoNet(CrossBatchOnlyScheme):
             report.per_image_seconds.append(seconds + transfer.seconds)
 
         report.total_seconds = float(sum(report.per_image_seconds))
-        report.bytes_sent = device.uplink.bytes_sent - bytes_before
+        report.sent_bytes = device.uplink.sent_bytes - before_bytes
         report.energy_by_category = device.meter.since(before)
         return self.observe_batch(report)

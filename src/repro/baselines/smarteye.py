@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.config import EDR_THRESHOLD_MAX
 from ..features.base import FeatureSet
 from ..features.pca_sift import PcaSiftExtractor
 from ..imaging.image import Image
@@ -20,7 +21,7 @@ from .cross_batch import CrossBatchOnlyScheme
 
 #: SmartEye's fixed similarity threshold — the paper's full-battery EDR
 #: value, so all schemes detect the same planted redundancy.
-SMARTEYE_THRESHOLD = 0.019
+SMARTEYE_THRESHOLD = EDR_THRESHOLD_MAX
 
 
 @dataclass

@@ -19,6 +19,7 @@ suite:
 
 from .compare import (
     DEFAULT_THRESHOLDS,
+    DETERMINISTIC_METRICS,
     CaseComparison,
     ComparisonResult,
     MetricDelta,
@@ -40,6 +41,7 @@ from .schema import (
 __all__ = [
     "CASE_SPECS",
     "DEFAULT_THRESHOLDS",
+    "DETERMINISTIC_METRICS",
     "SCHEMA_VERSION",
     "BenchCase",
     "CaseComparison",

@@ -21,6 +21,11 @@ from .schema import read_artifact, validate_artifact
 #: Relative growth beyond which a metric counts as regressed.
 DEFAULT_THRESHOLDS = {"wall_seconds": 0.10, "bytes_sent": 0.10, "energy_joules": 0.10}
 
+#: The exact-count series: identical inputs must reproduce them to the
+#: byte and joule.  CI gates on these *blockingly* (``--deterministic``)
+#: while wall time stays advisory.
+DETERMINISTIC_METRICS = ("bytes_sent", "energy_joules")
+
 #: Ignore absolute values below this when computing relative growth —
 #: a 3-byte case doubling to 6 bytes is noise, not a regression.
 MIN_BASELINE = {"wall_seconds": 0.05, "bytes_sent": 1024.0, "energy_joules": 0.5}
@@ -83,12 +88,26 @@ def _case_totals(case_block: dict) -> dict:
 
 
 def compare_artifacts(
-    baseline: dict, candidate: dict, thresholds: "dict | None" = None
+    baseline: dict,
+    candidate: dict,
+    thresholds: "dict | None" = None,
+    metrics: "tuple[str, ...] | None" = None,
 ) -> ComparisonResult:
-    """Diff *candidate* against *baseline* (validated artifact dicts)."""
+    """Diff *candidate* against *baseline* (validated artifact dicts).
+
+    *metrics*, when given, restricts the comparison to that subset of
+    the headline series — ``DETERMINISTIC_METRICS`` is the blocking CI
+    gate that ignores hardware-noisy wall time.
+    """
     validate_artifact(baseline)
     validate_artifact(candidate)
     limits = dict(DEFAULT_THRESHOLDS)
+    if metrics is not None:
+        unknown = sorted(set(metrics) - set(limits))
+        if unknown:
+            raise BenchError(
+                f"unknown comparison metrics {unknown}; choose from {sorted(limits)}"
+            )
     for metric, value in (thresholds or {}).items():
         if metric not in limits:
             raise BenchError(
@@ -107,6 +126,8 @@ def compare_artifacts(
         cand_totals = _case_totals(cand_cases[case_id])
         comparison = CaseComparison(case_id=case_id)
         for metric, base_value in base_totals.items():
+            if metrics is not None and metric not in metrics:
+                continue
             cand_value = cand_totals[metric]
             regressed = (
                 base_value >= MIN_BASELINE[metric]
@@ -125,11 +146,17 @@ def compare_artifacts(
 
 
 def compare_files(
-    baseline_path, candidate_path, thresholds: "dict | None" = None
+    baseline_path,
+    candidate_path,
+    thresholds: "dict | None" = None,
+    metrics: "tuple[str, ...] | None" = None,
 ) -> ComparisonResult:
     """:func:`compare_artifacts` over two artifact files."""
     return compare_artifacts(
-        read_artifact(baseline_path), read_artifact(candidate_path), thresholds
+        read_artifact(baseline_path),
+        read_artifact(candidate_path),
+        thresholds,
+        metrics=metrics,
     )
 
 

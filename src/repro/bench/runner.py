@@ -45,7 +45,7 @@ def _harvest(obs) -> dict:
         "stage_seconds": stage_seconds,
         "bytes_sent": {
             _series_key(labels): value
-            for labels, value in obs.bytes_sent.labeled_values()
+            for labels, value in obs.sent_bytes.labeled_values()
         },
         "energy_joules": {
             _series_key(labels): value

@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands drive the main experiments without writing code:
+Eight subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
 * ``coverage`` — the multi-phone city-coverage run (Fig. 12)
 * ``share``    — run a scheme over a folder of real PPM/PGM photos
 * ``bench``    — the benchmark telemetry harness (run/list/compare/report)
+* ``lint``     — the beeslint static-analysis suite over the repo
 * ``metrics``  — render a captured Prometheus metrics file as a table
 * ``info``     — versions, device profile, policies, observability
 
@@ -118,12 +119,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     report.n_uploaded,
                     len(report.eliminated_cross_batch),
                     len(report.eliminated_in_batch),
-                    f"{report.total_energy_j:.0f} J",
-                    format_bytes(report.bytes_sent),
+                    f"{report.total_energy_joules:.0f} J",
+                    format_bytes(report.sent_bytes),
                     f"{report.average_image_seconds:.1f} s",
                 ]
             )
-            energies.append((scheme.name, report.total_energy_j))
+            energies.append((scheme.name, report.total_energy_joules))
         print(
             f"batch: {args.images} images, {args.in_batch} in-batch duplicates, "
             f"{int(args.redundancy * 100)}% cross-batch redundancy\n"
@@ -144,7 +145,7 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     """Race the selected schemes to battery exhaustion (Fig. 9)."""
     experiment = LifetimeExperiment(
         group_size=args.group_size,
-        interval_s=args.interval_minutes * 60.0,
+        interval_seconds=args.interval_minutes * 60.0,
         redundancy_ratio=args.redundancy,
         capacity_fraction=args.capacity,
         max_groups=args.max_groups,
@@ -153,7 +154,7 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     print(
         f"{args.group_size}-image groups every {args.interval_minutes:g} min, "
         f"{int(args.redundancy * 100)}% redundancy, "
-        f"{args.capacity:.0%} of a {DEFAULT_PROFILE.battery_capacity_j:.0f} J battery\n"
+        f"{args.capacity:.0%} of a {DEFAULT_PROFILE.battery_capacity_joules:.0f} J battery\n"
     )
     with _observability(args):
         for scheme in _schemes(args.schemes):
@@ -180,7 +181,7 @@ def cmd_coverage(args: argparse.Namespace) -> int:
         dataset=dataset,
         n_phones=args.phones,
         group_size=args.group_size,
-        interval_s=300.0,
+        interval_seconds=300.0,
         capacity_fraction=args.capacity,
     )
     print(
@@ -221,8 +222,8 @@ def cmd_share(args: argparse.Namespace) -> int:
     print(f"in-batch redundant: {len(report.eliminated_in_batch)} "
           f"{sorted(report.eliminated_in_batch)}")
     print(f"cross-batch redundant: {len(report.eliminated_cross_batch)}")
-    print(f"bytes sent:        {format_bytes(report.bytes_sent)}")
-    print(f"energy:            {report.total_energy_j:.1f} J")
+    print(f"bytes sent:        {format_bytes(report.sent_bytes)}")
+    print(f"energy:            {report.total_energy_joules:.1f} J")
     print(f"avg delay/image:   {report.average_image_seconds:.2f} s")
     return 0
 
@@ -285,8 +286,11 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         "bytes_sent": args.max_bytes_growth,
         "energy_joules": args.max_energy_growth,
     }
+    metrics = bench_module.DETERMINISTIC_METRICS if args.deterministic else None
     try:
-        result = bench_module.compare_files(args.baseline, args.candidate, thresholds)
+        result = bench_module.compare_files(
+            args.baseline, args.candidate, thresholds, metrics=metrics
+        )
     except BenchError as exc:
         raise SystemExit(f"bench compare failed: {exc}") from None
     print(bench_module.format_comparison(result))
@@ -347,6 +351,29 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run beeslint; exit 1 on findings or unreadable files."""
+    from . import lint as lint_module  # lazy: keeps experiment commands lean
+
+    if args.list_rules:
+        rows = [
+            [rule.code, rule.name, rule.summary]
+            for rule in sorted(lint_module.all_rules(), key=lambda r: r.code)
+        ]
+        print(format_table(["code", "rule", "checks"], rows))
+        return 0
+    try:
+        rules = lint_module.resolve_rules(select=args.select, ignore=args.ignore)
+        result = lint_module.lint_paths(args.paths, rules=rules)
+    except lint_module.ConfigurationError as exc:
+        raise SystemExit(f"lint failed: {exc}") from None
+    if args.format == "json":
+        print(lint_module.render_json(result))
+    else:
+        print(lint_module.render_console(result))
+    return 0 if result.ok else 1
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Render a captured Prometheus metrics file as a console table."""
     print(obs_module.render_metrics_file(args.path))
@@ -358,7 +385,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     profile = DEFAULT_PROFILE
     print(f"repro {__version__} — BEES (ICDCS 2017) reproduction")
     print(f"\ndevice profile: {profile.name}")
-    print(f"  battery        {profile.battery_capacity_j:.0f} J")
+    print(f"  battery        {profile.battery_capacity_joules:.0f} J")
     print(f"  cpu power      {profile.cpu_power_w} W")
     print(f"  radio power    {profile.radio_power_w} W")
     print(f"  baseline draw  {profile.baseline_power_w} W")
@@ -485,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-energy-growth", type=float, default=0.10, metavar="FRAC",
         help="allowed relative energy growth (default 0.10)",
     )
+    bench_compare.add_argument(
+        "--deterministic", action="store_true",
+        help="gate only the exact-count series (bytes, joules) and ignore "
+        "hardware-noisy wall time — the blocking CI mode",
+    )
     bench_compare.set_defaults(handler=cmd_bench_compare)
 
     bench_report = bench_commands.add_parser(
@@ -496,6 +528,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the per-stage p50/p95/p99 latency table",
     )
     bench_report.set_defaults(handler=cmd_bench_report)
+
+    lint = commands.add_parser(
+        "lint", help="run the beeslint static-analysis rules (exit 1 on findings)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--format", choices=["console", "json"], default="console",
+        help="findings output format (default: console)",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only this rule (slug or BEESnnn code; repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="RULE", default=None,
+        help="skip this rule (slug or BEESnnn code; repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     metrics = commands.add_parser(
         "metrics", help="render a captured Prometheus metrics file"

@@ -25,11 +25,8 @@ from ..energy import EnergyCostModel, WorkCost, ZERO_COST
 from ..imaging import jpeg
 from ..imaging.image import Image
 from ..imaging.resolution import compress_resolution
-from .config import DEFAULT_QUALITY_PROPORTION
+from .config import DEFAULT_QUALITY_PROPORTION, FIT_PROPORTIONS
 from .policies import LinearPolicy, eau_policy
-
-#: Proportions at which the fitted quality-size curve is sampled.
-_FIT_PROPORTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.85, 0.9, 0.95)
 
 
 @lru_cache(maxsize=1)
@@ -38,8 +35,8 @@ def _fitted_quality_curve() -> "tuple[np.ndarray, np.ndarray]":
     from ..imaging.synth import SceneGenerator  # local import: avoid cycle
 
     reference = SceneGenerator().view(424_242, 0)
-    factors = [jpeg.size_factor(reference, p) for p in _FIT_PROPORTIONS]
-    return np.array(_FIT_PROPORTIONS), np.array(factors)
+    factors = [jpeg.size_factor(reference, p) for p in FIT_PROPORTIONS]
+    return np.array(FIT_PROPORTIONS), np.array(factors)
 
 
 def fitted_quality_size_factor(proportion: float) -> float:

@@ -61,7 +61,7 @@ class BeesScheme(SharingScheme):
     ) -> BatchReport:
         report = BatchReport(scheme=self.name, n_images=len(images))
         before = device.meter.snapshot()
-        bytes_before = device.uplink.bytes_sent
+        before_bytes = device.uplink.sent_bytes
         self.afe.cost_model = device.cost_model
         self.aiu.cost_model = device.cost_model
         obs = get_obs()
@@ -185,9 +185,9 @@ class BeesScheme(SharingScheme):
 
             report.per_image_seconds = list(per_image.values())
             report.total_seconds = float(sum(per_image.values()))
-            report.bytes_sent = device.uplink.bytes_sent - bytes_before
+            report.sent_bytes = device.uplink.sent_bytes - before_bytes
             report.energy_by_category = device.meter.since(before)
-            batch_span.set_attribute("bytes_sent", report.bytes_sent)
+            batch_span.set_attribute("bytes_sent", report.sent_bytes)
             batch_span.set_attribute("n_uploaded", report.n_uploaded)
             batch_span.set_attribute(
                 "n_eliminated_cross", len(report.eliminated_cross_batch)

@@ -17,6 +17,19 @@ from .policies import LinearPolicy, eac_policy, eau_policy, edr_policy, ssmm_cut
 #: 0.85: beyond it image quality degrades sharply).
 DEFAULT_QUALITY_PROPORTION = 0.85
 
+#: The EDR similarity-threshold band, derived from the policy itself so
+#: the linear coefficients stay literal in exactly one module
+#: (:mod:`repro.core.policies`).  ``MIN`` is T at Ebat = 0 (aggressive
+#: elimination), ``MAX`` is T at Ebat = 1 — the *strictest* operating
+#: point, which the fixed-threshold baselines (SmartEye, MRC) and
+#: BEES-EA all pin so every scheme detects the same planted redundancy.
+EDR_THRESHOLD_MIN = edr_policy()(0.0)
+EDR_THRESHOLD_MAX = edr_policy()(1.0)
+
+#: Proportions at which AIU's fitted quality-size curve is sampled (the
+#: sweep of Figure 5(a), anchored on the fixed quality proportion).
+FIT_PROPORTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, DEFAULT_QUALITY_PROPORTION, 0.9, 0.95)
+
 
 @dataclass(frozen=True)
 class BeesConfig:

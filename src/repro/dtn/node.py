@@ -17,6 +17,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from ..core.config import EDR_THRESHOLD_MAX
 from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..features.similarity import jaccard_similarity
@@ -68,7 +69,7 @@ class CareDropPolicy(DropPolicy):
 
     name = "care"
 
-    def __init__(self, similarity_floor: float = 0.019) -> None:
+    def __init__(self, similarity_floor: float = EDR_THRESHOLD_MAX) -> None:
         if similarity_floor < 0:
             raise SimulationError("similarity_floor must be >= 0")
         self.similarity_floor = similarity_floor

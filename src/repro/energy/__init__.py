@@ -10,7 +10,7 @@ from .meter import (
     IMAGE_UPLOAD,
     EnergyMeter,
 )
-from .profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_J, DeviceProfile
+from .profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_JOULES, DeviceProfile
 
 __all__ = [
     "BASELINE",
@@ -18,7 +18,7 @@ __all__ = [
     "DEFAULT_PROFILE",
     "FEATURE_EXTRACTION",
     "FEATURE_UPLOAD",
-    "HELIO_X10_BATTERY_J",
+    "HELIO_X10_BATTERY_JOULES",
     "IMAGE_UPLOAD",
     "Battery",
     "DeviceProfile",

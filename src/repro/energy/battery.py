@@ -18,28 +18,28 @@ from ..errors import EnergyError
 class Battery:
     """A joule reservoir with a remaining-energy fraction ``Ebat``."""
 
-    capacity_j: float
-    remaining_j: float = field(default=-1.0)
+    capacity_joules: float
+    remaining_joules: float = field(default=-1.0)
 
     def __post_init__(self) -> None:
-        if self.capacity_j <= 0:
-            raise EnergyError(f"capacity must be positive, got {self.capacity_j}")
-        if self.remaining_j < 0:
-            self.remaining_j = self.capacity_j
-        if self.remaining_j > self.capacity_j:
+        if self.capacity_joules <= 0:
+            raise EnergyError(f"capacity must be positive, got {self.capacity_joules}")
+        if self.remaining_joules < 0:
+            self.remaining_joules = self.capacity_joules
+        if self.remaining_joules > self.capacity_joules:
             raise EnergyError(
-                f"remaining {self.remaining_j} J exceeds capacity {self.capacity_j} J"
+                f"remaining {self.remaining_joules} J exceeds capacity {self.capacity_joules} J"
             )
 
     @property
     def ebat(self) -> float:
         """The remaining-energy fraction the EAAS policies consume."""
-        return self.remaining_j / self.capacity_j
+        return self.remaining_joules / self.capacity_joules
 
     @property
     def is_empty(self) -> bool:
         """True when no usable energy remains."""
-        return self.remaining_j <= 0.0
+        return self.remaining_joules <= 0.0
 
     def drain(self, joules: float) -> float:
         """Consume *joules*; returns the amount actually drained.
@@ -50,18 +50,18 @@ class Battery:
         """
         if joules < 0:
             raise EnergyError(f"cannot drain a negative amount ({joules} J)")
-        drained = min(joules, self.remaining_j)
-        self.remaining_j -= drained
+        drained = min(joules, self.remaining_joules)
+        self.remaining_joules -= drained
         return drained
 
     def can_supply(self, joules: float) -> bool:
         """Whether the battery currently holds at least *joules*."""
         if joules < 0:
             raise EnergyError(f"cannot query a negative amount ({joules} J)")
-        return self.remaining_j >= joules
+        return self.remaining_joules >= joules
 
     def recharge(self, fraction: float = 1.0) -> None:
         """Set the charge to *fraction* of capacity (tests and setups)."""
         if not 0.0 <= fraction <= 1.0:
             raise EnergyError(f"fraction must be in [0, 1], got {fraction}")
-        self.remaining_j = self.capacity_j * fraction
+        self.remaining_joules = self.capacity_joules * fraction

@@ -36,7 +36,7 @@ class EnergyMeter:
         self.ledger[category] += joules
 
     @property
-    def total_j(self) -> float:
+    def total_joules(self) -> float:
         """Total joules recorded across all categories."""
         return float(sum(self.ledger.values()))
 

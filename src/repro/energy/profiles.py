@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from ..errors import EnergyError
 
 #: 3150 mAh * 3.8 V * 3.6 J/mWh.
-HELIO_X10_BATTERY_J = 3150 * 3.8 * 3.6
+HELIO_X10_BATTERY_JOULES = 3150 * 3.8 * 3.6
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,7 @@ class DeviceProfile:
     """Energy and performance constants of one smartphone model."""
 
     name: str = "helio-x10-phone"
-    battery_capacity_j: float = HELIO_X10_BATTERY_J
+    battery_capacity_joules: float = HELIO_X10_BATTERY_JOULES
     #: Pixels/second each extractor processes (drives time AND energy).
     extraction_rate: dict = field(
         default_factory=lambda: {
@@ -54,9 +54,9 @@ class DeviceProfile:
     baseline_power_w: float = 0.57
 
     def __post_init__(self) -> None:
-        if self.battery_capacity_j <= 0:
+        if self.battery_capacity_joules <= 0:
             raise EnergyError(
-                f"battery capacity must be positive, got {self.battery_capacity_j}"
+                f"battery capacity must be positive, got {self.battery_capacity_joules}"
             )
         for kind, rate in self.extraction_rate.items():
             if rate <= 0:

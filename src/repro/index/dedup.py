@@ -85,8 +85,8 @@ class DedupStore:
     """A chunk-fingerprint store with byte-savings accounting."""
 
     _fingerprints: set = field(default_factory=set, init=False, repr=False)
-    bytes_seen: int = field(default=0, init=False)
-    bytes_stored: int = field(default=0, init=False)
+    seen_bytes: int = field(default=0, init=False)
+    stored_bytes: int = field(default=0, init=False)
 
     def add(self, data: bytes) -> "tuple[int, int]":
         """Ingest *data*; returns ``(new_bytes, duplicate_bytes)``."""
@@ -99,16 +99,16 @@ class DedupStore:
             else:
                 self._fingerprints.add(fingerprint)
                 new += len(chunk)
-        self.bytes_seen += new + duplicate
-        self.bytes_stored += new
+        self.seen_bytes += new + duplicate
+        self.stored_bytes += new
         return new, duplicate
 
     @property
     def dedup_ratio(self) -> float:
         """Fraction of ingested bytes eliminated as duplicates."""
-        if self.bytes_seen == 0:
+        if self.seen_bytes == 0:
             return 0.0
-        return 1.0 - self.bytes_stored / self.bytes_seen
+        return 1.0 - self.stored_bytes / self.seen_bytes
 
 
 def image_payload(image: Image) -> bytes:

@@ -1,0 +1,150 @@
+"""The beeslint rule registry.
+
+A rule is a class with a ``name`` (the suppression slug), a ``code``
+(``BEESnnn``), a one-line ``summary``, and a ``check(ctx)`` generator
+yielding :class:`~repro.lint.findings.Finding` objects.  Registration
+is a class decorator so importing :mod:`repro.lint.rules` is enough to
+populate the registry; the engine never hard-codes rule names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Type
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+@dataclass
+class FileContext:
+    """What a rule gets to look at: one parsed file.
+
+    ``parents`` maps every AST node to its parent so rules can reason
+    about *where* an expression sits (e.g. "is this Name a bare call
+    argument?") without re-walking the tree themselves.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: "tuple[str, ...]" = field(default=())
+    parents: "dict[ast.AST, ast.AST]" = field(default_factory=dict)
+
+    @property
+    def is_benchmark_module(self) -> bool:
+        """True for ``bench_*.py`` files (the figure benchmark suite)."""
+        basename = self.path.replace("\\", "/").rsplit("/", 1)[-1]
+        return basename.startswith("bench_") and basename.endswith(".py")
+
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        """The enclosing AST node, or None at module level."""
+        return self.parents.get(node)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a Finding anchored at *node*."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for beeslint rules."""
+
+    #: Suppression slug, e.g. ``paper-constants``.
+    name: str = ""
+    #: Stable short code, e.g. ``BEES101``.
+    code: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def make(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Shorthand for ``ctx.finding(node, self.name, message)``."""
+        return ctx.finding(node, self.name, message)
+
+
+#: name -> rule instance, in registration order.
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+def register(cls: "Type[Rule]") -> "Type[Rule]":
+    """Class decorator adding one rule to the global registry."""
+    if not cls.name or not cls.code:
+        raise ConfigurationError(f"rule {cls.__name__} must set name and code")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def all_rules() -> "tuple[Rule, ...]":
+    """Every registered rule, in registration order."""
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    return tuple(_REGISTRY.values())
+
+
+def resolve_rules(
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> "tuple[Rule, ...]":
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    Rules may be referred to by slug (``paper-constants``) or code
+    (``BEES101``); unknown names raise :class:`ConfigurationError`.
+    """
+    rules = all_rules()
+    by_key = {}
+    for rule in rules:
+        by_key[rule.name] = rule
+        by_key[rule.code] = rule
+
+    def lookup(names: "Iterable[str]") -> "set[str]":
+        chosen = set()
+        for raw in names:
+            key = raw.strip()
+            if key not in by_key:
+                known = ", ".join(sorted(r.name for r in rules))
+                raise ConfigurationError(f"unknown rule {key!r}; known rules: {known}")
+            chosen.add(by_key[key].name)
+        return chosen
+
+    active = {rule.name for rule in rules}
+    if select is not None:
+        active = lookup(select)
+    if ignore is not None:
+        active -= lookup(ignore)
+    return tuple(rule for rule in rules if rule.name in active)
+
+
+def walk_with_parents(tree: ast.Module) -> "dict[ast.AST, ast.AST]":
+    """Map every node in *tree* to its parent node."""
+    parents: "dict[ast.AST, ast.AST]" = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_nodes(
+    tree: ast.Module, kind: "type | tuple[type, ...]"
+) -> "Iterator[ast.AST]":
+    """All nodes of *kind* in *tree*, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, kind):
+            yield node
+
+
+CheckFn = Callable[[FileContext], Iterator[Finding]]

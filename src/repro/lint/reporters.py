@@ -1,0 +1,37 @@
+"""beeslint output formats: console lines and a JSON document."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+
+def render_console(result: LintResult) -> str:
+    """One ``path:line:col: [rule] message`` line per finding."""
+    lines = []
+    for report in result.errors:
+        lines.append(f"{report.path}: error: {report.error}")
+    for finding in result.findings:
+        lines.append(finding.format())
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"beeslint: {count} {noun} in {result.files_checked} file(s)"
+        + (f", {len(result.errors)} file error(s)" if result.errors else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """A machine-readable report (stable key order, trailing newline)."""
+    document = {
+        "tool": "beeslint",
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "errors": [
+            {"path": report.path, "error": report.error} for report in result.errors
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"

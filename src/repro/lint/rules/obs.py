@@ -1,0 +1,120 @@
+"""BEES105 ``obs-coverage`` — instrumentation completeness.
+
+Scheme-vs-scheme numbers are only comparable if every scheme reports
+through the same funnel.  Two structural checks:
+
+* every concrete ``process_batch`` on a ``*Scheme`` subclass must route
+  its report through ``self.observe_batch(...)`` — the shared hook that
+  feeds the ``bees_*`` metric families;
+* every ``bench_*.py`` module must expose the harness contract:
+  a top-level ``run`` function plus ``PARAMS`` and ``QUICK_PARAMS``
+  dicts, so ``repro bench run`` (and CI's quick suite) can drive it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, iter_nodes, register
+
+_HARNESS_GLOBALS = ("PARAMS", "QUICK_PARAMS")
+
+
+def _base_names(class_def: ast.ClassDef) -> "list[str]":
+    names = []
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract(func: ast.FunctionDef) -> bool:
+    for decorator in func.decorator_list:
+        name = ""
+        if isinstance(decorator, ast.Name):
+            name = decorator.id
+        elif isinstance(decorator, ast.Attribute):
+            name = decorator.attr
+        if name in {"abstractmethod", "abstractproperty"}:
+            return True
+    return False
+
+
+def _calls_observe_batch(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "observe_batch"
+        ):
+            return True
+    return False
+
+
+def _module_assign_targets(tree: ast.Module) -> "set[str]":
+    targets = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    targets.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets.add(node.target.id)
+    return targets
+
+
+@register
+class ObsCoverageRule(Rule):
+    """Schemes report through observe_batch; bench modules are drivable."""
+
+    name = "obs-coverage"
+    code = "BEES105"
+    summary = (
+        "SharingScheme.process_batch overrides must call observe_batch; "
+        "bench_*.py modules must define run + PARAMS + QUICK_PARAMS"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_def in iter_nodes(ctx.tree, ast.ClassDef):
+            if not any(base.endswith("Scheme") for base in _base_names(class_def)):
+                continue
+            for item in class_def.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "process_batch"
+                    and not _is_abstract(item)
+                    and not _calls_observe_batch(item)
+                ):
+                    yield self.make(
+                        ctx,
+                        item,
+                        f"{class_def.name}.process_batch never calls "
+                        "self.observe_batch(report); every scheme must return "
+                        "its report through the shared observability hook",
+                    )
+        if ctx.is_benchmark_module:
+            functions = {
+                node.name
+                for node in ctx.tree.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            assigns = _module_assign_targets(ctx.tree)
+            missing = []
+            if "run" not in functions:
+                missing.append("a top-level run(params) function")
+            missing.extend(
+                f"a module-level {name} dict"
+                for name in _HARNESS_GLOBALS
+                if name not in assigns
+            )
+            if missing:
+                yield self.make(
+                    ctx,
+                    ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    "bench module misses the harness contract: "
+                    + ", ".join(missing),
+                )

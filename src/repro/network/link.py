@@ -29,21 +29,21 @@ class Uplink:
     """A smartphone's uplink to the cloud servers."""
 
     channel: FluctuatingChannel = field(default_factory=FluctuatingChannel)
-    latency_s: float = 0.1
-    bytes_sent: int = field(default=0, init=False)
+    latency_seconds: float = 0.1
+    sent_bytes: int = field(default=0, init=False)
     transfer_count: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        if self.latency_s < 0:
-            raise NetworkError(f"latency must be >= 0, got {self.latency_s}")
+        if self.latency_seconds < 0:
+            raise NetworkError(f"latency must be >= 0, got {self.latency_seconds}")
 
     def transfer(self, payload_bytes: int) -> TransferResult:
         """Send *payload_bytes* upstream; returns timing and goodput."""
         if payload_bytes < 0:
             raise NetworkError(f"payload must be >= 0 bytes, got {payload_bytes}")
         goodput = self.channel.sample_goodput_bps()
-        seconds = self.latency_s + payload_bytes * 8.0 / goodput
-        self.bytes_sent += payload_bytes
+        seconds = self.latency_seconds + payload_bytes * 8.0 / goodput
+        self.sent_bytes += payload_bytes
         self.transfer_count += 1
         obs = get_obs()
         if obs.enabled:
@@ -56,5 +56,5 @@ class Uplink:
 
     def reset_counters(self) -> None:
         """Zero the cumulative byte/transfer counters."""
-        self.bytes_sent = 0
+        self.sent_bytes = 0
         self.transfer_count = 0

@@ -74,7 +74,7 @@ class Observability:
 
     def _register_standard_metrics(self) -> None:
         registry = self.registry
-        self.bytes_sent = registry.counter(
+        self.sent_bytes = registry.counter(
             "bees_bytes_sent_total",
             "Bytes pushed through the uplink, per scheme",
             ("scheme",),
@@ -163,7 +163,7 @@ class Observability:
         """
         scheme = report.scheme
         self.batches.inc(scheme=scheme)
-        self.bytes_sent.inc(report.bytes_sent, scheme=scheme)
+        self.sent_bytes.inc(report.sent_bytes, scheme=scheme)
         for category, joules in report.energy_by_category.items():
             self.energy_joules.inc(joules, scheme=scheme, category=category)
         if report.eliminated_cross_batch:

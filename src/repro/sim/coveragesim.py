@@ -58,7 +58,7 @@ class CoverageExperiment:
     dataset: SyntheticParis = field(default_factory=SyntheticParis)
     n_phones: int = 5
     group_size: int = 20
-    interval_s: float = 20 * 60.0
+    interval_seconds: float = 20 * 60.0
     capacity_fraction: float = 1.0
     shuffle_seed: int = 42
 
@@ -94,7 +94,7 @@ class CoverageExperiment:
                 uplink=Uplink(channel=FluctuatingChannel(seed=phone)),
             )
             device.battery = Battery(
-                capacity_j=device.profile.battery_capacity_j * self.capacity_fraction
+                capacity_joules=device.profile.battery_capacity_joules * self.capacity_fraction
             )
             sessions.append(UploadSession(scheme=scheme, device=device, server=server))
 
@@ -108,7 +108,7 @@ class CoverageExperiment:
                 if interval >= len(batches) or not session.device.alive:
                     continue
                 session.run_batch(batches[interval])
-                session.device.idle(self.interval_s)
+                session.device.idle(self.interval_seconds)
                 progressed = True
             if not progressed:
                 break

@@ -38,7 +38,7 @@ class Smartphone:
 
     def __post_init__(self) -> None:
         if self.battery is None:
-            self.battery = Battery(capacity_j=self.profile.battery_capacity_j)
+            self.battery = Battery(capacity_joules=self.profile.battery_capacity_joules)
         if self.uplink is None:
             self.uplink = Uplink(channel=FluctuatingChannel())
         if self.cost_model is None:

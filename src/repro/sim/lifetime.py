@@ -25,7 +25,7 @@ from .device import Smartphone
 from .session import UploadSession, build_server, scheme_extractor
 
 #: The paper uploads one group every 20 minutes.
-DEFAULT_INTERVAL_S = 20 * 60.0
+DEFAULT_INTERVAL_SECONDS = 20 * 60.0
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class LifetimeExperiment:
 
     group_size: int = 40
     redundancy_ratio: float = 0.5
-    interval_s: float = DEFAULT_INTERVAL_S
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS
     capacity_fraction: float = 1.0
     max_groups: int = 150
     generator: SceneGenerator = field(default_factory=SceneGenerator)
@@ -114,7 +114,7 @@ class LifetimeExperiment:
         """Upload groups every interval until the battery dies."""
         device = Smartphone()
         device.battery = Battery(
-            capacity_j=device.profile.battery_capacity_j * self.capacity_fraction
+            capacity_joules=device.profile.battery_capacity_joules * self.capacity_fraction
         )
         server = build_server(scheme)
         extractor = scheme_extractor(scheme)
@@ -129,9 +129,9 @@ class LifetimeExperiment:
                 server.seed_image(partner, extractor.extract(partner))
             report = session.run_batch(images)
             uploaded += report.n_uploaded
-            alive = device.idle(self.interval_s) and not report.halted
+            alive = device.idle(self.interval_seconds) and not report.halted
             trace.append(
-                LifetimePoint(minutes=(index + 1) * self.interval_s / 60.0, ebat=device.ebat)
+                LifetimePoint(minutes=(index + 1) * self.interval_seconds / 60.0, ebat=device.ebat)
             )
             if not alive:
                 break

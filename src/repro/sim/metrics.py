@@ -14,8 +14,8 @@ class SchemeMetrics:
     scheme: str
     n_images: int
     n_uploaded: int
-    energy_j: float
-    bytes_sent: int
+    energy_joules: float
+    sent_bytes: int
     avg_image_seconds: float
     eliminated_cross_batch: int
     eliminated_in_batch: int
@@ -32,8 +32,8 @@ def summarize(reports: "list[BatchReport]") -> SchemeMetrics:
         scheme=reports[0].scheme,
         n_images=n_images,
         n_uploaded=sum(report.n_uploaded for report in reports),
-        energy_j=sum(report.total_energy_j for report in reports),
-        bytes_sent=sum(report.bytes_sent for report in reports),
+        energy_joules=sum(report.total_energy_joules for report in reports),
+        sent_bytes=sum(report.sent_bytes for report in reports),
         avg_image_seconds=total_seconds / n_images if n_images else 0.0,
         eliminated_cross_batch=sum(
             len(report.eliminated_cross_batch) for report in reports

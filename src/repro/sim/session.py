@@ -73,8 +73,8 @@ class UploadSession:
         ) as span:
             report = self.scheme.process_batch(self.device, self.server, images)
             span.set_attribute("ebat_after", self.device.ebat)
-            span.set_attribute("bytes_sent", report.bytes_sent)
-            span.set_attribute("energy_j", report.total_energy_j)
+            span.set_attribute("bytes_sent", report.sent_bytes)
+            span.set_attribute("energy_j", report.total_energy_joules)
         self.reports.append(report)
         if self.recorder is not None:
             self.recorder.record(report, ebat_before, self.device.ebat)
@@ -91,12 +91,12 @@ class UploadSession:
     # -- aggregates -------------------------------------------------------
 
     @property
-    def total_energy_j(self) -> float:
-        return float(sum(report.total_energy_j for report in self.reports))
+    def total_energy_joules(self) -> float:
+        return float(sum(report.total_energy_joules for report in self.reports))
 
     @property
     def total_bytes(self) -> int:
-        return int(sum(report.bytes_sent for report in self.reports))
+        return int(sum(report.sent_bytes for report in self.reports))
 
     @property
     def total_uploaded(self) -> int:

@@ -29,8 +29,8 @@ class TimelineRow:
     n_uploaded: int
     n_eliminated_cross: int
     n_eliminated_in_batch: int
-    bytes_sent: int
-    energy_j: float
+    sent_bytes: int
+    energy_joules: float
     halted: bool
 
     @property
@@ -62,8 +62,8 @@ class TimelineRecorder:
             n_uploaded=report.n_uploaded,
             n_eliminated_cross=len(report.eliminated_cross_batch),
             n_eliminated_in_batch=len(report.eliminated_in_batch),
-            bytes_sent=report.bytes_sent,
-            energy_j=report.total_energy_j,
+            sent_bytes=report.sent_bytes,
+            energy_joules=report.total_energy_joules,
             halted=report.halted,
         )
         self.rows.append(row)
@@ -76,11 +76,11 @@ class TimelineRecorder:
 
     def energy_series(self) -> "list[float]":
         """Per-batch energy — BEES' falls as Ebat drains (EAAS)."""
-        return [row.energy_j for row in self.rows]
+        return [row.energy_joules for row in self.rows]
 
-    def bytes_series(self) -> "list[int]":
+    def sent_bytes_series(self) -> "list[int]":
         """Per-batch uplink bytes — the bandwidth trajectory."""
-        return [row.bytes_sent for row in self.rows]
+        return [row.sent_bytes for row in self.rows]
 
     def upload_ratio_series(self) -> "list[float]":
         """Per-batch fraction of images actually uploaded."""
@@ -89,9 +89,9 @@ class TimelineRecorder:
             for row in self.rows
         ]
 
-    def total_energy_j(self) -> float:
+    def total_energy_joules(self) -> float:
         """Total joules across all recorded batches."""
-        return float(sum(row.energy_j for row in self.rows))
+        return float(sum(row.energy_joules for row in self.rows))
 
     # -- exports ---------------------------------------------------------------
 

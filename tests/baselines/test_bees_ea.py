@@ -27,7 +27,6 @@ class TestBeesEa:
     def test_behaviour_invariant_to_battery(self, small_batch_features):
         """BEES-EA processes a batch identically at any charge level."""
         from repro.core.server import BeesServer
-        from repro.energy import Battery
         from repro.sim.device import Smartphone
 
         images, _ = small_batch_features

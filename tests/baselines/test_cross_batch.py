@@ -50,7 +50,7 @@ class TestTwoPhaseProtocol:
     def test_halts_on_battery_death(self, scheme_cls, small_batch_features):
         images, _ = small_batch_features
         device = Smartphone()
-        device.battery = Battery(capacity_j=30.0)
+        device.battery = Battery(capacity_joules=30.0)
         scheme = scheme_cls()
         report = scheme.process_batch(device, build_server(scheme), images)
         assert report.halted

@@ -1,6 +1,5 @@
 """Tests for Direct Upload."""
 
-import pytest
 
 from repro.baselines.direct import DirectUpload
 from repro.core.server import BeesServer
@@ -19,7 +18,7 @@ class TestDirectUpload:
     def test_full_size_payloads(self, small_batch_features):
         images, _ = small_batch_features
         report = DirectUpload().process_batch(Smartphone(), BeesServer(), images)
-        assert report.bytes_sent == sum(image.nominal_bytes for image in images)
+        assert report.sent_bytes == sum(image.nominal_bytes for image in images)
 
     def test_only_image_upload_energy(self, small_batch_features):
         images, _ = small_batch_features
@@ -43,7 +42,7 @@ class TestDirectUpload:
     def test_battery_death_halts(self, small_batch_features):
         images, _ = small_batch_features
         device = Smartphone()
-        device.battery = Battery(capacity_j=50.0)  # ~1 upload worth
+        device.battery = Battery(capacity_joules=50.0)  # ~1 upload worth
         report = DirectUpload().process_batch(device, BeesServer(), images)
         assert report.halted
         assert report.n_uploaded < len(images)

@@ -29,17 +29,17 @@ def reports():
 
 class TestEnergyOrdering:
     def test_bees_cheapest(self, reports):
-        bees = reports["BEES"].total_energy_j
+        bees = reports["BEES"].total_energy_joules
         for name in ("Direct Upload", "SmartEye", "MRC"):
-            assert bees < reports[name].total_energy_j
+            assert bees < reports[name].total_energy_joules
 
     def test_mrc_cheaper_than_smarteye(self, reports):
         # PCA-SIFT extraction costs more than ORB (Figure 7).
-        assert reports["MRC"].total_energy_j < reports["SmartEye"].total_energy_j
+        assert reports["MRC"].total_energy_joules < reports["SmartEye"].total_energy_joules
 
     def test_bees_reduces_most_of_mrc_energy(self, reports):
         # Paper: 67.3-70.8% reduction vs MRC at these redundancy levels.
-        saving = 1 - reports["BEES"].total_energy_j / reports["MRC"].total_energy_j
+        saving = 1 - reports["BEES"].total_energy_joules / reports["MRC"].total_energy_joules
         assert saving > 0.5
 
     def test_smarteye_extraction_dominates(self, reports):
@@ -50,16 +50,16 @@ class TestEnergyOrdering:
 
 class TestBandwidthOrdering:
     def test_bees_sends_least(self, reports):
-        bees = reports["BEES"].bytes_sent
+        bees = reports["BEES"].sent_bytes
         for name in ("Direct Upload", "SmartEye", "MRC"):
-            assert bees < reports[name].bytes_sent
+            assert bees < reports[name].sent_bytes
 
     def test_mrc_thumbnails_cost_bandwidth_over_smarteye_features(self, reports):
         # Both eliminate the same images; MRC adds thumbnails but
         # SmartEye's PCA-SIFT features are bigger per image — MRC's
         # total stays within ~25% of SmartEye's (Figure 10 shows them
         # close, MRC "a little more" on their hardware).
-        ratio = reports["MRC"].bytes_sent / reports["SmartEye"].bytes_sent
+        ratio = reports["MRC"].sent_bytes / reports["SmartEye"].sent_bytes
         assert 0.75 < ratio < 1.25
 
 

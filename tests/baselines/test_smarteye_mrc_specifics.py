@@ -58,7 +58,7 @@ class TestMrcSpecifics:
         slim = Mrc(thumbnail_bytes=1)
         slim_device = Smartphone()
         slim_report = slim.process_batch(slim_device, build_server(slim), batch)
-        extra = report.bytes_sent - slim_report.bytes_sent
+        extra = report.sent_bytes - slim_report.sent_bytes
         assert extra == pytest.approx((THUMBNAIL_BYTES - 1) * len(batch))
 
     def test_custom_thumbnail_size(self):

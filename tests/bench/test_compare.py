@@ -12,11 +12,11 @@ from repro.bench import (
 from repro.errors import BenchError
 
 
-def make_case(wall=10.0, bytes_sent=None, energy=None) -> dict:
+def make_case(wall=10.0, sent_bytes=None, energy=None) -> dict:
     return {
         "wall_seconds": wall,
         "stage_seconds": {},
-        "bytes_sent": {"BEES": 1_000_000.0} if bytes_sent is None else bytes_sent,
+        "bytes_sent": {"BEES": 1_000_000.0} if sent_bytes is None else sent_bytes,
         "energy_joules": {"BEES/radio": 100.0} if energy is None else energy,
         "eliminations": {},
     }
@@ -79,9 +79,9 @@ class TestRegressionGate:
 
     def test_bytes_totals_sum_across_schemes(self):
         baseline = make_artifact(
-            {"c": make_case(bytes_sent={"BEES": 1e6, "MRC": 1e6})}
+            {"c": make_case(sent_bytes={"BEES": 1e6, "MRC": 1e6})}
         )
-        candidate = make_artifact({"c": make_case(bytes_sent={"BEES": 2.5e6})})
+        candidate = make_artifact({"c": make_case(sent_bytes={"BEES": 2.5e6})})
         result = compare_artifacts(baseline, candidate)
         assert not result.ok
         (delta,) = [
@@ -92,11 +92,11 @@ class TestRegressionGate:
 
     def test_tiny_baselines_are_noise_not_regressions(self):
         baseline = make_artifact(
-            {"c": make_case(wall=0.01, bytes_sent={"BEES": 10.0},
+            {"c": make_case(wall=0.01, sent_bytes={"BEES": 10.0},
                             energy={"BEES/radio": 0.1})}
         )
         candidate = make_artifact(
-            {"c": make_case(wall=1.0, bytes_sent={"BEES": 1000.0},
+            {"c": make_case(wall=1.0, sent_bytes={"BEES": 1000.0},
                             energy={"BEES/radio": 0.4})}
         )
         assert compare_artifacts(baseline, candidate).ok

@@ -35,7 +35,7 @@ class TestRunCase:
             seen.update(params)
             obs = get_obs()
             assert obs.enabled  # the runner must enable collection
-            obs.bytes_sent.inc(100, scheme="X")
+            obs.sent_bytes.inc(100, scheme="X")
             obs.energy_joules.inc(2.5, scheme="X", category="radio")
             obs.eliminations.inc(3, scheme="X", kind="cross")
             for value in (0.1, 0.2, 0.3):

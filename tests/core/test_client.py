@@ -59,8 +59,8 @@ class TestPipeline:
 
     def test_bytes_sent_counts_everything(self, device, batch):
         report = BeesScheme().process_batch(device, BeesServer(), batch)
-        assert report.bytes_sent == device.uplink.bytes_sent
-        assert report.bytes_sent > 0
+        assert report.sent_bytes == device.uplink.sent_bytes
+        assert report.sent_bytes > 0
 
     def test_delay_recorded_per_image(self, device, batch):
         report = BeesScheme().process_batch(device, BeesServer(), batch)
@@ -96,7 +96,7 @@ class TestPipeline:
 
     def test_empty_battery_halts(self, batch):
         device = Smartphone()
-        device.battery = Battery(capacity_j=1.0)
+        device.battery = Battery(capacity_joules=1.0)
         report = BeesScheme().process_batch(device, BeesServer(), batch)
         assert report.halted
         assert report.n_uploaded < len(batch)
@@ -104,7 +104,7 @@ class TestPipeline:
     def test_report_energy_matches_meter(self, batch):
         device = Smartphone()
         report = BeesScheme().process_batch(device, BeesServer(), batch)
-        assert report.total_energy_j == pytest.approx(device.meter.total_j)
+        assert report.total_energy_joules == pytest.approx(device.meter.total_joules)
 
 
 class TestAblations:
@@ -118,7 +118,7 @@ class TestAblations:
         scheme = BeesScheme(config=BeesConfig(enable_aiu=False))
         report = scheme.process_batch(device, BeesServer(), batch)
         with_aiu = BeesScheme().process_batch(Smartphone(), BeesServer(), batch)
-        assert report.bytes_sent > with_aiu.bytes_sent
+        assert report.sent_bytes > with_aiu.sent_bytes
 
     def test_cbrd_disabled_never_queries(self, device, batch, generator):
         scheme = BeesScheme(config=BeesConfig(enable_cbrd=False))
@@ -140,7 +140,7 @@ class TestEnergyAdaptation:
         low_device = Smartphone()
         low_device.battery.recharge(0.1)
         report_low = BeesScheme().process_batch(low_device, BeesServer(), batch)
-        assert report_low.total_energy_j < report_full.total_energy_j
+        assert report_low.total_energy_joules < report_full.total_energy_joules
 
     def test_low_battery_sends_fewer_bytes(self, batch):
         full_device = Smartphone()
@@ -148,4 +148,4 @@ class TestEnergyAdaptation:
         low_device = Smartphone()
         low_device.battery.recharge(0.1)
         report_low = BeesScheme().process_batch(low_device, BeesServer(), batch)
-        assert report_low.bytes_sent < report_full.bytes_sent
+        assert report_low.sent_bytes < report_full.sent_bytes

@@ -9,50 +9,50 @@ from repro.errors import EnergyError
 
 class TestConstruction:
     def test_starts_full_by_default(self):
-        battery = Battery(capacity_j=100.0)
+        battery = Battery(capacity_joules=100.0)
         assert battery.ebat == 1.0
 
     def test_explicit_remaining(self):
-        battery = Battery(capacity_j=100.0, remaining_j=25.0)
+        battery = Battery(capacity_joules=100.0, remaining_joules=25.0)
         assert battery.ebat == 0.25
 
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(EnergyError):
-            Battery(capacity_j=0.0)
+            Battery(capacity_joules=0.0)
 
     def test_rejects_overfull(self):
         with pytest.raises(EnergyError):
-            Battery(capacity_j=100.0, remaining_j=150.0)
+            Battery(capacity_joules=100.0, remaining_joules=150.0)
 
 
 class TestDrain:
     def test_drain_reduces_charge(self):
-        battery = Battery(capacity_j=100.0)
+        battery = Battery(capacity_joules=100.0)
         assert battery.drain(30.0) == 30.0
-        assert battery.remaining_j == pytest.approx(70.0)
+        assert battery.remaining_joules == pytest.approx(70.0)
 
     def test_overdrain_clamps_and_reports(self):
-        battery = Battery(capacity_j=100.0, remaining_j=10.0)
+        battery = Battery(capacity_joules=100.0, remaining_joules=10.0)
         assert battery.drain(25.0) == 10.0
         assert battery.is_empty
 
     def test_drain_empty_battery_is_noop(self):
-        battery = Battery(capacity_j=100.0, remaining_j=0.0)
+        battery = Battery(capacity_joules=100.0, remaining_joules=0.0)
         assert battery.drain(5.0) == 0.0
 
     def test_rejects_negative_drain(self):
         with pytest.raises(EnergyError):
-            Battery(capacity_j=100.0).drain(-1.0)
+            Battery(capacity_joules=100.0).drain(-1.0)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=50.0), max_size=20))
     def test_accounting_balances(self, drains):
-        battery = Battery(capacity_j=100.0)
+        battery = Battery(capacity_joules=100.0)
         total = sum(battery.drain(amount) for amount in drains)
-        assert total + battery.remaining_j == pytest.approx(100.0)
+        assert total + battery.remaining_joules == pytest.approx(100.0)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=50.0), max_size=20))
     def test_ebat_never_negative(self, drains):
-        battery = Battery(capacity_j=100.0)
+        battery = Battery(capacity_joules=100.0)
         for amount in drains:
             battery.drain(amount)
             assert 0.0 <= battery.ebat <= 1.0
@@ -60,19 +60,19 @@ class TestDrain:
 
 class TestQueries:
     def test_can_supply(self):
-        battery = Battery(capacity_j=100.0, remaining_j=40.0)
+        battery = Battery(capacity_joules=100.0, remaining_joules=40.0)
         assert battery.can_supply(40.0)
         assert not battery.can_supply(41.0)
 
     def test_can_supply_rejects_negative(self):
         with pytest.raises(EnergyError):
-            Battery(capacity_j=100.0).can_supply(-1.0)
+            Battery(capacity_joules=100.0).can_supply(-1.0)
 
     def test_recharge(self):
-        battery = Battery(capacity_j=100.0, remaining_j=0.0)
+        battery = Battery(capacity_joules=100.0, remaining_joules=0.0)
         battery.recharge(0.5)
         assert battery.ebat == pytest.approx(0.5)
 
     def test_recharge_rejects_bad_fraction(self):
         with pytest.raises(EnergyError):
-            Battery(capacity_j=100.0).recharge(1.5)
+            Battery(capacity_joules=100.0).recharge(1.5)

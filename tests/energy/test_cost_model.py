@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.energy.cost_model import EnergyCostModel, WorkCost, ZERO_COST
-from repro.energy.profiles import DeviceProfile
 from repro.errors import EnergyError
 
 MODEL = EnergyCostModel()

@@ -17,7 +17,7 @@ class TestRecording:
         meter = EnergyMeter()
         meter.record(FEATURE_EXTRACTION, 5.0)
         meter.record(IMAGE_UPLOAD, 7.0)
-        assert meter.total_j == 12.0
+        assert meter.total_joules == 12.0
 
     def test_unknown_category_zero(self):
         assert EnergyMeter().get("whatever") == 0.0
@@ -57,4 +57,4 @@ class TestSnapshots:
         meter = EnergyMeter()
         meter.record(IMAGE_UPLOAD, 5.0)
         meter.reset()
-        assert meter.total_j == 0.0
+        assert meter.total_joules == 0.0

@@ -2,15 +2,15 @@
 
 import pytest
 
-from repro.energy.profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_J, DeviceProfile
+from repro.energy.profiles import DEFAULT_PROFILE, HELIO_X10_BATTERY_JOULES, DeviceProfile
 from repro.errors import EnergyError
 
 
 class TestProfile:
     def test_battery_capacity_matches_paper_hardware(self):
         # 3150 mAh * 3.8 V.
-        assert HELIO_X10_BATTERY_J == pytest.approx(43092.0)
-        assert DEFAULT_PROFILE.battery_capacity_j == HELIO_X10_BATTERY_J
+        assert HELIO_X10_BATTERY_JOULES == pytest.approx(43092.0)
+        assert DEFAULT_PROFILE.battery_capacity_joules == HELIO_X10_BATTERY_JOULES
 
     def test_rate_lookup(self):
         assert DEFAULT_PROFILE.rate_for("orb") > DEFAULT_PROFILE.rate_for("sift")
@@ -24,7 +24,7 @@ class TestProfile:
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(EnergyError):
-            DeviceProfile(battery_capacity_j=0)
+            DeviceProfile(battery_capacity_joules=0)
 
     def test_rejects_bad_rate(self):
         with pytest.raises(EnergyError):

@@ -13,7 +13,6 @@ from repro.imaging.bitmap import (
     pixel_fraction,
     validate_proportion,
 )
-from repro.imaging.image import Image
 
 
 class TestProportionSemantics:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import IndexError_
 from repro.index.dedup import (
     MAX_CHUNK,
     MIN_CHUNK,

@@ -11,7 +11,7 @@ from repro.network.link import Uplink
 def _steady_uplink(bps=100_000, latency=0.1):
     return Uplink(
         channel=FluctuatingChannel(median_bps=bps, relative_spread=0.0),
-        latency_s=latency,
+        latency_seconds=latency,
     )
 
 
@@ -29,14 +29,14 @@ class TestTransfer:
         uplink = _steady_uplink()
         uplink.transfer(100)
         uplink.transfer(200)
-        assert uplink.bytes_sent == 300
+        assert uplink.sent_bytes == 300
         assert uplink.transfer_count == 2
 
     def test_reset_counters(self):
         uplink = _steady_uplink()
         uplink.transfer(100)
         uplink.reset_counters()
-        assert uplink.bytes_sent == 0
+        assert uplink.sent_bytes == 0
         assert uplink.transfer_count == 0
 
     def test_rejects_negative_payload(self):
@@ -45,7 +45,7 @@ class TestTransfer:
 
     def test_rejects_negative_latency(self):
         with pytest.raises(NetworkError):
-            Uplink(latency_s=-0.1)
+            Uplink(latency_seconds=-0.1)
 
     @given(st.integers(min_value=0, max_value=10**7))
     def test_duration_monotone_in_size(self, payload):

@@ -39,7 +39,7 @@ class TestOutageAbortMidBatch:
         # Enough charge to get partway through the batch, not through it:
         # outage-trickle transfers take hundreds of simulated seconds, and
         # the radio energy for them drains this battery mid-batch.
-        device.battery = Battery(capacity_j=60.0)
+        device.battery = Battery(capacity_joules=60.0)
         device.uplink = _outage_uplink()
         scheme = BeesScheme()
         report = scheme.process_batch(device, build_server(scheme), images)
@@ -49,8 +49,8 @@ class TestOutageAbortMidBatch:
         # Counters describe exactly what the report says happened — the
         # aborted transfer's bytes went over the air, so both sides count
         # them; the per-scheme total equals the link-level total.
-        assert obs.bytes_sent.value(scheme="BEES") == report.bytes_sent
-        assert obs.link_bytes.value() == report.bytes_sent
+        assert obs.sent_bytes.value(scheme="BEES") == report.sent_bytes
+        assert obs.link_bytes.value() == report.sent_bytes
         assert obs.images.value(scheme="BEES", outcome="input") == len(images)
         assert (
             obs.images.value(scheme="BEES", outcome="uploaded") == report.n_uploaded
@@ -63,7 +63,7 @@ class TestOutageAbortMidBatch:
         images, _ = small_batch_features
         obs = configure()
         device = Smartphone()
-        device.battery = Battery(capacity_j=60.0)
+        device.battery = Battery(capacity_joules=60.0)
         device.uplink = _outage_uplink()
         scheme = BeesScheme()
         report = scheme.process_batch(device, build_server(scheme), images)
@@ -86,7 +86,7 @@ class TestOutageAbortMidBatch:
         images, _ = small_batch_features
         obs = configure()
         device = Smartphone()
-        device.battery = Battery(capacity_j=60.0)
+        device.battery = Battery(capacity_joules=60.0)
         device.uplink = _outage_uplink()
         scheme = BeesScheme()
         report = scheme.process_batch(device, build_server(scheme), images)
@@ -96,7 +96,7 @@ class TestOutageAbortMidBatch:
         assert len(roots) == 1
         assert roots[0].attributes["halted"] is True
         assert roots[0].attributes["n_uploaded"] == report.n_uploaded
-        assert roots[0].attributes["bytes_sent"] == report.bytes_sent
+        assert roots[0].attributes["bytes_sent"] == report.sent_bytes
 
     def test_outage_transfers_shift_the_latency_distribution(self):
         obs = configure()

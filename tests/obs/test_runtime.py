@@ -39,7 +39,7 @@ class TestGlobalContext:
         obs = configure(trace_path=trace_path, metrics_path=metrics_path)
         with obs.span("one"):
             pass
-        obs.bytes_sent.inc(10, scheme="BEES")
+        obs.sent_bytes.inc(10, scheme="BEES")
         written = obs.flush()
         assert {str(trace_path), str(metrics_path)} == set(written)
         assert trace_path.read_text().count("\n") == 1
@@ -58,10 +58,10 @@ class TestBatchReportHook:
         report.uploaded_ids = ["a", "b"]
         report.eliminated_cross_batch = ["c", "d", "e"]
         report.eliminated_in_batch = ["f"]
-        report.bytes_sent = 2048
+        report.sent_bytes = 2048
         report.energy_by_category = {"image_upload": 5.0, "compression": 1.5}
         obs.observe_batch_report(report)
-        assert obs.bytes_sent.value(scheme="BEES") == 2048
+        assert obs.sent_bytes.value(scheme="BEES") == 2048
         assert obs.energy_joules.value(scheme="BEES", category="image_upload") == 5.0
         assert obs.eliminations.value(scheme="BEES", kind="cross") == 3
         assert obs.eliminations.value(scheme="BEES", kind="in_batch") == 1
@@ -97,19 +97,19 @@ class TestPipelineInstrumentation:
             series = obs.stage_seconds.value(scheme="BEES", stage=stage)
             assert series.count > 0, stage
 
-        assert obs.bytes_sent.value(scheme="BEES") > 0
+        assert obs.sent_bytes.value(scheme="BEES") > 0
         assert obs.energy_joules.value(scheme="BEES", category="image_upload") > 0
         assert obs.index_queries.value() == len(batch)
         assert obs.index_size.value() > 0
         assert obs.link_transfers.value() > 0
-        assert obs.link_bytes.value() == obs.bytes_sent.value(scheme="BEES")
+        assert obs.link_bytes.value() == obs.sent_bytes.value(scheme="BEES")
 
     def test_direct_upload_reports_through_shared_hook(self, batch):
         obs = configure()
         scheme = DirectUpload()
         scheme.process_batch(Smartphone(), build_server(scheme), batch)
         assert obs.batches.value(scheme="Direct Upload") == 1
-        assert obs.bytes_sent.value(scheme="Direct Upload") > 0
+        assert obs.sent_bytes.value(scheme="Direct Upload") > 0
         assert obs.images.value(scheme="Direct Upload", outcome="uploaded") == len(
             batch
         )
@@ -120,5 +120,5 @@ class TestPipelineInstrumentation:
         scheme.process_batch(Smartphone(), build_server(scheme), batch)
         obs = get_obs()
         assert len(obs.tracer) == 0
-        assert obs.bytes_sent.value(scheme="BEES") == 0
+        assert obs.sent_bytes.value(scheme="BEES") == 0
         assert generate_latest(obs.registry).count("bees_stage_seconds_bucket") == 0

@@ -10,20 +10,20 @@ from repro.sim.device import Smartphone
 class TestSpend:
     def test_drains_battery_and_records(self):
         device = Smartphone()
-        before = device.battery.remaining_j
+        before = device.battery.remaining_joules
         assert device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
-        assert device.battery.remaining_j == pytest.approx(before - 10.0)
+        assert device.battery.remaining_joules == pytest.approx(before - 10.0)
         assert device.meter.get("work") == 10.0
 
     def test_returns_false_on_death(self):
         device = Smartphone()
-        device.battery = Battery(capacity_j=5.0)
+        device.battery = Battery(capacity_joules=5.0)
         assert not device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
         assert not device.alive
 
     def test_partial_drain_recorded(self):
         device = Smartphone()
-        device.battery = Battery(capacity_j=5.0)
+        device.battery = Battery(capacity_joules=5.0)
         device.spend(WorkCost(seconds=1.0, joules=10.0), "work")
         assert device.meter.get("work") == 5.0
 
@@ -38,31 +38,31 @@ class TestUpload:
     def test_counts_bytes(self):
         device = Smartphone()
         device.upload(123, IMAGE_UPLOAD)
-        assert device.uplink.bytes_sent == 123
+        assert device.uplink.sent_bytes == 123
 
     def test_dead_device_refuses(self):
         device = Smartphone()
-        device.battery = Battery(capacity_j=1.0, remaining_j=0.0)
+        device.battery = Battery(capacity_joules=1.0, remaining_joules=0.0)
         assert device.upload(100, IMAGE_UPLOAD) is None
 
     def test_death_mid_transfer_returns_none(self):
         device = Smartphone()
-        device.battery = Battery(capacity_j=0.5)
+        device.battery = Battery(capacity_joules=0.5)
         assert device.upload(10**6, IMAGE_UPLOAD) is None
 
 
 class TestIdle:
     def test_baseline_drain(self):
         device = Smartphone()
-        before = device.battery.remaining_j
+        before = device.battery.remaining_joules
         device.idle(100.0)
-        drained = before - device.battery.remaining_j
+        drained = before - device.battery.remaining_joules
         assert drained == pytest.approx(100.0 * device.profile.baseline_power_w)
         assert device.meter.get(BASELINE) == pytest.approx(drained)
 
     def test_idle_can_kill(self):
         device = Smartphone()
-        device.battery = Battery(capacity_j=1.0)
+        device.battery = Battery(capacity_joules=1.0)
         assert not device.idle(10_000.0)
 
     def test_rejects_negative(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import DirectUpload, make_bees_ea
+from repro.baselines import DirectUpload
 from repro.core.client import BeesScheme
 from repro.errors import SimulationError
 from repro.imaging.synth import SceneGenerator
@@ -16,7 +16,7 @@ def experiment():
     # scenes for fast extraction.
     return LifetimeExperiment(
         group_size=6,
-        interval_s=300.0,
+        interval_seconds=300.0,
         capacity_fraction=0.03,
         max_groups=40,
         generator=SceneGenerator(height=72, width=96),
@@ -47,7 +47,7 @@ class TestTrace:
 
     def test_time_axis_in_interval_steps(self, direct_result, experiment):
         minutes = [point.minutes for point in direct_result.trace]
-        step = experiment.interval_s / 60.0
+        step = experiment.interval_seconds / 60.0
         for index, value in enumerate(minutes):
             assert value == pytest.approx(index * step)
 

@@ -10,7 +10,7 @@ def _report(n=10, uploaded=4, energy=50.0, sent=1000, seconds=20.0):
     report = BatchReport(scheme="X", n_images=n)
     report.uploaded_ids = [f"i{k}" for k in range(uploaded)]
     report.energy_by_category = {"image_upload": energy}
-    report.bytes_sent = sent
+    report.sent_bytes = sent
     report.total_seconds = seconds
     report.eliminated_cross_batch = ["a"]
     report.eliminated_in_batch = ["b", "c"]
@@ -23,14 +23,14 @@ class TestSummarize:
         assert metrics.scheme == "X"
         assert metrics.n_images == 10
         assert metrics.n_uploaded == 4
-        assert metrics.energy_j == 50.0
+        assert metrics.energy_joules == 50.0
         assert metrics.avg_image_seconds == pytest.approx(2.0)
 
     def test_multiple_reports_accumulate(self):
         metrics = summarize([_report(), _report()])
         assert metrics.n_images == 20
         assert metrics.n_uploaded == 8
-        assert metrics.bytes_sent == 2000
+        assert metrics.sent_bytes == 2000
         assert metrics.eliminated_cross_batch == 2
         assert metrics.eliminated_in_batch == 4
 

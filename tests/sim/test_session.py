@@ -47,13 +47,13 @@ class TestUploadSession:
         assert len(session.reports) == 2
         assert session.total_uploaded == len(images)
         assert session.total_bytes > 0
-        assert session.total_energy_j > 0
+        assert session.total_energy_joules > 0
 
     def test_stops_after_battery_death(self, small_batch_features):
         images, _ = small_batch_features
         scheme = DirectUpload()
         device = Smartphone()
-        device.battery = Battery(capacity_j=60.0)
+        device.battery = Battery(capacity_joules=60.0)
         session = UploadSession(scheme=scheme, device=device, server=build_server(scheme))
         session.run([images[:4], images[4:]])
         assert len(session.reports) == 1

@@ -14,7 +14,7 @@ def _report(scheme="X", n=5, uploaded=3, energy=40.0):
     report = BatchReport(scheme=scheme, n_images=n)
     report.uploaded_ids = [f"i{k}" for k in range(uploaded)]
     report.energy_by_category = {"image_upload": energy}
-    report.bytes_sent = 1000
+    report.sent_bytes = 1000
     return report
 
 
@@ -30,7 +30,7 @@ class TestRecorder:
         recorder = TimelineRecorder()
         row = recorder.record(_report(uploaded=3, energy=40.0), 1.0, 0.9)
         assert row.n_uploaded == 3
-        assert row.energy_j == 40.0
+        assert row.energy_joules == 40.0
         assert row.ebat_spent == pytest.approx(0.1)
 
     def test_rejects_inconsistent_battery(self):
@@ -44,8 +44,8 @@ class TestRecorder:
         recorder.record(_report(n=10, uploaded=2, energy=20.0), 0.9, 0.85)
         assert recorder.energy_series() == [40.0, 20.0]
         assert recorder.upload_ratio_series() == [0.5, 0.2]
-        assert recorder.total_energy_j() == 60.0
-        assert recorder.bytes_series() == [1000, 1000]
+        assert recorder.total_energy_joules() == 60.0
+        assert recorder.sent_bytes_series() == [1000, 1000]
 
 
 class TestExports:
@@ -55,10 +55,10 @@ class TestExports:
         (row,) = recorder.to_dicts()
         assert row["scheme"] == "BEES"
         assert row["n_uploaded"] == 3
-        assert row["energy_j"] == 40.0
+        assert row["energy_joules"] == 40.0
         assert row["ebat_before"] == 1.0
         assert row["ebat_after"] == 0.9
-        assert row["bytes_sent"] == 1000
+        assert row["sent_bytes"] == 1000
         assert row["halted"] is False
 
     def test_to_csv_round_trips(self, tmp_path):

@@ -45,6 +45,6 @@ class TestHierarchy:
         with pytest.raises(errors.BeesError):
             validate_proportion(7.0)
         with pytest.raises(errors.BeesError):
-            Battery(capacity_j=-1.0)
+            Battery(capacity_joules=-1.0)
         with pytest.raises(errors.BeesError):
             eac_policy()(5.0)

@@ -73,8 +73,8 @@ class TestEnergyConservation:
         device = Smartphone()
         scheme = BeesScheme()
         scheme.process_batch(device, build_server(scheme), batch)
-        drained = device.battery.capacity_j - device.battery.remaining_j
-        assert device.meter.total_j == pytest.approx(drained)
+        drained = device.battery.capacity_joules - device.battery.remaining_joules
+        assert device.meter.total_joules == pytest.approx(drained)
 
     def test_direct_upload_energy_linear_in_batch_size(self):
         data = DisasterDataset()
@@ -84,7 +84,7 @@ class TestEnergyConservation:
         device_large = Smartphone()
         DirectUpload().process_batch(device_small, build_server(DirectUpload()), small)
         DirectUpload().process_batch(device_large, build_server(DirectUpload()), large)
-        ratio = device_large.meter.total_j / device_small.meter.total_j
+        ratio = device_large.meter.total_joules / device_small.meter.total_joules
         assert ratio == pytest.approx(2.0, rel=0.25)
 
 
@@ -101,4 +101,4 @@ class TestAblationConfig:
         report = stripped.process_batch(Smartphone(), build_server(stripped), batch)
         assert report.n_uploaded == len(batch)
         total_nominal = sum(image.nominal_bytes for image in batch)
-        assert report.bytes_sent >= total_nominal
+        assert report.sent_bytes >= total_nominal

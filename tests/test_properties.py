@@ -92,11 +92,11 @@ class TestEnergyConservation:
     @settings(max_examples=40)
     def test_meter_equals_battery_drain(self, operations):
         device = Smartphone()
-        device.battery = Battery(capacity_j=1000.0)
+        device.battery = Battery(capacity_joules=1000.0)
         for joules, category in operations:
             device.spend(WorkCost(seconds=1.0, joules=joules), category)
-        drained = 1000.0 - device.battery.remaining_j
-        assert device.meter.total_j == pytest.approx(drained)
+        drained = 1000.0 - device.battery.remaining_joules
+        assert device.meter.total_joules == pytest.approx(drained)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=400.0), max_size=20))
     @settings(max_examples=40)
