@@ -60,6 +60,8 @@ CASE_SPECS: "tuple[tuple[str, str, str, str], ...]" = (
      "Extension", "precision & latency: LSH vs. vocabulary tree"),
     ("ext_outage", "bench_ext_outage",
      "Extension", "delay & energy under outage bursts"),
+    ("fleet_scaling", "bench_fleet_scaling",
+     "Extension", "sharded concurrent fleet vs. sequential reference"),
 )
 
 

@@ -1,19 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands drive the main experiments without writing code:
+Nine subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
 * ``coverage`` — the multi-phone city-coverage run (Fig. 12)
+* ``fleet``    — the concurrent multi-device fleet simulation
 * ``share``    — run a scheme over a folder of real PPM/PGM photos
 * ``bench``    — the benchmark telemetry harness (run/list/compare/report)
 * ``lint``     — the beeslint static-analysis suite over the repo
 * ``metrics``  — render a captured Prometheus metrics file as a table
 * ``info``     — versions, device profile, policies, observability
 
-``compare``, ``lifetime``, and ``coverage`` accept ``--trace PATH``
-(JSONL span log) and ``--metrics PATH`` (Prometheus text exposition),
-which switch the :mod:`repro.obs` layer on for the run.
+``compare``, ``lifetime``, ``coverage``, and ``fleet run`` accept
+``--trace PATH`` (JSONL span log) and ``--metrics PATH`` (Prometheus
+text exposition), which switch the :mod:`repro.obs` layer on for the
+run.
 """
 
 from __future__ import annotations
@@ -26,38 +28,26 @@ import sys
 from . import bench as bench_module
 from . import obs as obs_module
 from . import __version__
-from .errors import BenchError
+from .errors import BenchError, SimulationError
 from .analysis.charts import bar_chart, sparkline
 from .analysis.reporting import format_bytes, format_table
-from .baselines import DirectUpload, Mrc, PhotoNet, SmartEye, make_bees_ea
-from .core.client import BeesScheme
 from .core.policies import eac_policy, eau_policy, edr_policy
 from .datasets import DisasterDataset, SyntheticParis
 from .datasets.folder import FolderDataset
 from .energy.profiles import DEFAULT_PROFILE
 from .imaging.synth import SceneGenerator
+from .schemes import make_scheme, scheme_names
 from .sim.coveragesim import CoverageExperiment
 from .sim.device import Smartphone
 from .sim.lifetime import LifetimeExperiment
 from .sim.session import build_server
 
-_SCHEME_FACTORIES = {
-    "direct": DirectUpload,
-    "smarteye": SmartEye,
-    "mrc": Mrc,
-    "photonet": PhotoNet,
-    "bees-ea": make_bees_ea,
-    "bees": BeesScheme,
-}
-
 
 def _schemes(names: "list[str]"):
     try:
-        return [_SCHEME_FACTORIES[name]() for name in names]
-    except KeyError as exc:
-        raise SystemExit(
-            f"unknown scheme {exc.args[0]!r}; choose from {sorted(_SCHEME_FACTORIES)}"
-        ) from None
+        return [make_scheme(name) for name in names]
+    except SimulationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _fast_generator() -> SceneGenerator:
@@ -203,6 +193,73 @@ def cmd_coverage(args: argparse.Namespace) -> int:
         print(
             format_table(["scheme", "uploaded", "unique locations", "loc/image"], rows)
         )
+    return 0
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run the concurrent multi-device fleet simulation."""
+    from .fleet import FleetRunner, assert_equivalent  # lazy: keeps startup lean
+
+    def build(mode: str, n_shards: int) -> FleetRunner:
+        try:
+            return FleetRunner(
+                n_devices=args.devices,
+                n_rounds=args.rounds,
+                batch_size=args.batch_size,
+                n_shards=n_shards,
+                seed=args.seed,
+                scheme=args.scheme,
+                mode=mode,
+                workers=args.workers,
+            )
+        except SimulationError as exc:
+            raise SystemExit(str(exc)) from None
+
+    with _observability(args):
+        result = build(args.mode, args.shards).run()
+        print(
+            f"fleet: {result.n_devices} device(s) x {result.n_rounds} round(s) "
+            f"x {args.batch_size} images, {result.n_shards} shard(s), "
+            f"scheme {args.scheme}, mode {result.mode}"
+        )
+        rows = [
+            [
+                device.device,
+                len(device.uploaded_ids),
+                len(device.eliminated_cross_batch),
+                len(device.eliminated_in_batch),
+                f"{device.energy_joules:.0f} J",
+                format_bytes(device.sent_bytes),
+                "yes" if device.halted else "no",
+            ]
+            for device in result.devices
+        ]
+        print()
+        print(
+            format_table(
+                ["device", "uploaded", "x-batch", "in-batch", "energy",
+                 "bandwidth", "halted"],
+                rows,
+            )
+        )
+        print(
+            f"\ntotals: {result.total_uploaded} uploaded, "
+            f"{result.total_eliminated} eliminated, "
+            f"{format_bytes(result.total_bytes)}, "
+            f"{result.total_energy_joules:.0f} J, "
+            f"{result.wall_seconds:.2f} s wall"
+        )
+        print(f"decision fingerprint: {result.fingerprint()}")
+        if args.verify:
+            reference = build("sequential", 1).run()
+            try:
+                assert_equivalent(reference, result)
+            except SimulationError as exc:
+                raise SystemExit(str(exc)) from None
+            print(
+                "verified: byte-identical to the sequential single-index "
+                f"reference ({reference.wall_seconds:.2f} s wall)"
+            )
     return 0
 
 
@@ -405,7 +462,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  metrics        {len(obs.registry)} registered")
     buckets = ", ".join(f"{b:g}" for b in obs.stage_buckets)
     print(f"  stage buckets  {buckets} s")
-    print(f"\nschemes: {', '.join(sorted(_SCHEME_FACTORIES))}")
+    print(f"\nschemes: {', '.join(scheme_names())}")
     return 0
 
 
@@ -454,6 +511,34 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--schemes", nargs="+", default=["direct", "bees"])
     _add_obs_flags(coverage)
     coverage.set_defaults(handler=cmd_coverage)
+
+    fleet = commands.add_parser(
+        "fleet", help="concurrent multi-device fleet simulation"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_commands.add_parser(
+        "run", help="run N devices against one (optionally sharded) server"
+    )
+    fleet_run.add_argument("--devices", type=int, default=4)
+    fleet_run.add_argument("--shards", type=int, default=4)
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument("--rounds", type=int, default=3)
+    fleet_run.add_argument("--batch-size", type=int, default=8)
+    fleet_run.add_argument("--scheme", default="bees")
+    fleet_run.add_argument(
+        "--mode", choices=["sequential", "concurrent"], default="concurrent"
+    )
+    fleet_run.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width in concurrent mode (default: one per device)",
+    )
+    fleet_run.add_argument(
+        "--verify", action="store_true",
+        help="re-run sequentially on a single index and assert the "
+        "decisions are byte-identical",
+    )
+    _add_obs_flags(fleet_run)
+    fleet_run.set_defaults(handler=cmd_fleet_run)
 
     share = commands.add_parser(
         "share", help="run a scheme over a folder of PPM/PGM photos"

@@ -16,15 +16,21 @@ from typing import Optional
 from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..imaging.image import Image
-from ..index import FeatureIndex, ImageStore, QueryResult
+from ..index import FeatureIndex, ImageStore, QueryResult, ShardedFeatureIndex
 from ..obs.runtime import get_obs
 
 
 @dataclass
 class BeesServer:
-    """Cloud endpoint: feature index + image store."""
+    """Cloud endpoint: feature index + image store.
 
-    index: FeatureIndex = field(default_factory=FeatureIndex)
+    The index may be the plain :class:`FeatureIndex` or the sharded,
+    thread-safe :class:`ShardedFeatureIndex` — both answer queries
+    byte-identically over the same stored images, so schemes never need
+    to know which one is behind the server.
+    """
+
+    index: "FeatureIndex | ShardedFeatureIndex" = field(default_factory=FeatureIndex)
     store: ImageStore = field(default_factory=ImageStore)
     #: Bytes of the per-image query response (the verdict is tiny).
     query_response_bytes: int = 64
@@ -47,6 +53,42 @@ class BeesServer:
         obs.index_query_latency.set(latency)
         obs.index_size.set(len(self.index))
         return result
+
+    def query_features_batch(
+        self, feature_sets: "list[FeatureSet]"
+    ) -> "list[QueryResult]":
+        """Answer one CBRD query per feature set, in input order.
+
+        Result-identical to calling :meth:`query_features` per set; the
+        batch shape exists so a fleet round's worth of queries shares
+        one span and one metrics update, and so a sharded index can be
+        handed the whole round for cross-shard fan-out at once.
+        """
+        self.queries_served += len(feature_sets)
+        obs = get_obs()
+        if not obs.enabled:
+            return self._index_query_batch(feature_sets)
+        with obs.span(
+            "server.query_batch",
+            n_queries=len(feature_sets),
+            index_size=len(self.index),
+        ) as span:
+            t0 = time.perf_counter()
+            results = self._index_query_batch(feature_sets)
+            latency = time.perf_counter() - t0
+            span.set_attribute("n_found", sum(1 for r in results if r.found))
+        obs.index_queries.inc(len(feature_sets))
+        if feature_sets:
+            obs.index_query_latency.set(latency / len(feature_sets))
+        obs.index_size.set(len(self.index))
+        return results
+
+    def _index_query_batch(
+        self, feature_sets: "list[FeatureSet]"
+    ) -> "list[QueryResult]":
+        if isinstance(self.index, ShardedFeatureIndex):
+            return self.index.query_batch(feature_sets)
+        return [self.index.query(features) for features in feature_sets]
 
     def query_top(self, features: FeatureSet, k: int) -> "list[tuple[str, float]]":
         """Top-*k* most similar stored images (precision experiments)."""

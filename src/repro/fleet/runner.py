@@ -1,0 +1,236 @@
+"""The fleet runner: N devices draining into one shared server.
+
+Both execution modes drive the *same* round-barrier protocol
+(:mod:`repro.fleet.staging`):
+
+``sequential``
+    The reference path.  One thread processes the devices in device
+    order; writes still stage and commit at the barrier, so a device
+    never sees a same-round upload — not even its neighbour's.
+
+``concurrent``
+    The same protocol with the per-device work fanned out over a
+    :class:`~concurrent.futures.ThreadPoolExecutor`.  Each device's
+    computation touches only its own state (battery, channel RNG,
+    scheme instance) plus the round-frozen shared index, so the results
+    are a pure function of (device state, frozen index) — *identical*
+    to the sequential path by construction, which
+    :func:`repro.fleet.report.assert_equivalent` enforces and the
+    differential tests pin.
+
+Instrumentation: the run opens a ``fleet.run`` span with one
+``fleet.round`` child per round and one ``fleet.device`` grandchild per
+device job (attached across threads via ``parent_span_id``);
+``bees_fleet_rounds_total``, ``bees_fleet_queue_depth``, and the
+per-shard contention/occupancy series cover the metrics side.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..baselines.base import BatchReport, SharingScheme
+from ..core.server import BeesServer
+from ..energy import Battery
+from ..errors import SimulationError
+from ..index import FeatureIndex, ShardedFeatureIndex
+from ..network import FluctuatingChannel, Uplink
+from ..obs import get_obs
+from ..schemes import make_scheme
+from ..sim.device import Smartphone
+from ..sim.session import scheme_extractor
+from .report import DeviceResult, FleetResult
+from .staging import StagedServer
+from .workload import FleetWorkload
+
+#: Spacing between per-device channel seeds within one fleet seed.
+_CHANNEL_SEED_STRIDE = 1_000
+
+MODES = ("sequential", "concurrent")
+
+
+@dataclass
+class FleetRunner:
+    """One configured fleet simulation, ready to :meth:`run`."""
+
+    n_devices: int = 4
+    n_rounds: int = 3
+    batch_size: int = 8
+    n_shards: int = 1
+    seed: int = 0
+    scheme: str = "bees"
+    mode: str = "sequential"
+    #: Thread-pool width in concurrent mode (default: one per device).
+    workers: "int | None" = None
+    #: Starting battery fraction (below 1.0 exercises the halted path).
+    capacity_fraction: float = 1.0
+    workload: "FleetWorkload | None" = None
+    _schemes: "list[SharingScheme]" = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise SimulationError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.n_shards < 1:
+            raise SimulationError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.workers is not None and self.workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise SimulationError(
+                f"capacity_fraction must be in (0, 1], got {self.capacity_fraction}"
+            )
+        if self.workload is None:
+            self.workload = FleetWorkload(
+                n_devices=self.n_devices,
+                n_rounds=self.n_rounds,
+                batch_size=self.batch_size,
+                seed=self.seed,
+            )
+        # One scheme instance per device: process_batch wires the
+        # device's cost model into the scheme's stages, so instances
+        # must never be shared across concurrent devices.
+        self._schemes = [make_scheme(self.scheme) for _ in range(self.n_devices)]
+
+    # -- construction --------------------------------------------------------
+
+    def _build_devices(self) -> "list[Smartphone]":
+        devices = []
+        for number in range(self.n_devices):
+            device = Smartphone(
+                name=f"dev-{number:02d}",
+                uplink=Uplink(
+                    channel=FluctuatingChannel(
+                        seed=self.seed * _CHANNEL_SEED_STRIDE + number
+                    )
+                ),
+            )
+            device.battery = Battery(
+                capacity_joules=device.profile.battery_capacity_joules
+                * self.capacity_fraction
+            )
+            devices.append(device)
+        return devices
+
+    def _build_server(self) -> BeesServer:
+        kind = scheme_extractor(self._schemes[0]).kind
+        if self.n_shards == 1:
+            return BeesServer(index=FeatureIndex(kind=kind))
+        return BeesServer(
+            index=ShardedFeatureIndex(kind=kind, n_shards=self.n_shards)
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Run all rounds; returns the per-device decision summary."""
+        assert self.workload is not None
+        devices = self._build_devices()
+        server = self._build_server()
+        reports: "list[list[BatchReport]]" = [[] for _ in range(self.n_devices)]
+        halted = [False] * self.n_devices
+        obs = get_obs()
+        t0 = time.perf_counter()
+        with obs.span(
+            "fleet.run",
+            mode=self.mode,
+            scheme=self.scheme,
+            n_devices=self.n_devices,
+            n_shards=self.n_shards,
+            n_rounds=self.n_rounds,
+            seed=self.seed,
+        ):
+            if self.mode == "concurrent":
+                max_workers = self.workers or self.n_devices
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    for round_no in range(self.n_rounds):
+                        self._run_round(
+                            round_no, devices, server, reports, halted, pool
+                        )
+            else:
+                for round_no in range(self.n_rounds):
+                    self._run_round(round_no, devices, server, reports, halted, None)
+        wall_seconds = time.perf_counter() - t0
+        return FleetResult(
+            mode=self.mode,
+            scheme=self.scheme,
+            n_devices=self.n_devices,
+            n_shards=self.n_shards,
+            n_rounds=self.n_rounds,
+            seed=self.seed,
+            devices=tuple(
+                DeviceResult.from_reports(devices[number].name, reports[number])
+                for number in range(self.n_devices)
+            ),
+            wall_seconds=wall_seconds,
+        )
+
+    def _run_round(
+        self,
+        round_no: int,
+        devices: "list[Smartphone]",
+        server: BeesServer,
+        reports: "list[list[BatchReport]]",
+        halted: "list[bool]",
+        pool: "ThreadPoolExecutor | None",
+    ) -> None:
+        assert self.workload is not None
+        obs = get_obs()
+        active = [
+            number
+            for number in range(self.n_devices)
+            if devices[number].alive and not halted[number]
+        ]
+        with obs.span(
+            "fleet.round", round=round_no, n_active=len(active)
+        ) as round_span:
+            if not active:
+                return
+            # Batches are materialised on the coordinator thread so the
+            # parallel section holds only per-device pipeline work.
+            batches = {
+                number: self.workload.batch_for(number, round_no)
+                for number in active
+            }
+            proxies = {number: StagedServer(server) for number in active}
+            if obs.enabled:
+                obs.fleet_queue_depth.set(len(active))
+            parent_id = getattr(round_span, "span_id", None)
+
+            def job(number: int) -> BatchReport:
+                with obs.span(
+                    "fleet.device",
+                    parent_span_id=parent_id,
+                    device=devices[number].name,
+                    round=round_no,
+                ) as span:
+                    report = self._schemes[number].process_batch(
+                        devices[number], proxies[number], batches[number]
+                    )
+                    span.set_attribute("n_uploaded", report.n_uploaded)
+                    span.set_attribute("halted", report.halted)
+                if obs.enabled:
+                    obs.fleet_queue_depth.dec()
+                return report
+
+            if pool is None:
+                round_reports = {number: job(number) for number in active}
+            else:
+                futures = {number: pool.submit(job, number) for number in active}
+                round_reports = {
+                    number: futures[number].result() for number in active
+                }
+
+            # The barrier: stage buffers flush in device order — the
+            # one serialization point, identical in both modes.
+            committed = 0
+            for number in active:
+                report = round_reports[number]
+                reports[number].append(report)
+                if report.halted:
+                    halted[number] = True
+                committed += proxies[number].commit()
+            round_span.set_attribute("n_committed", committed)
+            if obs.enabled:
+                obs.fleet_queue_depth.set(0)
+                obs.fleet_rounds.inc()

@@ -1,9 +1,10 @@
 """Server-side index substrate: LSH descriptor index + image store."""
 
 from .dedup import DedupStore, content_defined_chunks, image_payload
-from .index import FeatureIndex, QueryResult
+from .index import FeatureIndex, QueryResult, rank_votes, verify_candidates
 from .lsh import HammingLSH, float_sketch_planes, sketch_float_descriptors
 from .persistence import restore_index, snapshot_index
+from .sharded import ShardedFeatureIndex, shard_of
 from .store import ImageStore, StoredImage
 from .vocab import BagOfWordsIndex, VocabularyTree
 
@@ -14,12 +15,16 @@ __all__ = [
     "HammingLSH",
     "ImageStore",
     "QueryResult",
+    "ShardedFeatureIndex",
     "StoredImage",
     "VocabularyTree",
     "content_defined_chunks",
     "image_payload",
+    "rank_votes",
     "restore_index",
+    "shard_of",
     "snapshot_index",
     "float_sketch_planes",
     "sketch_float_descriptors",
+    "verify_candidates",
 ]

@@ -8,6 +8,14 @@ against the threshold ``T`` to decide redundancy.
 Queries shortlist candidates via LSH descriptor votes and then compute
 the exact Equation-2 Jaccard similarity against only the top-voted
 candidates, the standard two-stage design of content-based indexes.
+
+Query results are **insertion-order independent**: the vote shortlist
+and the verified results are ranked on ``(score, image_id)`` — never on
+dict/arrival order — so two indexes holding the same images always
+answer identically, no matter the order the images arrived in.  The
+sharded index (:mod:`repro.index.sharded`) relies on this to return
+byte-identical answers to a single index, and the fleet differential
+tests (:mod:`repro.fleet`) rely on it to not flake.
 """
 
 from __future__ import annotations
@@ -26,6 +34,33 @@ from .lsh import (
     float_sketch_planes,
     sketch_float_descriptors,
 )
+
+
+def rank_votes(votes: "dict[str, int]", limit: int) -> "list[str]":
+    """Image ids ranked by ``(votes desc, image_id asc)``, truncated.
+
+    The deterministic shortlist order shared by the single and sharded
+    indexes: vote count first, stable image id as the tie-break, so the
+    ranking never depends on dict iteration or arrival order.
+    """
+    ranked = sorted(votes, key=lambda image_id: (-votes[image_id], image_id))
+    return ranked[:limit]
+
+
+def verify_candidates(
+    query: FeatureSet, candidates: "list[FeatureSet]", k: int
+) -> "list[tuple[str, float]]":
+    """Exact Equation-2 scores for *candidates*, best-*k* first.
+
+    Sorted by ``(similarity desc, image_id asc)`` — the same
+    deterministic tie-break as :func:`rank_votes`.
+    """
+    scored = [
+        (candidate.image_id, jaccard_similarity(query, candidate))
+        for candidate in candidates
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored[:k]
 
 
 @dataclass(frozen=True)
@@ -102,29 +137,62 @@ class FeatureIndex:
         self._entries.append(features)
         self._ids[image_id] = ref
 
+    def packed_descriptors(self, features: FeatureSet) -> np.ndarray:
+        """The LSH-ready packed binary form of *features*' descriptors."""
+        return self._packed(features)
+
+    def hash_keys(self, packed: np.ndarray) -> np.ndarray:
+        """Per-table LSH hash keys for packed descriptor rows.
+
+        Indexes built with the same ``(n_tables, bits_per_key, seed)``
+        sample identical bit subsets, so keys computed once are valid
+        for every shard of a sharded index.
+        """
+        return self._lsh.keys(packed)
+
+    def vote_counts_from_keys(self, keys: np.ndarray) -> "dict[str, int]":
+        """LSH votes per stored ``image_id`` for precomputed *keys*.
+
+        A stored image's vote count depends only on its own descriptors
+        and the query, so per-shard counts merge into exactly the counts
+        a single index would report.
+        """
+        votes = self._lsh.votes_from_keys(keys)
+        return {self._entries[ref].image_id: count for ref, count in votes.items()}
+
+    def vote_counts(self, features: FeatureSet) -> "dict[str, int]":
+        """LSH votes per stored ``image_id`` for a query feature set."""
+        if not self._entries or len(features) == 0:
+            return {}
+        return self.vote_counts_from_keys(self.hash_keys(self._packed(features)))
+
+    def features_of(self, image_id: str) -> FeatureSet:
+        """The stored feature set of one indexed image."""
+        try:
+            return self._entries[self._ids[image_id]]
+        except KeyError:
+            raise IndexError_(f"image {image_id!r} is not indexed") from None
+
+    def image_ids(self) -> "list[str]":
+        """All indexed image ids, sorted (stable under arrival order)."""
+        return sorted(self._ids)
+
     def query_top(self, features: FeatureSet, k: int) -> list[tuple[str, float]]:
         """The *k* most similar stored images as ``(image_id, similarity)``.
 
-        Results are sorted by similarity, descending.  Only LSH-voted
-        candidates are exactly verified, so images sharing no descriptor
-        buckets with the query never appear (their similarity would be
-        ~0 anyway).
+        Results are sorted by ``(similarity desc, image_id asc)``.  Only
+        LSH-voted candidates are exactly verified, so images sharing no
+        descriptor buckets with the query never appear (their similarity
+        would be ~0 anyway).
         """
         if k < 1:
             raise IndexError_(f"k must be >= 1, got {k}")
-        if not self._entries or len(features) == 0:
-            return []
-        votes = self._lsh.votes(self._packed(features))
+        votes = self.vote_counts(features)
         if not votes:
             return []
-        shortlist = sorted(votes, key=lambda ref: votes[ref], reverse=True)
-        shortlist = shortlist[: max(k, self.verify_top_k)]
-        scored = [
-            (self._entries[ref].image_id, jaccard_similarity(features, self._entries[ref]))
-            for ref in shortlist
-        ]
-        scored.sort(key=lambda pair: pair[1], reverse=True)
-        return scored[:k]
+        shortlist = rank_votes(votes, max(k, self.verify_top_k))
+        candidates = [self.features_of(image_id) for image_id in shortlist]
+        return verify_candidates(features, candidates, k)
 
     def query(self, features: FeatureSet) -> QueryResult:
         """Maximum similarity against the stored images (CBRD's primitive)."""

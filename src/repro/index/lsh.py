@@ -59,8 +59,14 @@ class HammingLSH:
 
     # -- keys --------------------------------------------------------------
 
-    def _keys(self, packed: np.ndarray) -> np.ndarray:
-        """Hash keys for packed descriptors; shape (n_desc, n_tables)."""
+    def keys(self, packed: np.ndarray) -> np.ndarray:
+        """Hash keys for packed descriptors; shape (n_desc, n_tables).
+
+        Keys depend only on the sampled bit positions (seeded), so two
+        LSH instances built with the same ``(n_bits, n_tables,
+        bits_per_key, seed)`` accept each other's keys — the sharing the
+        sharded index uses to hash a query once across all shards.
+        """
         packed = np.asarray(packed, dtype=np.uint8)
         if packed.ndim != 2 or packed.shape[1] * 8 != self.n_bits:
             raise IndexError_(
@@ -75,7 +81,7 @@ class HammingLSH:
 
     def add(self, packed: np.ndarray, ref: int) -> None:
         """Insert every descriptor row under reference id *ref*."""
-        keys = self._keys(packed)
+        keys = self.keys(packed)
         for table, table_keys in zip(self._tables, keys.T):
             for key in table_keys:
                 table[int(key)].append(ref)
@@ -88,7 +94,10 @@ class HammingLSH:
         """
         if len(packed) == 0:
             return {}
-        keys = self._keys(packed)
+        return self.votes_from_keys(self.keys(packed))
+
+    def votes_from_keys(self, keys: np.ndarray) -> dict[int, int]:
+        """Vote counts for precomputed :meth:`keys` output."""
         counts: dict[int, int] = defaultdict(int)
         for table, table_keys in zip(self._tables, keys.T):
             for key in table_keys:

@@ -14,11 +14,17 @@ as keyword arguments::
 
 Histogram buckets follow Prometheus semantics: ``le`` is inclusive and
 cumulative, and every histogram implicitly ends with ``+Inf``.
+
+Updates are **thread-safe**: every metric guards its read-modify-write
+cycle with a per-metric lock, so concurrent fleet devices can increment
+the same counter without losing updates.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+
 from ..errors import ObservabilityError
 
 #: Upper bound on distinct label-value sets per metric.  Unbounded label
@@ -44,6 +50,7 @@ class Metric:
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
         self._series: dict = {}
+        self._lock = threading.Lock()
 
     def _key(self, labels: dict) -> tuple:
         if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
@@ -74,7 +81,8 @@ class Metric:
         return 0.0
 
     def clear(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
 
 class Counter(Metric):
@@ -87,8 +95,9 @@ class Counter(Metric):
             raise ObservabilityError(
                 f"{self.name}: counters only go up, got {amount}"
             )
-        key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            key = self._key(labels)
+            self._series[key] = self._series.get(key, 0.0) + amount
 
 
 class Gauge(Metric):
@@ -97,11 +106,13 @@ class Gauge(Metric):
     type_name = "gauge"
 
     def set(self, value: float, **labels: object) -> None:
-        self._series[self._key(labels)] = float(value)
+        with self._lock:
+            self._series[self._key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
-        key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            key = self._key(labels)
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
@@ -146,16 +157,17 @@ class Histogram(Metric):
         return HistogramSeries(len(self.buckets))
 
     def observe(self, value: float, **labels: object) -> None:
-        key = self._key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = HistogramSeries(len(self.buckets))
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:  # `le` is inclusive
-                series.bucket_counts[index] += 1
-                break
-        series.sum += value
-        series.count += 1
+        with self._lock:
+            key = self._key(labels)
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = HistogramSeries(len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:  # `le` is inclusive
+                    series.bucket_counts[index] += 1
+                    break
+            series.sum += value
+            series.count += 1
 
     def cumulative_buckets(self, **labels: object) -> "list[tuple[float, int]]":
         """``(le, cumulative_count)`` pairs including the +Inf bucket."""

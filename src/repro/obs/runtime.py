@@ -29,7 +29,11 @@ Standard metrics (all labelled where it matters):
 * ``bees_link_transfers_total`` / ``bees_link_bytes_total`` and a
   ``bees_link_transfer_seconds`` histogram on the uplink;
 * ``bees_dtn_transmissions_total{kind}`` / ``bees_dtn_delivered_total``
-  for the epidemic DTN.
+  for the epidemic DTN;
+* ``bees_fleet_rounds_total`` / ``bees_fleet_queue_depth`` and the
+  per-shard ``bees_index_shard_contention_total{shard}`` /
+  ``bees_index_shard_entries{shard}`` pair for the concurrent fleet
+  runtime (:mod:`repro.fleet`).
 """
 
 from __future__ import annotations
@@ -139,14 +143,43 @@ class Observability:
             "bees_dtn_delivered_total",
             "Images drained into the DTN gateway",
         )
+        self.fleet_rounds = registry.counter(
+            "bees_fleet_rounds_total",
+            "Fleet upload rounds completed (one per batch interval)",
+        )
+        self.fleet_queue_depth = registry.gauge(
+            "bees_fleet_queue_depth",
+            "Device batches admitted to the current fleet round and not "
+            "yet finished",
+        )
+        self.shard_contention = registry.counter(
+            "bees_index_shard_contention_total",
+            "Sharded-index writes that found their shard lock already held",
+            ("shard",),
+        )
+        self.shard_entries = registry.gauge(
+            "bees_index_shard_entries",
+            "Feature-index entries held per shard",
+            ("shard",),
+        )
 
     # -- tracing -------------------------------------------------------------
 
-    def span(self, name: str, **attributes: object):
-        """A tracer span, or the shared no-op when disabled."""
+    def span(
+        self,
+        name: str,
+        parent_span_id: "int | None" = None,
+        **attributes: object,
+    ):
+        """A tracer span, or the shared no-op when disabled.
+
+        ``parent_span_id`` pins the parent explicitly — used when the
+        span is opened in a worker thread but belongs under a span the
+        coordinating thread owns (the fleet span tree).
+        """
         if not self.enabled:
             return NULL_SPAN
-        return self.tracer.span(name, **attributes)
+        return self.tracer.span(name, parent_span_id=parent_span_id, **attributes)
 
     # -- recording helpers ---------------------------------------------------
 

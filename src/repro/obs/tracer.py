@@ -13,10 +13,19 @@ and serialise to JSONL through :mod:`repro.obs.exporters`.  A disabled
 tracer hands out one shared, stateless :data:`NULL_SPAN` context
 manager, so instrumentation left in hot paths costs a dict build and an
 attribute check — nothing else.
+
+The tracer is **thread-safe**: each thread nests spans on its own
+thread-local active stack (so concurrent fleet devices cannot corrupt
+each other's parentage), while span-id allocation and the ``finished``
+list are lock-protected.  A span opened in a worker thread has no
+parent by default; pass ``parent_span_id`` to attach it under a span
+owned by another thread (the fleet runner hangs per-device spans under
+the round span this way).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -104,26 +113,59 @@ class _SpanContext:
             popped = stack.pop()
             if popped is span:
                 break
-        self._tracer.finished.append(span)
+        with self._tracer._lock:
+            self._tracer.finished.append(span)
         return False
 
 
+class _ActiveStacks(threading.local):
+    """Per-thread active-span stacks."""
+
+    def __init__(self) -> None:
+        self.spans: "list[Span]" = []
+
+
 class Tracer:
-    """Produces nested spans; collects them as they finish."""
+    """Produces nested spans; collects them as they finish.
+
+    Safe for concurrent use: span nesting is per-thread, completion
+    bookkeeping is locked.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.finished: "list[Span]" = []
-        self._stack: "list[Span]" = []
+        self._stacks = _ActiveStacks()
         self._next_id = 0
+        self._lock = threading.Lock()
 
-    def span(self, name: str, **attributes: object):
-        """Open a span nested under the currently active one."""
+    @property
+    def _stack(self) -> "list[Span]":
+        """The calling thread's active-span stack."""
+        return self._stacks.spans
+
+    def span(
+        self,
+        name: str,
+        parent_span_id: "int | None" = None,
+        **attributes: object,
+    ):
+        """Open a span nested under the calling thread's active one.
+
+        ``parent_span_id`` overrides the implicit parent — the hook a
+        concurrent driver uses to attach worker-thread spans under a
+        span opened by the coordinating thread.
+        """
         if not self.enabled:
             return NULL_SPAN
-        span_id = self._next_id
-        self._next_id += 1
-        parent_id = self._stack[-1].span_id if self._stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack
+        if parent_span_id is None:
+            parent_id = stack[-1].span_id if stack else None
+        else:
+            parent_id = parent_span_id
         span = Span(
             name=name,
             span_id=span_id,
@@ -136,14 +178,16 @@ class Tracer:
 
     @property
     def active(self) -> "Span | None":
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def reset(self) -> None:
-        """Drop all finished spans and any leaked open ones."""
-        self.finished.clear()
+        """Drop all finished spans and this thread's leaked open ones."""
+        with self._lock:
+            self.finished.clear()
+            self._next_id = 0
         self._stack.clear()
-        self._next_id = 0
 
     def __len__(self) -> int:
         return len(self.finished)

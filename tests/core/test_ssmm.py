@@ -28,6 +28,40 @@ weights_strategy = st.integers(min_value=2, max_value=8).flatmap(
     lambda n: st.integers(min_value=0, max_value=10**6).map(lambda s: _weights(n, s))
 )
 
+# Brute-forceable SSMM instances: a similarity matrix with n <= 10 (so
+# the optimum fits in itertools.combinations) plus a cut threshold.
+instances_strategy = st.integers(min_value=2, max_value=10).flatmap(
+    lambda n: st.tuples(
+        st.integers(min_value=0, max_value=10**6).map(lambda s: _weights(n, s)),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+)
+
+
+def _count_components_bfs(weights, cut_threshold):
+    """Independent reference component count: BFS over kept edges.
+
+    Deliberately shares no code with ``partition_components`` (which
+    uses union-find) so the budget property is a real cross-check.
+    """
+    n = weights.shape[0]
+    adjacency = weights >= cut_threshold
+    seen = [False] * n
+    components = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        components += 1
+        stack = [start]
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            for v in range(n):
+                if v != u and adjacency[u, v] and not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+    return components
+
 
 class TestPartition:
     def test_all_edges_cut_gives_singletons(self):
@@ -214,6 +248,70 @@ class TestSelectUniqueSubset:
         _, features = small_batch_features
         with pytest.raises(ConfigurationError):
             select_unique_subset(features, 0.019, weights=np.eye(2))
+
+
+class TestSsmmProperties:
+    """Hypothesis properties over the full SSMM pipeline.
+
+    The batch is supplied as a precomputed similarity matrix (the
+    ``weights`` fast path), so each example exercises partitioning,
+    budgeting and the greedy directly without re-running feature
+    matching.  ``feature_sets`` is placeholders: with *weights* given,
+    ``select_unique_subset`` only reads its length.
+    """
+
+    @given(instances_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_budget_is_component_count(self, instance):
+        """The paper's rule: budget == #components at Tw, cross-checked
+        against an independent BFS over the kept-edge graph."""
+        weights, threshold = instance
+        n = weights.shape[0]
+        result = select_unique_subset([None] * n, threshold, weights=weights)
+        assert result.budget == _count_components_bfs(weights, threshold)
+        assert result.budget == result.n_components
+
+    @given(weights_strategy, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_size_monotone_in_cut_threshold(self, weights, t_a, t_b):
+        """Raising Tw never shrinks the summary.
+
+        A higher threshold removes edges, which can only split
+        components, never merge them — so the component count, the
+        adaptive budget, and with it the selection size are all
+        non-DEcreasing in Tw.  (The natural misreading is
+        "non-increasing": more aggressive cutting *sounds* like fewer
+        uploads, but cut edges mean images stop vouching for each
+        other, so more representatives are needed.)
+        """
+        low, high = sorted((t_a, t_b))
+        n = weights.shape[0]
+        at_low = select_unique_subset([None] * n, low, weights=weights)
+        at_high = select_unique_subset([None] * n, high, weights=weights)
+        assert at_high.n_components >= at_low.n_components
+        assert at_high.budget >= at_low.budget
+        assert len(at_high.selected) >= len(at_low.selected)
+
+    @given(instances_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_greedy_within_constant_factor(self, instance):
+        """Greedy >= (1 - 1/e) * OPT on exhaustively solvable instances.
+
+        Unlike ``TestGreedy``'s fixed-threshold check, this drives the
+        whole pipeline (threshold -> components -> adaptive budget ->
+        greedy) and brute-forces OPT at n <= 10.  F is monotone, so the
+        optimum over |S| <= b is attained at |S| == min(b, n).
+        """
+        weights, threshold = instance
+        n = weights.shape[0]
+        result = select_unique_subset([None] * n, threshold, weights=weights)
+        selector = SubmodularSelector()
+        size = min(result.budget, n)
+        best = max(
+            selector.objective(weights, result.component_labels, list(combo))
+            for combo in itertools.combinations(range(n), size)
+        )
+        assert result.objective >= (1 - 1 / np.e) * best - 1e-9
 
 
 class TestSimilarityMatrix:

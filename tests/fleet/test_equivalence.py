@@ -1,0 +1,107 @@
+"""Differential tests: concurrent sharded fleet ≡ sequential reference.
+
+The tentpole correctness contract: for an identical seed and device
+set, the concurrent run against a sharded index must produce **byte
+identical** elimination decisions — kept and eliminated image ids,
+total bytes sent, total joules — to the sequential run against a
+single index.  Any drift (a lock reordering a commit, a shard changing
+a tie-break, a float summed in a different order) must fail loudly
+here.
+
+Sequential references are computed once per (seed, devices) and shared
+across the shard-count parametrisations to keep the suite's runtime
+linear in the number of *distinct* workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fleet import FleetRunner, FleetWorkload, assert_equivalent
+
+SEEDS = (5, 11)
+DEVICE_COUNTS = (1, 4, 16)
+SHARD_COUNTS = (1, 4)
+N_ROUNDS = 2
+BATCH_SIZE = 4
+
+_reference_cache: dict = {}
+
+
+def _runner(seed: int, devices: int, mode: str, shards: int) -> FleetRunner:
+    return FleetRunner(
+        n_devices=devices,
+        n_rounds=N_ROUNDS,
+        batch_size=BATCH_SIZE,
+        n_shards=shards,
+        seed=seed,
+        mode=mode,
+    )
+
+
+def _reference(seed: int, devices: int):
+    key = (seed, devices)
+    if key not in _reference_cache:
+        _reference_cache[key] = _runner(seed, devices, "sequential", 1).run()
+    return _reference_cache[key]
+
+
+class TestConcurrentEqualsSequential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("devices", DEVICE_COUNTS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_byte_identical_decisions(self, seed, devices, shards):
+        reference = _reference(seed, devices)
+        concurrent = _runner(seed, devices, "concurrent", shards).run()
+
+        # The headline contract, field by field (not just the hash).
+        for ref_dev, con_dev in zip(reference.devices, concurrent.devices):
+            assert con_dev.uploaded_ids == ref_dev.uploaded_ids
+            assert con_dev.eliminated_cross_batch == ref_dev.eliminated_cross_batch
+            assert con_dev.eliminated_in_batch == ref_dev.eliminated_in_batch
+            assert con_dev.sent_bytes == ref_dev.sent_bytes
+            # Byte-identical floats: == on purpose, no approx.
+            assert con_dev.energy_joules == ref_dev.energy_joules
+        assert concurrent.total_bytes == reference.total_bytes
+        assert concurrent.total_energy_joules == reference.total_energy_joules
+        assert concurrent.fingerprint() == reference.fingerprint()
+        assert_equivalent(reference, concurrent)
+
+
+class TestContract:
+    def test_multi_device_runs_actually_eliminate(self):
+        # Guard against the differential suite passing vacuously on a
+        # workload with nothing to eliminate.
+        result = _reference(SEEDS[0], 4)
+        eliminated = sum(
+            len(d.eliminated_cross_batch) + len(d.eliminated_in_batch)
+            for d in result.devices
+        )
+        assert eliminated > 0
+        assert result.total_uploaded > 0
+
+    def test_repeated_run_is_deterministic(self):
+        first = _reference(SEEDS[0], 4)
+        again = _runner(SEEDS[0], 4, "sequential", 1).run()
+        assert again.fingerprint() == first.fingerprint()
+
+    def test_mismatch_produces_a_readable_diff(self):
+        a = _reference(SEEDS[0], 1)
+        b = _runner(SEEDS[1], 1, "sequential", 1).run()
+        with pytest.raises(SimulationError) as excinfo:
+            assert_equivalent(a, b)
+        message = str(excinfo.value)
+        assert "not equivalent" in message
+        assert "dev-00" in message
+
+    def test_workload_is_a_pure_function(self):
+        workload = FleetWorkload(n_devices=2, n_rounds=2, batch_size=4, seed=9)
+        first = workload.batch_for(1, 1)
+        again = workload.batch_for(1, 1)
+        assert [image.image_id for image in first] == [
+            image.image_id for image in again
+        ]
+        assert all(
+            (a.bitmap == b.bitmap).all() for a, b in zip(first, again)
+        )
