@@ -62,6 +62,8 @@ CASE_SPECS: "tuple[tuple[str, str, str, str], ...]" = (
      "Extension", "delay & energy under outage bursts"),
     ("fleet_scaling", "bench_fleet_scaling",
      "Extension", "sharded concurrent fleet vs. sequential reference"),
+    ("kernels_microbench", "bench_kernels",
+     "Extension", "repro.kernels speedups vs. frozen pre-kernel hot paths"),
 )
 
 

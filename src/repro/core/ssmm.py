@@ -30,19 +30,20 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..features.base import FeatureSet
-from ..features.similarity import jaccard_similarity
+from ..kernels.batch import batch_similarity_matrix
 
 
 def similarity_matrix(feature_sets: "list[FeatureSet]") -> np.ndarray:
-    """Pairwise Equation-2 similarity matrix; the diagonal is 1."""
-    n = len(feature_sets)
-    weights = np.eye(n)
-    for i in range(n):
-        for j in range(i + 1, n):
-            weights[i, j] = weights[j, i] = jaccard_similarity(
-                feature_sets[i], feature_sets[j]
-            )
-    return weights
+    """Pairwise Equation-2 similarity matrix; the diagonal is 1.
+
+    Computed by the batched kernel
+    (:func:`repro.kernels.batch.batch_similarity_matrix`), which hoists
+    the per-set descriptor preparation out of the O(n²) pair loop and
+    consults the match-count cache — the matrix is byte-identical to
+    the historical per-pair :func:`~repro.features.similarity.
+    jaccard_similarity` loop.
+    """
+    return batch_similarity_matrix(feature_sets)
 
 
 def partition_components(weights: np.ndarray, cut_threshold: float) -> np.ndarray:
@@ -69,7 +70,16 @@ def partition_components(weights: np.ndarray, cut_threshold: float) -> np.ndarra
         if ri != rj:
             parent[rj] = ri
 
-    roots = np.array([find(i) for i in range(n)])
+    # Root resolution, vectorized: pointer-jump every vertex at once
+    # until the parent array is a fixed point.  Path halving above
+    # bounds the chain depth, so this converges in O(log n) gathers —
+    # replacing the per-vertex Python `find` loop.
+    roots = parent
+    while True:
+        jumped = roots[roots]
+        if np.array_equal(jumped, roots):
+            break
+        roots = jumped
     _, labels = np.unique(roots, return_inverse=True)
     return labels
 

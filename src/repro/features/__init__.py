@@ -11,10 +11,12 @@ from .minhash import MinHasher
 from .matching import (
     DEFAULT_HAMMING_THRESHOLD,
     DEFAULT_L2_THRESHOLD,
+    cached_match_count,
     hamming_distance_matrix,
     l2_distance_matrix,
     match_count,
     mutual_matches,
+    resolve_threshold,
 )
 from .orb import OrbExtractor
 from .serialize import deserialize_features, serialize_features
@@ -34,9 +36,11 @@ __all__ = [
     "PcaSiftExtractor",
     "SiftExtractor",
     "SpaceOverhead",
+    "cached_match_count",
     "deserialize_features",
     "detect_fast",
     "feature_bytes",
+    "resolve_threshold",
     "hamming_distance_matrix",
     "jaccard_similarity",
     "l2_distance_matrix",

@@ -7,12 +7,16 @@ meaningful (each descriptor participates in at most one match).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..errors import FeatureError
+from ..kernels.cache import MatchCountCache, get_match_cache, match_key
+from ..kernels.hamming import hamming_distance_matrix as _kernel_hamming
 
-#: popcount lookup for uint8 values.
-_POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1)
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import FeatureSet
 
 #: Default Hamming ceiling for a 256-bit ORB descriptor match.  28 bits
 #: (11% of the descriptor) is a strict "good match" cut-off for rBRIEF;
@@ -44,13 +48,14 @@ DEFAULT_RATIO = 0.7
 
 
 def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Pairwise Hamming distances between packed binary descriptor rows."""
-    a = np.asarray(a, dtype=np.uint8)
-    b = np.asarray(b, dtype=np.uint8)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
-        raise FeatureError(f"incompatible descriptor shapes {a.shape} / {b.shape}")
-    xor = np.bitwise_xor(a[:, None, :], b[None, :, :])
-    return _POPCOUNT[xor].sum(axis=2).astype(np.int64)
+    """Pairwise Hamming distances between packed binary descriptor rows.
+
+    Delegates to the blocked uint64 kernel
+    (:func:`repro.kernels.hamming.hamming_distance_matrix`); the
+    distances are identical to the historical uint8-XOR + popcount-table
+    implementation for every input.
+    """
+    return _kernel_hamming(a, b)
 
 
 def l2_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -106,6 +111,15 @@ def mutual_matches(
     return np.stack([rows[keep], best_col[keep]], axis=1)
 
 
+def resolve_threshold(kind: str, threshold: float | None) -> float:
+    """The effective match ceiling for *kind* (default or explicit)."""
+    if kind == "orb":
+        return float(DEFAULT_HAMMING_THRESHOLD if threshold is None else threshold)
+    if kind in L2_THRESHOLDS:
+        return float(L2_THRESHOLDS[kind] if threshold is None else threshold)
+    raise FeatureError(f"unknown descriptor kind {kind!r}")
+
+
 def match_count(
     desc_a: np.ndarray,
     desc_b: np.ndarray,
@@ -115,12 +129,50 @@ def match_count(
     """Number of mutual matches between two descriptor matrices."""
     if len(desc_a) == 0 or len(desc_b) == 0:
         return 0
+    limit = resolve_threshold(kind, threshold)
     if kind == "orb":
         dist = hamming_distance_matrix(desc_a, desc_b)
-        limit = DEFAULT_HAMMING_THRESHOLD if threshold is None else threshold
-    elif kind in L2_THRESHOLDS:
-        dist = l2_distance_matrix(desc_a, desc_b)
-        limit = L2_THRESHOLDS[kind] if threshold is None else threshold
     else:
-        raise FeatureError(f"unknown descriptor kind {kind!r}")
+        dist = l2_distance_matrix(desc_a, desc_b)
     return int(mutual_matches(dist, limit).shape[0])
+
+
+def cached_match_count(
+    features_a: "FeatureSet",
+    features_b: "FeatureSet",
+    threshold: float | None = None,
+    cache: "MatchCountCache | None" = None,
+) -> int:
+    """:func:`match_count` behind the process-wide LRU cache.
+
+    Keys combine the image ids with blake2b content fingerprints of
+    both descriptor matrices (see :mod:`repro.kernels.cache`), so a hit
+    is byte-identical to recomputation by construction; the key is
+    canonically ordered, matching the symmetry of mutual matching.
+    CBRD verification and repeated fleet rounds re-score the same pairs
+    constantly — those become dict lookups.
+    """
+    if features_a.kind != features_b.kind:
+        raise FeatureError(
+            f"cannot compare {features_a.kind!r} with {features_b.kind!r} features"
+        )
+    if len(features_a) == 0 or len(features_b) == 0:
+        return 0
+    kind = features_a.kind
+    limit = resolve_threshold(kind, threshold)
+    if cache is None:
+        cache = get_match_cache()
+    key = match_key(
+        kind,
+        limit,
+        features_a.image_id,
+        features_a.descriptors,
+        features_b.image_id,
+        features_b.descriptors,
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    count = match_count(features_a.descriptors, features_b.descriptors, kind, limit)
+    cache.put(key, count)
+    return count

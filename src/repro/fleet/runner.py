@@ -36,6 +36,7 @@ from ..core.server import BeesServer
 from ..energy import Battery
 from ..errors import SimulationError
 from ..index import FeatureIndex, ShardedFeatureIndex
+from ..kernels.cache import get_match_cache
 from ..network import FluctuatingChannel, Uplink
 from ..obs import get_obs
 from ..schemes import make_scheme
@@ -130,6 +131,7 @@ class FleetRunner:
         reports: "list[list[BatchReport]]" = [[] for _ in range(self.n_devices)]
         halted = [False] * self.n_devices
         obs = get_obs()
+        cache_stats_start = get_match_cache().stats()
         t0 = time.perf_counter()
         with obs.span(
             "fleet.run",
@@ -139,7 +141,7 @@ class FleetRunner:
             n_shards=self.n_shards,
             n_rounds=self.n_rounds,
             seed=self.seed,
-        ):
+        ) as run_span:
             if self.mode == "concurrent":
                 max_workers = self.workers or self.n_devices
                 with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -150,6 +152,19 @@ class FleetRunner:
             else:
                 for round_no in range(self.n_rounds):
                     self._run_round(round_no, devices, server, reports, halted, None)
+            if obs.enabled:
+                # Repeat CBRD verifications across rounds land in the
+                # kernel match cache; hit-or-miss never changes a
+                # decision, so this is diagnostics only.
+                cache_stats = get_match_cache().stats()
+                run_span.set_attribute(
+                    "kernel_cache_hits",
+                    cache_stats["hits"] - cache_stats_start["hits"],
+                )
+                run_span.set_attribute(
+                    "kernel_cache_misses",
+                    cache_stats["misses"] - cache_stats_start["misses"],
+                )
         wall_seconds = time.perf_counter() - t0
         return FleetResult(
             mode=self.mode,

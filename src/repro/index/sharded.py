@@ -26,8 +26,9 @@ Design notes, because the equivalence guarantee depends on them:
   therefore returns **byte-identical** answers to a single index over
   the same images — the property the fleet differential tests pin.
 * **Reads are lock-free.**  A shard's ``add`` appends to its entry list
-  and bucket lists; concurrent CPython readers see either the old or
-  the new list state, never a torn one.  The fleet runner additionally
+  and replaces bucket arrays atomically (one dict store per bucket);
+  concurrent CPython readers see either the old or the new bucket,
+  never a torn one.  The fleet runner additionally
   never interleaves queries with writes for the *same* round (round
   barrier), so readers observe a frozen index.  Writer locks exist only
   to serialise writer/writer races within a shard; the non-blocking
@@ -40,6 +41,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import IndexError_
 from ..features.base import FeatureSet
@@ -138,6 +141,9 @@ class ShardedFeatureIndex:
         # One hash pass serves every shard: identical LSH geometry.
         packed = self._shards[0].packed_descriptors(features)
         keys = self._shards[0].hash_keys(packed)
+        return self._merged_votes_from_keys(keys)
+
+    def _merged_votes_from_keys(self, keys: "np.ndarray") -> "dict[str, int]":
         votes: "dict[str, int]" = {}
         for shard in self._shards:
             if len(shard):
@@ -170,14 +176,50 @@ class ShardedFeatureIndex:
             best_id=best_id, best_similarity=best_similarity, candidates_checked=checked
         )
 
+    def _query_from_votes(
+        self, features: FeatureSet, votes: "dict[str, int]"
+    ) -> QueryResult:
+        """:meth:`query`'s verify stage, for already-merged votes."""
+        if not votes:
+            return QueryResult(best_id=None, best_similarity=0.0, candidates_checked=0)
+        shortlist = rank_votes(votes, max(1, self.verify_top_k))
+        candidates = [self.features_of(image_id) for image_id in shortlist]
+        top = verify_candidates(features, candidates, 1)
+        best_id, best_similarity = top[0]
+        return QueryResult(
+            best_id=best_id,
+            best_similarity=best_similarity,
+            candidates_checked=min(len(self), self.verify_top_k),
+        )
+
     def query_batch(self, feature_sets: "list[FeatureSet]") -> "list[QueryResult]":
         """One :meth:`query` result per input, in input order.
 
-        The batched entry point the server uses for cross-shard CBRD:
-        each query still hashes once and fans out over shards, but the
-        batch shape lets the server wrap the whole round in one span.
+        The batched entry point the server uses for cross-shard CBRD.
+        The whole round's descriptors are stacked and hashed in **one**
+        LSH key pass (one ``unpackbits`` + bit-sample gather instead of
+        one per query) before the per-query shard fan-out; answers are
+        identical to calling :meth:`query` per feature set.
         """
-        return [self.query(features) for features in feature_sets]
+        empty = QueryResult(best_id=None, best_similarity=0.0, candidates_checked=0)
+        if not feature_sets:
+            return []
+        if not len(self):
+            return [empty] * len(feature_sets)
+        results: "list[QueryResult]" = [empty] * len(feature_sets)
+        nonempty = [i for i, features in enumerate(feature_sets) if len(features)]
+        if not nonempty:
+            return results
+        packed = [
+            self._shards[0].packed_descriptors(feature_sets[i]) for i in nonempty
+        ]
+        batched_keys = self._shards[0].hash_keys(np.concatenate(packed, axis=0))
+        offsets = np.cumsum([0] + [rows.shape[0] for rows in packed])
+        for position, i in enumerate(nonempty):
+            keys = batched_keys[offsets[position] : offsets[position + 1]]
+            votes = self._merged_votes_from_keys(keys)
+            results[i] = self._query_from_votes(feature_sets[i], votes)
+        return results
 
     # -- introspection -------------------------------------------------------
 

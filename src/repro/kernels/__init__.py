@@ -1,0 +1,54 @@
+"""``repro.kernels`` — the vectorized similarity kernel layer.
+
+The single implementation of the hot paths every BEES decision bottoms
+out in:
+
+* :mod:`~repro.kernels.hamming` — blocked uint64 Hamming distances
+  (``np.bitwise_count`` or a SWAR fallback);
+* :mod:`~repro.kernels.voting` — deduplicated LSH bucket storage with
+  ``bincount`` vote aggregation;
+* :mod:`~repro.kernels.cache` — the LRU match-count cache keyed by
+  content fingerprints;
+* :mod:`~repro.kernels.batch` — the batched all-pairs SSMM similarity
+  matrix (import as ``repro.kernels.batch``: it builds on
+  :mod:`repro.features`, which itself uses the kernels above, so the
+  package namespace stays a leaf of that layering).
+
+Everything here is exact: the kernels change evaluation strategy, never
+results — ``tests/kernels`` proves each one byte-identical to the
+pre-kernel reference implementations.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_ENTRIES,
+    MatchCountCache,
+    descriptor_fingerprint,
+    get_match_cache,
+    match_key,
+    set_match_cache,
+)
+from .hamming import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    hamming_distance_matrix,
+    hamming_distance_matrix_u64,
+    pack_rows_u64,
+    popcount_u64,
+)
+from .voting import BucketStore
+
+__all__ = [
+    "BACKENDS",
+    "BucketStore",
+    "DEFAULT_BACKEND",
+    "DEFAULT_CACHE_ENTRIES",
+    "MatchCountCache",
+    "descriptor_fingerprint",
+    "get_match_cache",
+    "hamming_distance_matrix",
+    "hamming_distance_matrix_u64",
+    "match_key",
+    "pack_rows_u64",
+    "popcount_u64",
+    "set_match_cache",
+]

@@ -102,6 +102,16 @@ class TestPartition:
         uniques = sorted(set(labels.tolist()))
         assert uniques == list(range(len(uniques)))
 
+    @given(weights_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_labels_identical_to_per_vertex_find_loop(self, weights, threshold):
+        """The vectorized pointer-jumping root resolution must emit the
+        exact labels of the old per-vertex Python ``find`` loop."""
+        from tests.kernels.reference import reference_partition_components
+
+        expected = reference_partition_components(weights, threshold)
+        assert np.array_equal(partition_components(weights, threshold), expected)
+
 
 class TestObjective:
     def test_coverage_of_full_set_is_n(self):

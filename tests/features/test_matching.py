@@ -5,12 +5,18 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import FeatureError
+from repro.features.base import FeatureSet
 from repro.features.matching import (
+    DEFAULT_HAMMING_THRESHOLD,
+    L2_THRESHOLDS,
+    cached_match_count,
     hamming_distance_matrix,
     l2_distance_matrix,
     match_count,
     mutual_matches,
+    resolve_threshold,
 )
+from repro.kernels.cache import MatchCountCache
 
 
 class TestHamming:
@@ -111,6 +117,42 @@ class TestMutualMatches:
         with pytest.raises(FeatureError):
             mutual_matches(np.zeros(4), threshold=1.0)
 
+    def test_single_row_ratio_still_applies(self):
+        # One query descriptor, many candidates: the row-wise ratio test
+        # has a second-best to compare against and must still run.
+        clear = np.array([[1.0, 9.0, 9.0]])
+        ambiguous = np.array([[1.0, 1.05, 9.0]])
+        assert mutual_matches(clear, threshold=10.0, ratio=0.7).tolist() == [[0, 0]]
+        assert mutual_matches(ambiguous, threshold=10.0, ratio=0.7).shape == (0, 2)
+
+    def test_single_column_ratio_uses_column_direction(self):
+        # One candidate, many queries: the row-wise test has nothing to
+        # compare, but the column-wise second-best still disambiguates.
+        clear = np.array([[1.0], [9.0]])
+        ambiguous = np.array([[1.0], [1.05]])
+        assert mutual_matches(clear, threshold=10.0, ratio=0.7).tolist() == [[0, 0]]
+        assert mutual_matches(ambiguous, threshold=10.0, ratio=0.7).shape == (0, 2)
+
+    def test_one_by_one_skips_ratio_both_ways(self):
+        dist = np.array([[2.0]])
+        assert mutual_matches(dist, threshold=3.0, ratio=0.7).tolist() == [[0, 0]]
+        assert mutual_matches(dist, threshold=1.0, ratio=0.7).shape == (0, 2)
+
+    def test_all_equal_distances(self):
+        # Every pairing is equally good: with the ratio test on, all are
+        # ambiguous; with ratio 1.0, exactly one mutual pair survives
+        # (argmin ties break to the first index on both axes).
+        dist = np.full((3, 3), 5.0)
+        assert mutual_matches(dist, threshold=10.0, ratio=0.7).shape == (0, 2)
+        assert mutual_matches(dist, threshold=10.0, ratio=1.0).tolist() == [[0, 0]]
+        assert mutual_matches(dist, threshold=4.0, ratio=1.0).shape == (0, 2)
+
+    def test_threshold_boundary_is_inclusive(self):
+        at = np.array([[float(DEFAULT_HAMMING_THRESHOLD)]])
+        over = np.array([[float(DEFAULT_HAMMING_THRESHOLD + 1)]])
+        assert len(mutual_matches(at, threshold=DEFAULT_HAMMING_THRESHOLD)) == 1
+        assert len(mutual_matches(over, threshold=DEFAULT_HAMMING_THRESHOLD)) == 0
+
     @given(st.integers(min_value=0, max_value=2**32 - 1))
     def test_each_index_matched_at_most_once(self, seed):
         rng = np.random.default_rng(seed)
@@ -143,3 +185,82 @@ class TestMatchCount:
         b[0, 0] = 0b00001111  # distance 4
         assert match_count(a, b, "orb", threshold=3) == 0
         assert match_count(a, b, "orb", threshold=4) == 1
+
+    def test_default_threshold_boundary(self):
+        # A pair at distance exactly DEFAULT_HAMMING_THRESHOLD matches;
+        # one bit past it does not.
+        a = np.zeros((1, 32), dtype=np.uint8)
+        at = np.packbits(
+            np.r_[np.ones(DEFAULT_HAMMING_THRESHOLD, np.uint8), np.zeros(256 - DEFAULT_HAMMING_THRESHOLD, np.uint8)]
+        )[None, :]
+        over = np.packbits(
+            np.r_[np.ones(DEFAULT_HAMMING_THRESHOLD + 1, np.uint8), np.zeros(255 - DEFAULT_HAMMING_THRESHOLD, np.uint8)]
+        )[None, :]
+        assert match_count(a, at, "orb") == 1
+        assert match_count(a, over, "orb") == 0
+
+
+class TestResolveThreshold:
+    def test_defaults_per_kind(self):
+        assert resolve_threshold("orb", None) == DEFAULT_HAMMING_THRESHOLD
+        for kind, limit in L2_THRESHOLDS.items():
+            assert resolve_threshold(kind, None) == limit
+
+    def test_explicit_override(self):
+        assert resolve_threshold("orb", 12) == 12.0
+        assert resolve_threshold("sift", 0.1) == 0.1
+
+    def test_unknown_kind(self):
+        with pytest.raises(FeatureError):
+            resolve_threshold("surf", None)
+
+
+def _feature_set(image_id, seed, kind="orb", n=8):
+    rng = np.random.default_rng(seed)
+    descriptors = rng.integers(0, 256, (n, 32)).astype(np.uint8)
+    return FeatureSet(
+        kind=kind,
+        descriptors=descriptors,
+        xs=np.zeros(n, dtype=np.float32),
+        ys=np.zeros(n, dtype=np.float32),
+        pixels_processed=n,
+        image_id=image_id,
+    )
+
+
+class TestCachedMatchCount:
+    def test_hit_equals_recomputation(self):
+        cache = MatchCountCache()
+        a, b = _feature_set("a", 0), _feature_set("b", 1)
+        cold = cached_match_count(a, b, cache=cache)
+        warm = cached_match_count(a, b, cache=cache)
+        assert cold == warm == match_count(a.descriptors, b.descriptors, "orb")
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_symmetric_key_shares_entry(self):
+        cache = MatchCountCache()
+        a, b = _feature_set("a", 0), _feature_set("b", 1)
+        cached_match_count(a, b, cache=cache)
+        cached_match_count(b, a, cache=cache)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_content_change_misses_despite_same_id(self):
+        cache = MatchCountCache()
+        a, b = _feature_set("a", 0), _feature_set("b", 1)
+        cached_match_count(a, b, cache=cache)
+        changed = _feature_set("a", 7)  # same id, different descriptors
+        cached_match_count(changed, b, cache=cache)
+        assert cache.stats()["entries"] == 2
+
+    def test_empty_sides_bypass_cache(self):
+        cache = MatchCountCache()
+        empty = _feature_set("e", 0, n=0)
+        full = _feature_set("f", 1)
+        assert cached_match_count(empty, full, cache=cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(FeatureError):
+            cached_match_count(
+                _feature_set("a", 0, kind="orb"), _feature_set("b", 1, kind="sift")
+            )

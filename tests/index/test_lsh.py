@@ -85,6 +85,53 @@ class TestVoting:
         assert votes[1] <= 8 * lsh.n_tables
 
 
+class TestBucketDedupe:
+    """Regression tests for the insert-time bucket dedupe.
+
+    Pre-kernel buckets appended one entry per (descriptor, key) hit, so
+    an image with repeated descriptors grew hot buckets without bound;
+    votes already deduplicated with ``set(bucket)``, so dedupe at insert
+    must leave every vote count unchanged.
+    """
+
+    def test_duplicate_descriptor_rows_keep_buckets_at_one(self):
+        one = _random_descriptors(1, seed=5)
+        repeated = np.repeat(one, 100, axis=0)
+        lsh = HammingLSH(n_bits=256)
+        lsh.add(repeated, ref=0)
+        lengths = lsh._store.bucket_lengths()
+        assert lengths == [1] * lsh.n_tables
+
+    def test_re_adding_same_ref_does_not_grow_buckets(self):
+        desc = _random_descriptors(20, seed=6)
+        lsh = HammingLSH(n_bits=256)
+        lsh.add(desc, ref=3)
+        before = sorted(lsh._store.bucket_lengths())
+        lsh.add(desc, ref=3)
+        assert sorted(lsh._store.bucket_lengths()) == before
+
+    def test_vote_counts_identical_to_pre_dedupe_buckets(self):
+        from tests.kernels.reference import ReferenceHammingLSH
+
+        rng = np.random.default_rng(8)
+        lsh = HammingLSH(n_bits=256)
+        legacy = ReferenceHammingLSH(HammingLSH(n_bits=256))
+        for ref in range(4):
+            base = _random_descriptors(12, seed=ref)
+            # Repeat rows so legacy buckets actually accumulate
+            # duplicates — the case the fix changes storage for.
+            packed = np.concatenate([base, base[:4]], axis=0)
+            lsh.add(packed, ref=ref)
+            legacy.add(packed, ref=ref)
+        assert max(legacy.bucket_lengths()) > 1  # legacy really duplicated
+        assert max(lsh._store.bucket_lengths()) == 1  # fixed store did not
+        probe = _random_descriptors(25, seed=99)
+        assert lsh.votes(probe) == legacy.votes(probe)
+        for ref in range(4):
+            stored = _random_descriptors(12, seed=ref)
+            assert lsh.votes(stored) == legacy.votes(stored)
+
+
 class TestFloatSketch:
     def test_shape(self):
         planes = float_sketch_planes(36, 128)

@@ -1,0 +1,192 @@
+"""Pre-kernel reference implementations, frozen for differential tests.
+
+These are the hot-path implementations the repo shipped *before* the
+``repro.kernels`` layer, copied here verbatim (modulo naming) so the
+kernel suite can prove the vectorized paths byte-identical on every
+input.  They intentionally share no code with ``repro.kernels``:
+
+* :func:`reference_hamming_distance_matrix` — uint8 XOR tensor + a
+  256-entry popcount-table gather;
+* :class:`ReferenceHammingLSH` — dict-of-list buckets that append one
+  entry per (descriptor, key) hit and deduplicate with ``set()`` at
+  vote time, with per-key Python loops;
+* :func:`reference_similarity_matrix` — the per-pair Jaccard loop,
+  re-casting both descriptor matrices on every pair, no caching;
+* :func:`reference_partition_components` — union-find with a
+  per-vertex Python ``find`` loop for root resolution.
+
+``mutual_matches`` and ``l2_distance_matrix`` are imported from
+production: the kernel layer did not change them, and reusing them
+keeps the differentials focused on what did change.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.features.matching import (
+    DEFAULT_HAMMING_THRESHOLD,
+    L2_THRESHOLDS,
+    l2_distance_matrix,
+    mutual_matches,
+)
+
+_POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1)
+
+
+def reference_hamming_distance_matrix(a, b):
+    """The pre-kernel Hamming matrix: (n, m, width) XOR + table gather."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    xor = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return _POPCOUNT[xor].sum(axis=2).astype(np.int64)
+
+
+def reference_match_count(desc_a, desc_b, kind, threshold=None):
+    """The pre-kernel ``match_count`` body."""
+    if len(desc_a) == 0 or len(desc_b) == 0:
+        return 0
+    if kind == "orb":
+        dist = reference_hamming_distance_matrix(desc_a, desc_b)
+        limit = DEFAULT_HAMMING_THRESHOLD if threshold is None else threshold
+    else:
+        dist = l2_distance_matrix(desc_a, desc_b)
+        limit = L2_THRESHOLDS[kind] if threshold is None else threshold
+    return int(mutual_matches(dist, limit).shape[0])
+
+
+def reference_jaccard(features_a, features_b, threshold=None):
+    """The pre-kernel pairwise Equation-2 similarity."""
+    n_a, n_b = len(features_a), len(features_b)
+    if n_a == 0 and n_b == 0:
+        return 0.0
+    matches = reference_match_count(
+        features_a.descriptors, features_b.descriptors, features_a.kind, threshold
+    )
+    union = n_a + n_b - matches
+    if union <= 0:
+        return 1.0
+    return matches / union
+
+
+def reference_similarity_matrix(feature_sets):
+    """The pre-kernel per-pair SSMM similarity-matrix loop."""
+    n = len(feature_sets)
+    weights = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            weights[i, j] = weights[j, i] = reference_jaccard(
+                feature_sets[i], feature_sets[j]
+            )
+    return weights
+
+
+class ReferenceHammingLSH:
+    """The pre-kernel bucket storage + voting, dict-of-lists style.
+
+    Key generation is delegated to a production
+    :class:`~repro.index.lsh.HammingLSH` built with the same geometry —
+    keys were not changed by the kernel layer, and sharing them makes
+    the bucket/vote differential exact.
+    """
+
+    def __init__(self, lsh):
+        self._lsh = lsh
+        self._tables = [defaultdict(list) for _ in range(lsh.n_tables)]
+
+    def add(self, packed, ref):
+        keys = self._lsh.keys(packed)
+        for table, table_keys in zip(self._tables, keys.T):
+            for key in table_keys:
+                table[int(key)].append(ref)
+
+    def votes(self, packed):
+        if len(packed) == 0:
+            return {}
+        return self.votes_from_keys(self._lsh.keys(packed))
+
+    def votes_from_keys(self, keys):
+        counts = defaultdict(int)
+        for table, table_keys in zip(self._tables, keys.T):
+            for key in table_keys:
+                bucket = table.get(int(key))
+                if not bucket:
+                    continue
+                for ref in set(bucket):
+                    counts[ref] += 1
+        return dict(counts)
+
+    def bucket_lengths(self):
+        return [
+            len(bucket) for table in self._tables for bucket in table.values()
+        ]
+
+
+def reference_partition_components(weights, cut_threshold):
+    """The pre-kernel union-find with per-vertex Python root loop."""
+    weights = np.asarray(weights)
+    n = weights.shape[0]
+    parent = np.arange(n)
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    rows, cols = np.nonzero(np.triu(weights >= cut_threshold, k=1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    roots = np.array([find(i) for i in range(n)])
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+def synthetic_feature_sets(kind, n_sets, n_descriptors, seed):
+    """Deterministic feature sets with real descriptor overlap.
+
+    Images draw descriptors from a shared pool (exact repeats across
+    sets) and lightly perturb some rows (near-matches inside the kind's
+    ceiling), so mutual matching, the ratio test, and Jaccard all
+    exercise their interesting branches.
+    """
+    from repro.features.base import FeatureSet
+
+    rng = np.random.default_rng(seed)
+    pool_size = max(2 * n_descriptors, 4)
+    if kind == "orb":
+        pool = rng.integers(0, 256, (pool_size, 32)).astype(np.uint8)
+    else:
+        dim = 128 if kind == "sift" else 36
+        pool = rng.normal(size=(pool_size, dim)).astype(np.float32)
+        pool /= np.linalg.norm(pool, axis=1, keepdims=True)
+    sets = []
+    for number in range(n_sets):
+        take = rng.choice(pool_size, size=n_descriptors, replace=False)
+        descriptors = pool[take].copy()
+        perturb = rng.random(n_descriptors) < 0.3
+        if kind == "orb":
+            bits = np.unpackbits(descriptors, axis=1)
+            flips = rng.random(bits.shape) < 0.02  # ~5 of 256 bits
+            bits[perturb] ^= flips[perturb]
+            descriptors = np.packbits(bits, axis=1)
+        else:
+            noise = rng.normal(scale=0.02, size=descriptors.shape).astype(np.float32)
+            descriptors[perturb] += noise[perturb]
+        n = len(descriptors)
+        sets.append(
+            FeatureSet(
+                kind=kind,
+                descriptors=descriptors,
+                xs=np.zeros(n, dtype=np.float32),
+                ys=np.zeros(n, dtype=np.float32),
+                pixels_processed=n,
+                image_id=f"synth-{kind}-{seed}-{number}",
+            )
+        )
+    return sets

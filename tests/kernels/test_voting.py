@@ -1,0 +1,98 @@
+"""Unit tests for the vectorized LSH bucket store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.kernels.voting import BucketStore
+
+
+def _keys(rows):
+    """Build a (n_desc, n_tables) int64 key matrix from nested lists."""
+    return np.asarray(rows, dtype=np.int64)
+
+
+class TestInsert:
+    def test_insert_dedupes_within_call(self):
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5], [5], [5]]), ref=0)
+        assert store.bucket_lengths() == [1]
+
+    def test_insert_dedupes_across_calls(self):
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5]]), ref=0)
+        store.insert(_keys([[5]]), ref=0)
+        assert store.bucket_lengths() == [1]
+
+    def test_distinct_refs_share_bucket(self):
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5]]), ref=0)
+        store.insert(_keys([[5]]), ref=3)
+        assert store.bucket_lengths() == [2]
+
+    def test_buckets_stay_sorted(self):
+        store = BucketStore(n_tables=1)
+        for ref in (9, 2, 7, 2, 0):
+            store.insert(_keys([[1]]), ref=ref)
+        (bucket,) = store._tables[0].values()
+        assert bucket.tolist() == [0, 2, 7, 9]
+
+    def test_tables_are_independent(self):
+        store = BucketStore(n_tables=2)
+        store.insert(_keys([[1, 2]]), ref=0)
+        assert len(store._tables[0]) == 1
+        assert len(store._tables[1]) == 1
+        assert 1 in store._tables[0] and 2 in store._tables[1]
+
+    def test_rejects_wrong_table_count(self):
+        store = BucketStore(n_tables=3)
+        with pytest.raises(IndexError_):
+            store.insert(_keys([[1, 2]]), ref=0)
+        with pytest.raises(IndexError_):
+            store.votes(_keys([[1, 2]]))
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(IndexError_):
+            BucketStore(n_tables=0)
+
+    def test_empty_insert_is_noop(self):
+        store = BucketStore(n_tables=2)
+        store.insert(np.zeros((0, 2), dtype=np.int64), ref=0)
+        assert store.bucket_lengths() == []
+
+
+class TestVotes:
+    def test_one_vote_per_table_hit(self):
+        store = BucketStore(n_tables=2)
+        store.insert(_keys([[1, 2]]), ref=4)
+        assert store.votes(_keys([[1, 2]])) == {4: 2}
+        assert store.votes(_keys([[1, 99]])) == {4: 1}
+        assert store.votes(_keys([[98, 99]])) == {}
+
+    def test_duplicate_query_keys_multiply_weight(self):
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5]]), ref=0)
+        assert store.votes(_keys([[5], [5], [5]])) == {0: 3}
+
+    def test_votes_are_python_ints(self):
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5]]), ref=0)
+        votes = store.votes(_keys([[5]]))
+        (ref, count) = next(iter(votes.items()))
+        assert type(ref) is int and type(count) is int
+
+    def test_empty_query(self):
+        store = BucketStore(n_tables=2)
+        store.insert(_keys([[1, 2]]), ref=0)
+        assert store.votes(np.zeros((0, 2), dtype=np.int64)) == {}
+
+    def test_empty_store(self):
+        store = BucketStore(n_tables=2)
+        assert store.votes(_keys([[1, 2]])) == {}
+
+    def test_sparse_ref_ids(self):
+        # bincount is indexed by ref id; large sparse ids must still work.
+        store = BucketStore(n_tables=1)
+        store.insert(_keys([[5]]), ref=100_000)
+        store.insert(_keys([[5]]), ref=3)
+        assert store.votes(_keys([[5]])) == {3: 1, 100_000: 1}
