@@ -83,7 +83,7 @@ def run_case(case: BenchCase, quick: bool = False, params: "dict | None" = None)
             f"param_{key}": value for key, value in sorted(effective.items())
         }):
             result = case.run(effective)
-        wall = time.perf_counter() - started
+        wall = time.perf_counter() - started  # beeslint: disable=raw-timing (the harness wall clock IS the artifact's wall_seconds)
     finally:
         obs_module.disable()
     if not isinstance(result, dict):

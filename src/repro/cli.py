@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands drive the main experiments without writing code:
+Eleven subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
@@ -8,14 +8,18 @@ Nine subcommands drive the main experiments without writing code:
 * ``fleet``    — the concurrent multi-device fleet simulation
 * ``share``    — run a scheme over a folder of real PPM/PGM photos
 * ``bench``    — the benchmark telemetry harness (run/list/compare/report)
+* ``slo``      — check SLO specs against bench artifacts (exit 1 on burn)
+* ``top``      — live fleet dashboard (terminal frames + HTML snapshot)
 * ``lint``     — the beeslint static-analysis suite over the repo
 * ``metrics``  — render a captured Prometheus metrics file as a table
 * ``info``     — versions, device profile, policies, observability
 
 ``compare``, ``lifetime``, ``coverage``, and ``fleet run`` accept
-``--trace PATH`` (JSONL span log) and ``--metrics PATH`` (Prometheus
-text exposition), which switch the :mod:`repro.obs` layer on for the
-run.
+``--trace PATH`` (JSONL span log), ``--metrics PATH`` (Prometheus text
+exposition), and ``--profile PATH`` (a folded-stack CPU profile with
+samples attributed to BEES stage spans), any of which switch the
+:mod:`repro.obs` layer on for the run.  ``bench run --profile`` covers
+the bench suite the same way.
 """
 
 from __future__ import annotations
@@ -55,21 +59,54 @@ def _fast_generator() -> SceneGenerator:
 
 
 @contextlib.contextmanager
+def _profiler(args: argparse.Namespace):
+    """Run a sampling profiler around a block when ``--profile`` asks.
+
+    Yields the profiler (or ``None``); on clean exit writes the
+    folded-stack file and prints the session stats.
+    """
+    profile_path = getattr(args, "profile", None)
+    if profile_path is None:
+        yield None
+        return
+    from .obs.profiling import GLOBAL_TRACER, SamplingProfiler
+
+    profiler = SamplingProfiler(
+        tracer=GLOBAL_TRACER, hz=getattr(args, "profile_hz", 97.0)
+    )
+    profiler.start()
+    try:
+        yield profiler
+        stats = profiler.stop()
+        lines = profiler.write_folded(profile_path)
+        print(
+            f"\nwrote {profile_path} ({lines} stacks, {stats.n_samples} samples "
+            f"at ~{stats.effective_hz:.0f} Hz over {stats.wall_seconds:.2f} s)"
+        )
+    finally:
+        if profiler.running:
+            profiler.stop()
+
+
+@contextlib.contextmanager
 def _observability(args: argparse.Namespace):
-    """Enable tracing/metrics for one command when flags ask for it.
+    """Enable tracing/metrics/profiling for one command when flags ask.
 
     Configures the global :mod:`repro.obs` context before the run,
     flushes the export files afterwards, and always resets to the
     disabled default so back-to-back ``main()`` calls stay independent.
+    ``--profile`` implies an enabled (in-memory) context — the profiler
+    needs the tracer's active-span table for stage attribution.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if trace_path is None and metrics_path is None:
+    if trace_path is None and metrics_path is None and getattr(args, "profile", None) is None:
         yield obs_module.get_obs()
         return
     obs = obs_module.configure(trace_path=trace_path, metrics_path=metrics_path)
     try:
-        yield obs
+        with _profiler(args):
+            yield obs
         for path in obs.flush():
             print(f"\nwrote {path}")
     finally:
@@ -84,6 +121,19 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="write Prometheus-format metrics of the run to PATH",
+    )
+    _add_profile_flags(subparser)
+
+
+def _add_profile_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="sample the run with the span-attributing profiler and "
+        "write folded stacks (flamegraph input) to PATH",
+    )
+    subparser.add_argument(
+        "--profile-hz", type=float, default=97.0, metavar="HZ",
+        help="profiler sampling rate (default 97 Hz)",
     )
 
 
@@ -315,9 +365,11 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     selected = args.cases or bench_module.case_ids()
     print(f"running {len(selected)} bench case(s) [{mode}]:")
     try:
-        artifact = bench_module.run_suite(
-            case_ids=args.cases, quick=args.quick, params=params, progress=progress
-        )
+        with _profiler(args):
+            artifact = bench_module.run_suite(
+                case_ids=args.cases, quick=args.quick, params=params,
+                progress=progress,
+            )
         path = bench_module.save_suite(artifact, out=args.out)
     except BenchError as exc:
         raise SystemExit(f"bench run failed: {exc}") from None
@@ -351,7 +403,136 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     except BenchError as exc:
         raise SystemExit(f"bench compare failed: {exc}") from None
     print(bench_module.format_comparison(result))
-    return 0 if result.ok else 1
+    ok = result.ok
+    if args.slo is not None:
+        from .errors import ObservabilityError
+
+        try:
+            spec = obs_module.load_spec(args.slo)
+            verdicts = obs_module.evaluate_artifact(
+                spec, bench_module.read_artifact(args.candidate)
+            )
+        except (BenchError, ObservabilityError) as exc:
+            raise SystemExit(f"slo check failed: {exc}") from None
+        print()
+        print(obs_module.format_results(verdicts))
+        ok = ok and all(verdict.ok for verdict in verdicts)
+    return 0 if ok else 1
+
+
+def cmd_slo_check(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec against a bench artifact; exit 1 on burn."""
+    from .errors import ObservabilityError
+
+    try:
+        spec = obs_module.load_spec(args.spec)
+        artifact = bench_module.read_artifact(args.artifact)
+    except (BenchError, ObservabilityError) as exc:
+        raise SystemExit(f"slo check failed: {exc}") from None
+    results = obs_module.evaluate_artifact(spec, artifact)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "spec": spec.source,
+                    "artifact": str(args.artifact),
+                    "failures": sum(1 for result in results if not result.ok),
+                    "results": [
+                        {
+                            "name": result.name,
+                            "ok": result.ok,
+                            "value": (
+                                None
+                                if result.value != result.value
+                                else result.value
+                            ),
+                            "objective": result.slo.objective_text(),
+                            "claim": result.slo.claim,
+                            "detail": result.detail,
+                        }
+                        for result in results
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        source = spec.source or "<spec>"
+        print(f"checking {len(results)} SLO(s) from {source} "
+              f"against {args.artifact}\n")
+        print(obs_module.format_results(results))
+    failures = [result for result in results if not result.ok]
+    if failures and args.format != "json":
+        print(f"\n{len(failures)} SLO(s) violated")
+    return 1 if failures else 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Run a fleet under live sampling and render the dashboard."""
+    import threading
+
+    from .errors import ObservabilityError
+    from .fleet import FleetRunner  # lazy: keeps startup lean
+
+    spec = None
+    if args.spec is not None:
+        try:
+            spec = obs_module.load_spec(args.spec)
+        except ObservabilityError as exc:
+            raise SystemExit(f"top failed: {exc}") from None
+    obs = obs_module.configure()
+    try:
+        try:
+            runner = FleetRunner(
+                n_devices=args.devices,
+                n_rounds=args.rounds,
+                batch_size=args.batch_size,
+                n_shards=args.shards,
+                seed=args.seed,
+                scheme=args.scheme,
+                mode=args.mode,
+            )
+        except SimulationError as exc:
+            raise SystemExit(str(exc)) from None
+        aggregator = obs_module.StreamingAggregator(obs)
+        aggregator.sample()  # baseline for the rate series
+        done = threading.Event()
+        failure: "list[BaseException]" = []
+
+        def work() -> None:
+            try:
+                runner.run()
+            except BaseException as exc:  # surfaced after the join
+                failure.append(exc)
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=work, name="repro-top-fleet", daemon=True)
+        worker.start()
+        while not done.wait(args.interval):
+            aggregator.sample()
+            if not args.once:
+                frame = obs_module.render_frame(aggregator, obs, spec)
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+        worker.join()
+        if failure:
+            raise SystemExit(f"top failed: fleet run raised {failure[0]}")
+        aggregator.sample()
+        frame = obs_module.render_frame(aggregator, obs, spec)
+        print(frame if args.once else "\x1b[2J\x1b[H" + frame, flush=True)
+        if args.html is not None:
+            import pathlib
+
+            html = obs_module.render_html(aggregator, spec)
+            pathlib.Path(args.html).write_text(html)
+            print(f"\nwrote {args.html}")
+        if spec is not None:
+            verdicts = obs_module.evaluate_live(spec, aggregator)
+            if any(not verdict.ok for verdict in verdicts):
+                return 1
+    finally:
+        obs_module.disable()
+    return 0
 
 
 def cmd_bench_report(args: argparse.Namespace) -> int:
@@ -575,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override one case parameter (requires a single --cases entry; "
         "VALUE is parsed as JSON, repeatable)",
     )
+    _add_profile_flags(bench_run)
     bench_run.set_defaults(handler=cmd_bench_run)
 
     bench_list = bench_commands.add_parser("list", help="list registered cases")
@@ -602,6 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate only the exact-count series (bytes, joules) and ignore "
         "hardware-noisy wall time — the blocking CI mode",
     )
+    bench_compare.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="additionally evaluate the candidate against this SLO spec "
+        "and fail on any violation",
+    )
     bench_compare.set_defaults(handler=cmd_bench_compare)
 
     bench_report = bench_commands.add_parser(
@@ -613,6 +800,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the per-stage p50/p95/p99 latency table",
     )
     bench_report.set_defaults(handler=cmd_bench_report)
+
+    slo = commands.add_parser(
+        "slo", help="declarative SLOs over bench artifacts (exit 1 on burn)"
+    )
+    slo_commands = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_commands.add_parser(
+        "check", help="evaluate a spec against one BENCH_*.json artifact"
+    )
+    slo_check.add_argument(
+        "--spec", default="slo/bees_slo.json", metavar="PATH",
+        help="SLO spec file (default: slo/bees_slo.json)",
+    )
+    slo_check.add_argument(
+        "--artifact", required=True, metavar="PATH",
+        help="the BENCH_*.json artifact to judge",
+    )
+    slo_check.add_argument(
+        "--format", choices=["console", "json"], default="console",
+        help="verdict output format (default: console)",
+    )
+    slo_check.set_defaults(handler=cmd_slo_check)
+
+    top = commands.add_parser(
+        "top", help="live fleet dashboard (runs a fleet under sampling)"
+    )
+    top.add_argument("--devices", type=int, default=4)
+    top.add_argument("--shards", type=int, default=4)
+    top.add_argument("--rounds", type=int, default=6)
+    top.add_argument("--batch-size", type=int, default=8)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--scheme", default="bees")
+    top.add_argument(
+        "--mode", choices=["sequential", "concurrent"], default="concurrent"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="sampling / redraw cadence (default 1.0 s)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single final frame instead of redrawing live "
+        "(the CI smoke mode)",
+    )
+    top.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="also write a self-contained HTML snapshot report to PATH",
+    )
+    top.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="SLO spec whose live objectives the dashboard evaluates "
+        "(exit 1 if any burn-rate alert fires)",
+    )
+    top.set_defaults(handler=cmd_top)
 
     lint = commands.add_parser(
         "lint", help="run the beeslint static-analysis rules (exit 1 on findings)"

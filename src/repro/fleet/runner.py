@@ -20,7 +20,12 @@ Both execution modes drive the *same* round-barrier protocol
 
 Instrumentation: the run opens a ``fleet.run`` span with one
 ``fleet.round`` child per round and one ``fleet.device`` grandchild per
-device job (attached across threads via ``parent_span_id``);
+device job.  In concurrent mode the round thread captures its
+:class:`~repro.obs.tracer.TraceContext` and each pool job
+:meth:`~repro.obs.tracer.Tracer.attach`\\ es it, so every span the job
+opens — ``fleet.device`` and the whole BEES pipeline underneath —
+lands in one connected trace tree (``tests/obs/test_propagation.py``
+pins this);
 ``bees_fleet_rounds_total``, ``bees_fleet_queue_depth``, and the
 per-shard contention/occupancy series cover the metrics side.
 """
@@ -165,7 +170,7 @@ class FleetRunner:
                     "kernel_cache_misses",
                     cache_stats["misses"] - cache_stats_start["misses"],
                 )
-        wall_seconds = time.perf_counter() - t0
+        wall_seconds = time.perf_counter() - t0  # beeslint: disable=raw-timing (FleetResult wall clock, reported not recorded)
         return FleetResult(
             mode=self.mode,
             scheme=self.scheme,
@@ -210,20 +215,25 @@ class FleetRunner:
             proxies = {number: StagedServer(server) for number in active}
             if obs.enabled:
                 obs.fleet_queue_depth.set(len(active))
-            parent_id = getattr(round_span, "span_id", None)
+            # Explicit cross-thread propagation: capture the round span
+            # here (the coordinator owns it) and attach it inside each
+            # job, so every span a device opens — fleet.device and the
+            # whole pipeline beneath it — parents into one trace tree
+            # even when the job runs on a pool thread.
+            round_context = obs.capture_context()
 
             def job(number: int) -> BatchReport:
-                with obs.span(
-                    "fleet.device",
-                    parent_span_id=parent_id,
-                    device=devices[number].name,
-                    round=round_no,
-                ) as span:
-                    report = self._schemes[number].process_batch(
-                        devices[number], proxies[number], batches[number]
-                    )
-                    span.set_attribute("n_uploaded", report.n_uploaded)
-                    span.set_attribute("halted", report.halted)
+                with obs.attach(round_context):
+                    with obs.span(
+                        "fleet.device",
+                        device=devices[number].name,
+                        round=round_no,
+                    ) as span:
+                        report = self._schemes[number].process_batch(
+                            devices[number], proxies[number], batches[number]
+                        )
+                        span.set_attribute("n_uploaded", report.n_uploaded)
+                        span.set_attribute("halted", report.halted)
                 if obs.enabled:
                     obs.fleet_queue_depth.dec()
                 return report

@@ -111,6 +111,18 @@ class ShardedFeatureIndex:
         """Entries per shard, in shard order."""
         return [len(shard) for shard in self._shards]
 
+    def shard_skew(self) -> float:
+        """Occupancy skew: max shard size over the mean (1.0 = even).
+
+        The ``repro top`` dashboard and the fleet telemetry tests use
+        this to spot routing hot-spots; an empty index has no skew.
+        """
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        return max(sizes) / (total / len(sizes))
+
     # -- mutation ------------------------------------------------------------
 
     def add(self, features: FeatureSet) -> None:
@@ -210,15 +222,22 @@ class ShardedFeatureIndex:
         nonempty = [i for i, features in enumerate(feature_sets) if len(features)]
         if not nonempty:
             return results
-        packed = [
-            self._shards[0].packed_descriptors(feature_sets[i]) for i in nonempty
-        ]
-        batched_keys = self._shards[0].hash_keys(np.concatenate(packed, axis=0))
-        offsets = np.cumsum([0] + [rows.shape[0] for rows in packed])
-        for position, i in enumerate(nonempty):
-            keys = batched_keys[offsets[position] : offsets[position + 1]]
-            votes = self._merged_votes_from_keys(keys)
-            results[i] = self._query_from_votes(feature_sets[i], votes)
+        with get_obs().span(
+            "index.query_batch",
+            n_queries=len(nonempty),
+            n_shards=self.n_shards,
+            n_entries=len(self),
+        ):
+            packed = [
+                self._shards[0].packed_descriptors(feature_sets[i])
+                for i in nonempty
+            ]
+            batched_keys = self._shards[0].hash_keys(np.concatenate(packed, axis=0))
+            offsets = np.cumsum([0] + [rows.shape[0] for rows in packed])
+            for position, i in enumerate(nonempty):
+                keys = batched_keys[offsets[position] : offsets[position + 1]]
+                votes = self._merged_votes_from_keys(keys)
+                results[i] = self._query_from_votes(feature_sets[i], votes)
         return results
 
     # -- introspection -------------------------------------------------------

@@ -10,12 +10,21 @@ every layer of the reproduction a shared tracing and metrics substrate:
 * :mod:`repro.obs.exporters` — JSONL span logs, Prometheus text
   exposition, console tables;
 * :mod:`repro.obs.runtime` — the process-wide context wired into the
-  client pipeline, server index, uplink, DTN, and every baseline.
+  client pipeline, server index, uplink, DTN, and every baseline;
+* :mod:`repro.obs.profiling` — a sampling profiler that attributes
+  wall time to BEES stage spans and emits folded stacks;
+* :mod:`repro.obs.live` — ring-buffer time series derived from the
+  registry (rates, windowed quantiles, per-device span feeds);
+* :mod:`repro.obs.slo` — declarative SLO specs with artifact checks
+  and multi-window burn-rate evaluation;
+* :mod:`repro.obs.dashboard` — the ``repro top`` terminal frames and
+  the self-contained HTML snapshot report.
 
 Disabled by default: :func:`get_obs` returns a context whose spans are
 a shared no-op and whose hot-path guards are a single attribute check.
 """
 
+from .dashboard import render_frame, render_html
 from .exporters import (
     console_summary,
     generate_latest,
@@ -26,14 +35,18 @@ from .exporters import (
     write_jsonl,
     write_prometheus,
 )
+from .live import LiveSampler, RingBuffer, StreamingAggregator, series_key
 from .metrics import (
     DEFAULT_STAGE_BUCKETS,
     MAX_LABEL_SETS,
+    CardinalityWarning,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
+from .profiling import ProfileStats, SamplingProfiler, parse_folded
 from .runtime import (
     PIPELINE_STAGES,
     Observability,
@@ -41,28 +54,63 @@ from .runtime import (
     disable,
     get_obs,
 )
-from .tracer import NULL_SPAN, Span, Tracer
+from .slo import (
+    BurnWindow,
+    Slo,
+    SloResult,
+    SloSpec,
+    burn_rate,
+    evaluate_artifact,
+    evaluate_live,
+    format_results,
+    load_spec,
+    parse_spec,
+)
+from .tracer import EMPTY_CONTEXT, NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
+    "EMPTY_CONTEXT",
     "NULL_SPAN",
     "DEFAULT_STAGE_BUCKETS",
     "MAX_LABEL_SETS",
     "PIPELINE_STAGES",
+    "BurnWindow",
+    "CardinalityWarning",
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveSampler",
     "MetricsRegistry",
     "Observability",
+    "ProfileStats",
+    "RingBuffer",
+    "SamplingProfiler",
+    "Slo",
+    "SloResult",
+    "SloSpec",
     "Span",
+    "StreamingAggregator",
+    "TraceContext",
     "Tracer",
+    "bucket_quantile",
+    "burn_rate",
     "configure",
     "console_summary",
     "disable",
+    "evaluate_artifact",
+    "evaluate_live",
+    "format_results",
     "generate_latest",
     "get_obs",
+    "load_spec",
+    "parse_folded",
     "parse_prometheus",
+    "parse_spec",
     "read_jsonl",
+    "render_frame",
+    "render_html",
     "render_metrics_file",
+    "series_key",
     "spans_to_jsonl",
     "write_jsonl",
     "write_prometheus",

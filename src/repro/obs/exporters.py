@@ -39,9 +39,14 @@ def spans_to_jsonl(spans: "list[Span]") -> str:
 
 
 def write_jsonl(tracer: Tracer, path) -> int:
-    """Write the tracer's finished spans to *path*; returns span count."""
-    pathlib.Path(path).write_text(spans_to_jsonl(tracer.finished))
-    return len(tracer.finished)
+    """Write the tracer's finished spans to *path*; returns span count.
+
+    Exports from a locked snapshot, so worker threads finishing spans
+    mid-write can never tear a line.
+    """
+    spans = tracer.snapshot_finished()
+    pathlib.Path(path).write_text(spans_to_jsonl(spans))
+    return len(spans)
 
 
 def read_jsonl(path) -> "list[dict]":
@@ -79,20 +84,32 @@ def _format_value(value: float) -> str:
 
 
 def generate_latest(registry: MetricsRegistry) -> str:
-    """Render every metric in the Prometheus text format."""
+    """Render every metric in the Prometheus text format.
+
+    Each metric renders from the single locked snapshot
+    :meth:`~repro.obs.metrics.Metric.labeled_values` takes, so a series
+    written concurrently never shows a ``_count`` that disagrees with
+    its own buckets.
+    """
     lines = []
     for metric in registry:
         lines.append(f"# HELP {metric.name} {metric.help_text}")
         lines.append(f"# TYPE {metric.name} {metric.type_name}")
         if isinstance(metric, Histogram):
-            for labels, _series in metric.labeled_values():
-                for bound, cumulative in metric.cumulative_buckets(**labels):
+            for labels, series in metric.labeled_values():
+                running = 0
+                for bound, count in zip(metric.buckets, series.bucket_counts):
+                    running += count
                     le = {"le": _format_value(bound)}
                     lines.append(
                         f"{metric.name}_bucket{_format_labels({**labels, **le})} "
-                        f"{cumulative}"
+                        f"{running}"
                     )
-                series = metric.value(**labels)
+                inf = {"le": "+Inf"}
+                lines.append(
+                    f"{metric.name}_bucket{_format_labels({**labels, **inf})} "
+                    f"{series.count}"
+                )
                 lines.append(
                     f"{metric.name}_sum{_format_labels(labels)} "
                     f"{_format_value(series.sum)}"

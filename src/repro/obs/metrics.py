@@ -24,13 +24,21 @@ from __future__ import annotations
 
 import math
 import threading
+import warnings
 
 from ..errors import ObservabilityError
 
 #: Upper bound on distinct label-value sets per metric.  Unbounded label
 #: values (image ids!) silently turn a metric into a memory leak; the
-#: cap converts that mistake into a loud error.
+#: cap keeps memory bounded at fleet scale: updates to *new* label sets
+#: beyond it are dropped (and counted on ``Metric.dropped_updates``)
+#: with one loud :class:`CardinalityWarning` per metric, while existing
+#: series keep recording normally.
 MAX_LABEL_SETS = 1024
+
+
+class CardinalityWarning(UserWarning):
+    """A metric hit its label-cardinality cap and started dropping."""
 
 #: Default buckets for pipeline-stage durations (simulated seconds).
 DEFAULT_STAGE_BUCKETS = (
@@ -43,39 +51,81 @@ class Metric:
 
     type_name = "untyped"
 
-    def __init__(self, name: str, help_text: str, labelnames: "tuple[str, ...]" = ()):
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "tuple[str, ...]" = (),
+        max_label_sets: int = MAX_LABEL_SETS,
+    ):
         if not name or not name.replace("_", "").replace(":", "").isalnum():
             raise ObservabilityError(f"invalid metric name: {name!r}")
         self.name = name
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
+        self.max_label_sets = int(max_label_sets)
+        #: Updates dropped by the cardinality guard (diagnostics).
+        self.dropped_updates = 0
+        self._warned_cardinality = False
         self._series: dict = {}
         self._lock = threading.Lock()
 
-    def _key(self, labels: dict) -> tuple:
+    def _validate(self, labels: dict) -> tuple:
         if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
             raise ObservabilityError(
                 f"{self.name}: expected labels {self.labelnames}, "
                 f"got {tuple(sorted(labels))}"
             )
-        key = tuple(str(labels[name]) for name in self.labelnames)
-        if key not in self._series and len(self._series) >= MAX_LABEL_SETS:
-            raise ObservabilityError(
-                f"{self.name}: label cardinality exceeds {MAX_LABEL_SETS} series "
-                f"(offending labels: {dict(labels)!r})"
-            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _key(self, labels: dict) -> "tuple | None":
+        """The series key for *labels*, or ``None`` when the update must
+        be dropped: the key is new and the metric already holds
+        ``max_label_sets`` series (the cardinality guard).
+
+        Callers on the write path hold ``self._lock``; the first drop
+        per metric warns loudly, every drop counts on
+        ``dropped_updates``, and existing series are never affected.
+        """
+        key = self._validate(labels)
+        if key not in self._series and len(self._series) >= self.max_label_sets:
+            self.dropped_updates += 1
+            if not self._warned_cardinality:
+                self._warned_cardinality = True
+                warnings.warn(
+                    f"{self.name}: label cardinality reached "
+                    f"{self.max_label_sets} series; dropping updates to new "
+                    f"label sets (first offender: {dict(labels)!r}) — use "
+                    "bounded label values (scheme, stage, shard), never "
+                    "per-image or unbounded per-device ids",
+                    CardinalityWarning,
+                    stacklevel=4,
+                )
+            return None
         return key
 
     def labeled_values(self) -> "list[tuple[dict, object]]":
-        """``(labels, value)`` per series, in insertion order."""
-        return [
-            (dict(zip(self.labelnames, key)), value)
-            for key, value in self._series.items()
-        ]
+        """``(labels, value)`` per series, in insertion order.
+
+        Taken as one locked snapshot, so exporters iterating the result
+        never race concurrent writers; histogram values are copies (see
+        :meth:`HistogramSeries.copy`) for the same reason.
+        """
+        with self._lock:
+            items = [
+                (key, value.copy() if isinstance(value, HistogramSeries) else value)
+                for key, value in self._series.items()
+            ]
+        return [(dict(zip(self.labelnames, key)), value) for key, value in items]
 
     def value(self, **labels: object):
         """The current value of one series (0 when never touched)."""
-        return self._series.get(self._key(labels), self._zero())
+        key = self._validate(labels)
+        with self._lock:
+            value = self._series.get(key)
+            if isinstance(value, HistogramSeries):
+                return value.copy()
+        return value if value is not None else self._zero()
 
     def _zero(self):
         return 0.0
@@ -83,6 +133,8 @@ class Metric:
     def clear(self) -> None:
         with self._lock:
             self._series.clear()
+            self.dropped_updates = 0
+            self._warned_cardinality = False
 
 
 class Counter(Metric):
@@ -97,6 +149,8 @@ class Counter(Metric):
             )
         with self._lock:
             key = self._key(labels)
+            if key is None:
+                return
             self._series[key] = self._series.get(key, 0.0) + amount
 
 
@@ -107,11 +161,16 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels: object) -> None:
         with self._lock:
-            self._series[self._key(labels)] = float(value)
+            key = self._key(labels)
+            if key is None:
+                return
+            self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         with self._lock:
             key = self._key(labels)
+            if key is None:
+                return
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
@@ -128,6 +187,45 @@ class HistogramSeries:
         self.sum = 0.0
         self.count = 0
 
+    def copy(self) -> "HistogramSeries":
+        """An independent snapshot (readers never share writer state)."""
+        clone = HistogramSeries(len(self.bucket_counts))
+        clone.bucket_counts = list(self.bucket_counts)
+        clone.sum = self.sum
+        clone.count = self.count
+        return clone
+
+
+def bucket_quantile(
+    buckets: "tuple[float, ...]",
+    bucket_counts: "list[int]",
+    count: int,
+    q: float,
+) -> float:
+    """Estimate the *q*-quantile of one bucketed distribution.
+
+    Prometheus ``histogram_quantile`` semantics: linear interpolation
+    within the bucket that crosses rank ``q * count`` (assuming
+    observations spread uniformly inside a bucket), the first bucket
+    interpolated from zero, and anything landing in the implicit +Inf
+    bucket clamped to the largest finite bound.  Returns ``nan`` for an
+    empty distribution.  Shared by :meth:`Histogram.quantile` and the
+    windowed delta-histogram series in :mod:`repro.obs.live`.
+    """
+    if count == 0:
+        return math.nan
+    rank = q * count
+    running = 0
+    for index, (bound, bucket_count) in enumerate(zip(buckets, bucket_counts)):
+        running += bucket_count
+        if bucket_count and running >= rank:
+            lower = 0.0 if index == 0 else buckets[index - 1]
+            fraction = (rank - (running - bucket_count)) / bucket_count
+            return lower + (bound - lower) * max(0.0, min(1.0, fraction))
+    # Rank falls in the +Inf bucket: the best defensible answer is
+    # the largest finite bound (exactly what Prometheus returns).
+    return buckets[-1]
+
 
 class Histogram(Metric):
     """Distribution over fixed buckets (Prometheus ``le`` semantics)."""
@@ -140,8 +238,9 @@ class Histogram(Metric):
         help_text: str,
         labelnames: "tuple[str, ...]" = (),
         buckets: "tuple[float, ...]" = DEFAULT_STAGE_BUCKETS,
+        max_label_sets: int = MAX_LABEL_SETS,
     ):
-        super().__init__(name, help_text, labelnames)
+        super().__init__(name, help_text, labelnames, max_label_sets)
         buckets = tuple(float(b) for b in buckets)
         if not buckets:
             raise ObservabilityError(f"{name}: a histogram needs buckets")
@@ -159,6 +258,8 @@ class Histogram(Metric):
     def observe(self, value: float, **labels: object) -> None:
         with self._lock:
             key = self._key(labels)
+            if key is None:
+                return
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = HistogramSeries(len(self.buckets))
@@ -193,19 +294,7 @@ class Histogram(Metric):
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"{self.name}: quantile must be in [0, 1], got {q}")
         series = self.value(**labels)
-        if series.count == 0:
-            return math.nan
-        rank = q * series.count
-        running = 0
-        for index, (bound, count) in enumerate(zip(self.buckets, series.bucket_counts)):
-            running += count
-            if count and running >= rank:
-                lower = 0.0 if index == 0 else self.buckets[index - 1]
-                fraction = (rank - (running - count)) / count
-                return lower + (bound - lower) * max(0.0, min(1.0, fraction))
-        # Rank falls in the +Inf bucket: the best defensible answer is
-        # the largest finite bound (exactly what Prometheus returns).
-        return self.buckets[-1]
+        return bucket_quantile(self.buckets, series.bucket_counts, series.count, q)
 
     def summary(self, quantiles: "tuple[float, ...]" = (0.5, 0.95, 0.99), **labels: object) -> dict:
         """``{count, sum, mean, p50, p95, p99}`` for one series.

@@ -44,7 +44,7 @@ from typing import TYPE_CHECKING
 
 from .exporters import console_summary, write_jsonl, write_prometheus
 from .metrics import DEFAULT_STAGE_BUCKETS, MetricsRegistry
-from .tracer import NULL_SPAN, Tracer
+from .tracer import EMPTY_CONTEXT, NULL_SPAN, TraceContext, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines.base import BatchReport
@@ -187,6 +187,22 @@ class Observability:
         if not self.enabled:
             return NULL_SPAN
         return self.tracer.span(name, parent_span_id=parent_span_id, **attributes)
+
+    def capture_context(self) -> TraceContext:
+        """The calling thread's trace context (for worker handoff)."""
+        if not self.enabled:
+            return EMPTY_CONTEXT
+        return self.tracer.current_context()
+
+    def attach(self, context: TraceContext):
+        """Seat a captured context under this thread's spans.
+
+        The worker-thread half of cross-thread propagation: everything
+        opened inside the block parents into the captured trace.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.attach(context)
 
     # -- recording helpers ---------------------------------------------------
 

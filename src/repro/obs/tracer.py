@@ -15,12 +15,34 @@ manager, so instrumentation left in hot paths costs a dict build and an
 attribute check — nothing else.
 
 The tracer is **thread-safe**: each thread nests spans on its own
-thread-local active stack (so concurrent fleet devices cannot corrupt
-each other's parentage), while span-id allocation and the ``finished``
-list are lock-protected.  A span opened in a worker thread has no
-parent by default; pass ``parent_span_id`` to attach it under a span
-owned by another thread (the fleet runner hangs per-device spans under
-the round span this way).
+active stack (so concurrent fleet devices cannot corrupt each other's
+parentage), while span-id allocation and the ``finished`` list are
+lock-protected.
+
+**Cross-thread propagation.**  A span opened in a worker thread has no
+parent by default — worker-pool threads know nothing about the span the
+coordinating thread had open when it submitted the job.  The supported
+fix is explicit context capture::
+
+    context = tracer.current_context()        # on the coordinator
+
+    def job():                                # on a pool thread
+        with tracer.attach(context):
+            with tracer.span("fleet.device"):  # child of the captured span
+                ...
+
+:meth:`Tracer.attach` seats the captured span at the bottom of the
+worker thread's active stack for the duration of the block, so *every*
+span the job opens — the explicit ``fleet.device`` one and anything the
+pipeline opens transitively — lands in one connected trace tree.  The
+older per-span ``parent_span_id`` override is still honoured for
+single-span grafts.
+
+The per-thread active stacks are also registered in a shared,
+lock-guarded ``thread ident -> stack`` table so the sampling profiler
+(:mod:`repro.obs.profiling`) can ask "what span is thread *t* inside
+right now?" from its own sampling thread (:meth:`Tracer.active_path_of`
+/ :meth:`Tracer.active_paths`).
 """
 
 from __future__ import annotations
@@ -66,6 +88,29 @@ class Span:
         return record
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """A capture of "the span this thread is inside right now".
+
+    Produced by :meth:`Tracer.current_context` on the thread that owns
+    the span, handed (it is immutable) to worker threads, and activated
+    there with :meth:`Tracer.attach`.  An empty context (``span is
+    None``) attaches as a no-op, so capture sites never need to guard
+    against "no span open".
+    """
+
+    span: "Span | None" = None
+
+    @property
+    def span_id(self) -> "int | None":
+        """The captured span's id, or ``None`` for an empty context."""
+        return self.span.span_id if self.span is not None else None
+
+
+#: The shared empty context: attaching it is a no-op.
+EMPTY_CONTEXT = TraceContext(span=None)
+
+
 class _NullSpan:
     """The reusable no-op span: accepts everything, records nothing.
 
@@ -104,7 +149,7 @@ class _SpanContext:
 
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
         span = self._span
-        span.duration = time.perf_counter() - span._t0
+        span.duration = time.perf_counter() - span._t0  # beeslint: disable=raw-timing (the tracer IS the obs helper)
         if exc_type is not None:
             span.error = f"{exc_type.__name__}: {exc_value}"
         stack = self._tracer._stack
@@ -115,6 +160,39 @@ class _SpanContext:
                 break
         with self._tracer._lock:
             self._tracer.finished.append(span)
+        return False
+
+
+class _AttachedContext:
+    """Context manager seating a captured span on this thread's stack.
+
+    The foreign span goes *underneath* whatever this thread opens next,
+    so every span the block creates parents correctly into the captured
+    trace.  The span itself stays owned (and will be closed) by the
+    capturing thread — attach never closes it.
+    """
+
+    __slots__ = ("_tracer", "_context")
+
+    def __init__(self, tracer: "Tracer", context: TraceContext) -> None:
+        self._tracer = tracer
+        self._context = context
+
+    def __enter__(self) -> TraceContext:
+        if self._context.span is not None:
+            self._tracer._stack.append(self._context.span)
+        return self._context
+
+    def __exit__(self, *exc_info: object) -> bool:
+        span = self._context.span
+        if span is not None:
+            stack = self._tracer._stack
+            # Remove the seated span (search from the top: inner spans
+            # that leaked on an exception path sit above it).
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is span:
+                    del stack[index]
+                    break
         return False
 
 
@@ -136,13 +214,24 @@ class Tracer:
         self.enabled = enabled
         self.finished: "list[Span]" = []
         self._stacks = _ActiveStacks()
+        #: thread ident -> that thread's active stack (the same list
+        #: object the thread-local holds).  Read by the profiler from
+        #: its sampling thread; written under ``_lock``.
+        self._stacks_by_ident: "dict[int, list[Span]]" = {}
         self._next_id = 0
         self._lock = threading.Lock()
 
     @property
     def _stack(self) -> "list[Span]":
         """The calling thread's active-span stack."""
-        return self._stacks.spans
+        stack = self._stacks.spans
+        ident = threading.get_ident()
+        if self._stacks_by_ident.get(ident) is not stack:
+            # First touch from this thread (or the ident was recycled
+            # from a dead thread): publish the stack for the profiler.
+            with self._lock:
+                self._stacks_by_ident[ident] = stack
+        return stack
 
     def span(
         self,
@@ -152,9 +241,10 @@ class Tracer:
     ):
         """Open a span nested under the calling thread's active one.
 
-        ``parent_span_id`` overrides the implicit parent — the hook a
-        concurrent driver uses to attach worker-thread spans under a
-        span opened by the coordinating thread.
+        ``parent_span_id`` overrides the implicit parent for one span —
+        for whole jobs crossing threads, prefer capturing a
+        :class:`TraceContext` and :meth:`attach`\\ ing it in the worker,
+        which parents everything the job opens, not just the first span.
         """
         if not self.enabled:
             return NULL_SPAN
@@ -170,11 +260,60 @@ class Tracer:
             name=name,
             span_id=span_id,
             parent_id=parent_id,
-            start=time.time(),
+            start=time.time(),  # beeslint: disable=raw-timing (span epoch stamp, not a recorded delta)
             attributes=dict(attributes),
-            _t0=time.perf_counter(),
+            _t0=time.perf_counter(),  # beeslint: disable=raw-timing (tracer internals are the obs helper)
         )
         return _SpanContext(self, span)
+
+    # -- cross-thread propagation -------------------------------------------
+
+    def current_context(self) -> TraceContext:
+        """Capture the calling thread's innermost open span as a context.
+
+        Returns :data:`EMPTY_CONTEXT` when no span is open (or the
+        tracer is disabled), so the result is always safe to attach.
+        """
+        if not self.enabled:
+            return EMPTY_CONTEXT
+        stack = self._stack
+        return TraceContext(span=stack[-1]) if stack else EMPTY_CONTEXT
+
+    def attach(self, context: TraceContext):
+        """Seat *context* under the calling thread's spans for a block.
+
+        The worker-thread half of cross-thread propagation; see the
+        module docstring for the capture/attach protocol.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _AttachedContext(self, context)
+
+    # -- sampling surface (read by the profiler thread) ----------------------
+
+    def active_path_of(self, ident: int) -> "tuple[str, ...]":
+        """Span names enclosing thread *ident*, outermost first.
+
+        Sampled from a *different* thread, so the read races benignly
+        with the owner's push/pop: the snapshot is taken in one slice
+        (atomic under the GIL) and may be one span stale — fine for a
+        statistical profiler.
+        """
+        stack = self._stacks_by_ident.get(ident)
+        if not stack:
+            return ()
+        return tuple(span.name for span in stack[:])
+
+    def active_paths(self) -> "dict[int, tuple[str, ...]]":
+        """``thread ident -> active span-name path`` for live threads."""
+        with self._lock:
+            idents = list(self._stacks_by_ident)
+        paths = {}
+        for ident in idents:
+            path = self.active_path_of(ident)
+            if path:
+                paths[ident] = path
+        return paths
 
     @property
     def active(self) -> "Span | None":
@@ -188,6 +327,11 @@ class Tracer:
             self.finished.clear()
             self._next_id = 0
         self._stack.clear()
+
+    def snapshot_finished(self) -> "list[Span]":
+        """A consistent copy of the finished list (for exporters)."""
+        with self._lock:
+            return list(self.finished)
 
     def __len__(self) -> int:
         return len(self.finished)

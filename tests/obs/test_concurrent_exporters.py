@@ -1,0 +1,121 @@
+"""Exporters under concurrent writers: snapshots must stay consistent.
+
+The regression this guards: ``generate_latest`` used to read a
+histogram's buckets, sum, and count in separate passes, so a writer
+landing between passes produced exposition text whose ``+Inf`` bucket,
+``_count``, and ``_sum`` disagreed.  Both exporters now render from one
+locked snapshot; sixteen hammering threads should never be observable.
+"""
+
+import json
+import threading
+
+from repro.obs import (
+    configure,
+    generate_latest,
+    parse_prometheus,
+    write_jsonl,
+)
+
+N_THREADS = 16
+N_WRITES = 200
+
+
+def _hammer(obs, barrier, thread_index):
+    barrier.wait()
+    for i in range(N_WRITES):
+        obs.sent_bytes.inc(1, scheme=f"scheme-{thread_index % 4}")
+        obs.stage_seconds.observe(
+            0.01 * (i % 7), scheme="BEES", stage=f"stage-{thread_index % 3}"
+        )
+        obs.fleet_queue_depth.set(float(i))
+        with obs.tracer.span("bees.batch", writer=thread_index):
+            pass
+
+
+def _run_writers(obs, also=None):
+    barrier = threading.Barrier(N_THREADS + (1 if also else 0))
+    threads = [
+        threading.Thread(target=_hammer, args=(obs, barrier, index), daemon=True)
+        for index in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    result = also(barrier) if also else None
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+    return result
+
+
+class TestPrometheusUnderConcurrency:
+    def test_final_exposition_is_complete_and_parses(self):
+        obs = configure()
+        _run_writers(obs)
+        text = generate_latest(obs.registry)
+        samples = parse_prometheus(text)
+        total = sum(
+            sample["value"]
+            for sample in samples
+            if sample["name"] == "bees_bytes_sent_total"
+        )
+        assert total == N_THREADS * N_WRITES
+
+    def test_histogram_series_are_internally_consistent(self):
+        obs = configure()
+
+        def read_during(barrier):
+            barrier.wait()
+            texts = []
+            for _ in range(20):
+                texts.append(generate_latest(obs.registry))
+            return texts
+
+        texts = _run_writers(obs, also=read_during)
+        # Every mid-flight snapshot must satisfy the histogram
+        # invariants: +Inf bucket == _count, buckets non-decreasing.
+        for text in texts:
+            buckets = {}
+            counts = {}
+            for sample in parse_prometheus(text):
+                if sample["name"] == "bees_stage_seconds_bucket":
+                    key = tuple(
+                        sorted(
+                            (k, v)
+                            for k, v in sample["labels"].items()
+                            if k != "le"
+                        )
+                    )
+                    buckets.setdefault(key, []).append(
+                        (float(sample["labels"]["le"]), sample["value"])
+                    )
+                elif sample["name"] == "bees_stage_seconds_count":
+                    key = tuple(sorted(sample["labels"].items()))
+                    counts[key] = sample["value"]
+            for key, series in buckets.items():
+                series.sort()
+                values = [value for _, value in series]
+                assert values == sorted(values), "buckets must be cumulative"
+                assert values[-1] == counts[key], "+Inf bucket == count"
+
+    def test_jsonl_export_has_no_torn_lines(self, tmp_path):
+        obs = configure()
+
+        def export_during(barrier):
+            barrier.wait()
+            paths = []
+            for index in range(10):
+                path = tmp_path / f"spans-{index}.jsonl"
+                write_jsonl(obs.tracer, path)
+                paths.append(path)
+            return paths
+
+        paths = _run_writers(obs, also=export_during)
+        final = tmp_path / "final.jsonl"
+        n_final = write_jsonl(obs.tracer, final)
+        assert n_final == N_THREADS * N_WRITES
+        for path in paths + [final]:
+            for line in path.read_text().splitlines():
+                record = json.loads(line)  # a torn line would throw
+                assert record["type"] == "span"
+                assert record["name"] == "bees.batch"

@@ -1,16 +1,19 @@
 """Tests for counters, gauges, histograms, and the registry."""
 
 import math
+import warnings
 
 import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import (
     MAX_LABEL_SETS,
+    CardinalityWarning,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
 
 
@@ -58,19 +61,75 @@ class TestLabelValidation:
         with pytest.raises(ObservabilityError):
             counter.inc(1, scheme="BEES")
 
-    def test_cardinality_cap_enforced(self):
-        counter = Counter("c_total", "help", ("image_id",))
-        for index in range(MAX_LABEL_SETS):
-            counter.inc(1, image_id=f"img-{index}")
-        with pytest.raises(ObservabilityError):
-            counter.inc(1, image_id="one-too-many")
-        # existing series keep working at the cap
-        counter.inc(1, image_id="img-0")
-        assert counter.value(image_id="img-0") == 2
-
     def test_invalid_metric_name_rejected(self):
         with pytest.raises(ObservabilityError):
             Counter("bad name!", "help")
+
+
+class TestCardinalityGuard:
+    """Past the cap, writes to *new* label sets warn once and drop."""
+
+    def _saturated(self, cap: int = 4) -> Counter:
+        counter = Counter("c_total", "help", ("image_id",), max_label_sets=cap)
+        for index in range(cap):
+            counter.inc(1, image_id=f"img-{index}")
+        return counter
+
+    def test_new_series_past_cap_is_dropped_with_warning(self):
+        counter = self._saturated()
+        with pytest.warns(CardinalityWarning, match="c_total"):
+            counter.inc(1, image_id="one-too-many")
+        assert counter.value(image_id="one-too-many") == 0.0
+        assert counter.dropped_updates == 1
+
+    def test_existing_series_keep_working_at_the_cap(self):
+        counter = self._saturated()
+        with pytest.warns(CardinalityWarning):
+            counter.inc(1, image_id="overflow")
+        counter.inc(1, image_id="img-0")
+        assert counter.value(image_id="img-0") == 2
+
+    def test_warns_once_but_counts_every_drop(self):
+        counter = self._saturated()
+        with pytest.warns(CardinalityWarning):
+            counter.inc(1, image_id="drop-0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            counter.inc(1, image_id="drop-1")
+            counter.inc(1, image_id="drop-0")
+        assert counter.dropped_updates == 3
+
+    def test_gauge_and_histogram_writers_drop_too(self):
+        gauge = Gauge("g", "help", ("k",), max_label_sets=1)
+        gauge.set(1.0, k="a")
+        with pytest.warns(CardinalityWarning):
+            gauge.set(9.0, k="b")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            gauge.inc(1.0, k="c")
+        assert gauge.value(k="b") == 0.0
+        assert gauge.dropped_updates == 2
+
+        histogram = Histogram(
+            "h", "help", ("k",), buckets=(1.0,), max_label_sets=1
+        )
+        histogram.observe(0.5, k="a")
+        with pytest.warns(CardinalityWarning):
+            histogram.observe(0.5, k="b")
+        assert histogram.value(k="b").count == 0
+        assert histogram.dropped_updates == 1
+
+    def test_default_cap_is_global_constant(self):
+        assert Counter("c_total", "help", ("k",)).max_label_sets == MAX_LABEL_SETS
+
+    def test_clear_resets_the_guard(self):
+        counter = self._saturated()
+        with pytest.warns(CardinalityWarning):
+            counter.inc(1, image_id="dropped")
+        counter.clear()
+        assert counter.dropped_updates == 0
+        counter.inc(1, image_id="fresh")  # below the cap again: accepted
+        assert counter.value(image_id="fresh") == 1
 
 
 class TestHistogramQuantile:
@@ -137,6 +196,37 @@ class TestHistogramQuantile:
     def test_summary_custom_quantiles(self):
         summary = self._loaded().summary(quantiles=(0.25,))
         assert set(summary) == {"count", "sum", "mean", "p25"}
+
+    def test_single_sample_every_quantile_lands_in_its_bucket(self):
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.5)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            value = histogram.quantile(q)
+            assert 1.0 < value <= 2.0, (q, value)
+
+    def test_all_equal_samples_stay_in_one_bucket(self):
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        low, mid, high = (histogram.quantile(q) for q in (0.01, 0.5, 0.99))
+        assert 1.0 < low <= 2.0
+        assert 1.0 < mid <= 2.0
+        assert 1.0 < high <= 2.0
+        assert low <= mid <= high
+
+
+class TestBucketQuantile:
+    """The module-level kernel shared with the live windowed series."""
+
+    def test_empty_is_nan(self):
+        assert math.isnan(bucket_quantile((1.0, 2.0), [0, 0], 0, 0.5))
+
+    def test_interpolates(self):
+        # 2 obs in (1, 2]: the median sits mid-bucket.
+        assert bucket_quantile((1.0, 2.0), [0, 2], 2, 0.5) == pytest.approx(1.5)
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        assert bucket_quantile((1.0, 2.0), [0, 0], 3, 0.99) == 2.0
 
 
 class TestHistogram:

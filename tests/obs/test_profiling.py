@@ -1,0 +1,194 @@
+"""Tests for the sampling profiler and its folded-stack output."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs import configure
+from repro.obs.profiling import (
+    GLOBAL_TRACER,
+    NO_SPAN,
+    ProfileStats,
+    SamplingProfiler,
+    parse_folded,
+)
+from repro.obs.tracer import Tracer
+
+
+class TestLifecycle:
+    def test_rate_must_be_sane(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(hz=-5)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(hz=5000)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(ObservabilityError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler().stop()
+
+    def test_context_manager_collects_samples(self):
+        with SamplingProfiler(hz=500) as profiler:
+            deadline = time.monotonic() + 0.5
+            while time.monotonic() < deadline:
+                if profiler.stats().n_samples:
+                    break
+                sum(range(1000))
+        stats = profiler.stats()
+        assert stats.n_samples >= 1
+        assert stats.wall_seconds > 0
+        assert not profiler.running
+
+    def test_effective_hz(self):
+        stats = ProfileStats(n_samples=20, n_ticks=10, wall_seconds=2.0, hz=97.0)
+        assert stats.effective_hz == pytest.approx(5.0)
+        zero = ProfileStats(n_samples=0, n_ticks=0, wall_seconds=0.0, hz=97.0)
+        assert zero.effective_hz == 0.0
+
+
+class TestSpanAttribution:
+    """sample_now() is the deterministic path: no timing involved."""
+
+    def _sample_other_thread(self, profiler, tracer, ready, release):
+        """Run a span on a helper thread and sample it from here."""
+
+        def work():
+            with tracer.span("bees.batch"):
+                with tracer.span("bees.afe"):
+                    ready.set()
+                    release.wait(timeout=5)
+
+        thread = threading.Thread(target=work, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=5)
+        profiler.sample_now()
+        release.set()
+        thread.join(timeout=5)
+
+    def test_sample_carries_span_path_prefix(self):
+        tracer = Tracer()
+        profiler = SamplingProfiler(tracer=tracer)
+        self._sample_other_thread(
+            profiler, tracer, threading.Event(), threading.Event()
+        )
+        paths = [
+            key for key in profiler.stack_counts()
+            if key[:2] == ("bees.batch", "bees.afe")
+        ]
+        assert paths, profiler.stack_counts()
+        # past the span prefix, every frame is filename.py:function
+        for key in paths:
+            assert all(":" in segment for segment in key[2:])
+
+    def test_global_tracer_sentinel_follows_reconfigure(self):
+        obs = configure()
+        profiler = SamplingProfiler(tracer=GLOBAL_TRACER)
+        self._sample_other_thread(
+            profiler, obs.tracer, threading.Event(), threading.Event()
+        )
+        spans = profiler.samples_by_span(prefix="bees.")
+        assert spans.get("bees.afe", 0) >= 1
+
+    def test_spanless_threads_fall_under_no_span(self):
+        profiler = SamplingProfiler(tracer=Tracer())
+        ready, release = threading.Event(), threading.Event()
+
+        def idle():
+            ready.set()
+            release.wait(timeout=5)
+
+        thread = threading.Thread(target=idle, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=5)
+        profiler.sample_now()
+        release.set()
+        thread.join(timeout=5)
+        by_span = profiler.samples_by_span()
+        assert by_span.get(NO_SPAN, 0) >= 1
+        assert set(by_span) == {NO_SPAN}
+
+    def test_samples_by_span_picks_innermost_matching(self):
+        profiler = SamplingProfiler()
+        profiler._counts[("fleet.run", "bees.batch", "bees.afe", "a.py:f")] = 3
+        profiler._counts[("fleet.run", "a.py:g")] = 2
+        assert profiler.samples_by_span(prefix="bees.") == {
+            "bees.afe": 3,
+            NO_SPAN: 2,
+        }
+        assert profiler.samples_by_span() == {"bees.afe": 3, "fleet.run": 2}
+
+    def test_reset_drops_samples(self):
+        profiler = SamplingProfiler()
+        profiler.sample_now()
+        profiler.reset()
+        assert profiler.stack_counts() == {}
+        assert profiler.stats().n_samples == 0
+
+
+class TestFoldedFormat:
+    def test_round_trips_through_parse(self, tmp_path):
+        profiler = SamplingProfiler()
+        profiler._counts[("bees.afe", "orb.py:extract")] = 7
+        profiler._counts[("(no-span)", "runner.py:loop")] = 2
+        path = tmp_path / "profile.folded"
+        assert profiler.write_folded(path) == 2
+        assert parse_folded(path.read_text()) == profiler.stack_counts()
+
+    def test_hottest_stack_leads(self):
+        profiler = SamplingProfiler()
+        profiler._counts[("cold", "a.py:f")] = 1
+        profiler._counts[("hot", "a.py:f")] = 9
+        first = profiler.folded().splitlines()[0]
+        assert first == "hot;a.py:f 9"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ObservabilityError):
+            parse_folded("stack;with;no;count notanumber\n")
+        with pytest.raises(ObservabilityError):
+            parse_folded("42\n")
+
+    def test_parse_merges_duplicate_stacks(self):
+        assert parse_folded("a;b 1\na;b 2\n") == {("a", "b"): 3}
+
+
+class TestFleetProfileArtifact:
+    """Acceptance: ``repro fleet run --profile`` covers the hot stages."""
+
+    def test_fleet_profile_samples_every_hot_stage(self, tmp_path, capsys):
+        path = tmp_path / "fleet.folded"
+        code = main(
+            [
+                "fleet", "run",
+                "--devices", "3",
+                "--rounds", "2",
+                "--mode", "concurrent",
+                "--profile", str(path),
+                "--profile-hz", "900",
+            ]
+        )
+        assert code == 0
+        counts = parse_folded(path.read_text())
+        by_stage = {}
+        for key, n in counts.items():
+            for segment in key:
+                if ":" in segment:
+                    break
+                if segment.startswith("bees."):
+                    by_stage[segment] = by_stage.get(segment, 0) + n
+        # The compute-heavy stages must each catch at least one sample.
+        for stage in ("bees.batch", "bees.afe"):
+            assert by_stage.get(stage, 0) >= 1, (stage, by_stage)
+        assert "wrote" in capsys.readouterr().out

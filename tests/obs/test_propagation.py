@@ -1,0 +1,113 @@
+"""Cross-thread trace propagation: the fleet's span tree must connect.
+
+Regression guard for the capture/attach protocol: before it, spans
+opened on pool threads in ``--mode concurrent`` had no parent, so a
+trace of a concurrent fleet run shattered into per-device fragments and
+"time per round" rollups silently dropped every device span.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet import FleetRunner
+from repro.obs import configure
+from repro.obs.tracer import EMPTY_CONTEXT, TraceContext, Tracer
+
+
+class TestCaptureAttach:
+    def test_capture_on_empty_stack_is_the_shared_empty_context(self):
+        tracer = Tracer()
+        assert tracer.current_context() is EMPTY_CONTEXT
+        # attaching it is a harmless no-op
+        with tracer.attach(EMPTY_CONTEXT):
+            with tracer.span("child"):
+                pass
+        assert tracer.finished[-1].parent_id is None
+
+    def test_attached_context_parents_worker_spans(self):
+        tracer = Tracer()
+        captured = {}
+
+        def worker(context: TraceContext):
+            with tracer.attach(context):
+                with tracer.span("worker.job"):
+                    with tracer.span("worker.inner"):
+                        pass
+
+        with tracer.span("coordinator") as parent:
+            thread = threading.Thread(
+                target=worker, args=(tracer.current_context(),)
+            )
+            thread.start()
+            thread.join(timeout=10)
+            captured["parent"] = parent
+
+        spans = {span.name: span for span in tracer.finished}
+        assert spans["worker.job"].parent_id == captured["parent"].span_id
+        assert spans["worker.inner"].parent_id == spans["worker.job"].span_id
+
+    def test_attach_does_not_close_the_foreign_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            context = tracer.current_context()
+            with tracer.attach(context):
+                pass
+            # still open on this thread after the attach block closed
+            assert tracer.active is context.span
+
+    def test_disabled_tracer_attach_is_null(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.current_context() is EMPTY_CONTEXT
+        with tracer.attach(EMPTY_CONTEXT):
+            pass  # NULL_SPAN path: nothing recorded
+        assert tracer.finished == []
+
+
+@pytest.mark.parametrize("mode", ["sequential", "concurrent"])
+class TestFleetSpanTree:
+    def test_span_tree_is_connected(self, mode):
+        obs = configure()
+        FleetRunner(
+            n_devices=3, n_rounds=2, batch_size=4, n_shards=2, mode=mode
+        ).run()
+        spans = obs.tracer.snapshot_finished()
+        by_id = {span.span_id: span for span in spans}
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        roots = [span for span in by_name["fleet.run"]]
+        assert len(roots) == 1
+        root = roots[0]
+
+        # every fleet.device span parents into a fleet.round span,
+        # every fleet.round into the fleet.run root
+        assert len(by_name["fleet.device"]) == 3 * 2
+        for device_span in by_name["fleet.device"]:
+            parent = by_id.get(device_span.parent_id)
+            assert parent is not None and parent.name == "fleet.round", (
+                mode, device_span.parent_id,
+            )
+        for round_span in by_name["fleet.round"]:
+            assert round_span.parent_id == root.span_id
+
+        # the pipeline spans opened inside the pool thread climb to the
+        # same root: the tree has exactly one connected component
+        orphans = []
+        for span in spans:
+            node = span
+            hops = 0
+            while node.parent_id is not None and hops < 100:
+                node = by_id.get(node.parent_id)
+                assert node is not None, f"dangling parent under {mode}"
+                hops += 1
+            if node.span_id != root.span_id:
+                orphans.append(span.name)
+        assert not orphans, (mode, sorted(set(orphans)))
+
+        # and the BEES pipeline actually ran inside device spans
+        assert "bees.batch" in by_name
+        for batch_span in by_name["bees.batch"]:
+            parent = by_id.get(batch_span.parent_id)
+            assert parent is not None and parent.name == "fleet.device"

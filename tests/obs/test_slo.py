@@ -1,0 +1,370 @@
+"""Tests for declarative SLOs: spec parsing, artifact + burn-rate checks."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs import configure
+from repro.obs.live import StreamingAggregator
+from repro.obs.slo import (
+    SPEC_VERSION,
+    BurnWindow,
+    Slo,
+    burn_rate,
+    evaluate_artifact,
+    evaluate_live,
+    format_results,
+    load_spec,
+    parse_spec,
+)
+
+COMMITTED_SPEC = "slo/bees_slo.json"
+COMMITTED_BASELINE = "benchmarks/baselines/BENCH_baseline_quick.json"
+
+
+def _spec(*slos: dict) -> dict:
+    return {"version": SPEC_VERSION, "slos": list(slos)}
+
+
+def _slo(**overrides: object) -> dict:
+    raw = {
+        "name": "delay-p99",
+        "indicator": {
+            "source": "stage_quantile",
+            "case": "fig11_delay",
+            "series": "BEES/image_upload",
+            "quantile": "p99",
+        },
+        "objective": {"max": 45.0},
+    }
+    raw.update(overrides)
+    return raw
+
+
+ARTIFACT = {
+    "cases": {
+        "fig11_delay": {
+            "wall_seconds": 2.5,
+            "stage_seconds": {
+                "BEES/image_upload": {"p50": 10.0, "p99": 30.0, "count": 16},
+            },
+            "bytes_sent": {"BEES": 100.0, "Direct Upload": 400.0},
+            "eliminations": {"BEES/cross": 10.0, "BEES/in_batch": 6.0},
+            "result": {"coverage": {"BEES": {"locations_per_image": 1.0}}},
+        }
+    }
+}
+
+
+class TestSpecParsing:
+    def test_committed_spec_loads(self):
+        spec = load_spec(COMMITTED_SPEC)
+        assert len(spec) >= 5
+        assert spec.source == COMMITTED_SPEC
+        assert any(slo.live is not None for slo in spec)
+
+    def test_missing_file(self):
+        with pytest.raises(ObservabilityError, match="no such SLO spec"):
+            load_spec("nope/missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            load_spec(path)
+
+    def test_top_level_must_be_object(self):
+        with pytest.raises(ObservabilityError):
+            parse_spec([1, 2])
+
+    def test_version_gate(self):
+        with pytest.raises(ObservabilityError, match="version"):
+            parse_spec({"version": 99, "slos": [_slo()]})
+
+    def test_empty_slos_rejected(self):
+        with pytest.raises(ObservabilityError):
+            parse_spec({"version": SPEC_VERSION, "slos": []})
+
+    def test_unknown_indicator_source(self):
+        bad = _slo(indicator={"source": "vibes", "case": "x"})
+        with pytest.raises(ObservabilityError, match="source"):
+            parse_spec(_spec(bad))
+
+    def test_objective_required(self):
+        with pytest.raises(ObservabilityError, match="objective"):
+            parse_spec(_spec(_slo(objective={})))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            parse_spec(_spec(_slo(), _slo()))
+
+    def test_live_only_slo_needs_no_indicator(self):
+        raw = {
+            "name": "queue",
+            "objective": {"max": 64},
+            "live": {
+                "series": "queue_depth",
+                "target": 0.9,
+                "windows": [{"short_s": 60, "long_s": 600, "max_burn_rate": 3.0}],
+            },
+        }
+        spec = parse_spec(_spec(raw))
+        assert spec.slos[0].indicator == {}
+        assert spec.slos[0].live.target == 0.9
+
+    def test_live_target_must_be_fractional(self):
+        raw = _slo(live={
+            "series": "s", "target": 1.0,
+            "windows": [{"short_s": 1, "long_s": 2, "max_burn_rate": 1.0}],
+        })
+        with pytest.raises(ObservabilityError, match="target"):
+            parse_spec(_spec(raw))
+
+    def test_burn_window_ordering_enforced(self):
+        with pytest.raises(ObservabilityError):
+            BurnWindow(short_seconds=300, long_seconds=30, max_burn_rate=1.0)
+        with pytest.raises(ObservabilityError):
+            BurnWindow(short_seconds=30, long_seconds=300, max_burn_rate=0.0)
+
+
+class TestObjective:
+    def test_within_bounds(self):
+        slo = Slo(name="s", indicator={}, maximum=10.0, minimum=1.0)
+        assert slo.within(5.0)
+        assert not slo.within(0.5)
+        assert not slo.within(11.0)
+        assert not slo.within(math.nan)
+        assert slo.objective_text() == ">= 1 and <= 10"
+
+
+class TestArtifactEvaluation:
+    def test_stage_quantile_passes(self):
+        spec = parse_spec(_spec(_slo()))
+        (result,) = evaluate_artifact(spec, ARTIFACT)
+        assert result.ok
+        assert result.value == 30.0
+
+    def test_regressed_quantile_fails(self):
+        spec = parse_spec(_spec(_slo(objective={"max": 20.0})))
+        (result,) = evaluate_artifact(spec, ARTIFACT)
+        assert not result.ok
+
+    def test_missing_case_fails_not_skips(self):
+        slo = _slo(indicator={
+            "source": "stage_quantile", "case": "gone", "series": "x",
+        })
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert not result.ok
+        assert math.isnan(result.value)
+        assert "gone" in result.detail
+
+    def test_case_total_with_prefix(self):
+        slo = _slo(
+            name="elims",
+            indicator={
+                "source": "case_total",
+                "case": "fig11_delay",
+                "field": "eliminations",
+                "prefix": "BEES",
+            },
+            objective={"min": 8},
+        )
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert result.ok
+        assert result.value == 16.0
+
+    def test_ratio(self):
+        slo = _slo(
+            name="bw",
+            indicator={
+                "source": "ratio",
+                "case": "fig11_delay",
+                "field": "bytes_sent",
+                "numerator_prefix": "BEES",
+                "denominator_prefix": "Direct Upload",
+            },
+            objective={"max": 0.5},
+        )
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert result.ok
+        assert result.value == pytest.approx(0.25)
+
+    def test_result_value_path(self):
+        slo = _slo(
+            name="coverage",
+            indicator={
+                "source": "result_value",
+                "case": "fig11_delay",
+                "path": ["coverage", "BEES", "locations_per_image"],
+            },
+            objective={"min": 0.95},
+        )
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert result.ok and result.value == 1.0
+
+    def test_broken_result_path_fails(self):
+        slo = _slo(
+            name="coverage",
+            indicator={
+                "source": "result_value",
+                "case": "fig11_delay",
+                "path": ["coverage", "MRC"],
+            },
+            objective={"min": 0.95},
+        )
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert not result.ok
+        assert "MRC" in result.detail
+
+    def test_wall_seconds(self):
+        slo = _slo(
+            name="wall",
+            indicator={"source": "wall_seconds", "case": "fig11_delay"},
+            objective={"max": 60},
+        )
+        (result,) = evaluate_artifact(parse_spec(_spec(slo)), ARTIFACT)
+        assert result.ok and result.value == 2.5
+
+    def test_live_only_slos_are_skipped(self):
+        raw = {
+            "name": "queue",
+            "objective": {"max": 64},
+            "live": {
+                "series": "queue_depth",
+                "windows": [{"short_s": 1, "long_s": 2, "max_burn_rate": 1.0}],
+            },
+        }
+        assert evaluate_artifact(parse_spec(_spec(raw)), ARTIFACT) == []
+
+    def test_committed_spec_passes_committed_baseline(self):
+        spec = load_spec(COMMITTED_SPEC)
+        artifact = json.loads(open(COMMITTED_BASELINE).read())
+        results = evaluate_artifact(spec, artifact)
+        assert results, "expected artifact-bound SLOs"
+        failing = [r.name for r in results if not r.ok]
+        assert not failing, failing
+
+    def test_format_results_renders_verdicts(self):
+        spec = parse_spec(_spec(_slo()))
+        text = format_results(evaluate_artifact(spec, ARTIFACT))
+        assert "PASS" in text and "delay-p99" in text
+        assert format_results([]) == "(no SLOs evaluated)"
+
+
+def _live_slo(max_value=1.0, target=0.9, short_s=10, long_s=100, rate=1.0) -> Slo:
+    spec = parse_spec(_spec({
+        "name": "live",
+        "objective": {"max": max_value},
+        "live": {
+            "series": "queue_depth",
+            "target": target,
+            "windows": [
+                {"short_s": short_s, "long_s": long_s, "max_burn_rate": rate}
+            ],
+        },
+    }))
+    return spec.slos[0]
+
+
+class TestBurnRate:
+    def test_empty_window_burns_nothing(self):
+        assert burn_rate([], _live_slo()) == 0.0
+
+    def test_rate_scales_error_fraction_by_budget(self):
+        slo = _live_slo(max_value=1.0, target=0.9)
+        # half the samples violate; budget is 10% -> burn rate 5x
+        assert burn_rate([0.5, 2.0], slo) == pytest.approx(5.0)
+        assert burn_rate([0.5, 0.5], slo) == 0.0
+
+
+class TestLiveEvaluation:
+    def _aggregator_with(self, points) -> StreamingAggregator:
+        aggregator = StreamingAggregator(configure())
+        ring = aggregator._buffer("queue_depth")
+        for t, v in points:
+            ring.append(t, v)
+        return aggregator
+
+    def test_empty_series_passes(self):
+        spec = parse_spec(_spec({
+            "name": "live", "objective": {"max": 1.0},
+            "live": {
+                "series": "queue_depth", "target": 0.9,
+                "windows": [{"short_s": 10, "long_s": 100, "max_burn_rate": 1.0}],
+            },
+        }))
+        (result,) = evaluate_live(spec, self._aggregator_with([]), now=0.0)
+        assert result.ok
+        assert math.isnan(result.value)
+
+    def test_fires_only_when_both_windows_burn(self):
+        spec = parse_spec(_spec({
+            "name": "live", "objective": {"max": 1.0},
+            "live": {
+                "series": "queue_depth", "target": 0.9,
+                "windows": [{"short_s": 10, "long_s": 100, "max_burn_rate": 2.0}],
+            },
+        }))
+        # long window healthy (90 good samples), short window all bad:
+        # short burn 10x, long burn ~1x -> must NOT fire
+        points = [(float(t), 0.5) for t in range(90)]
+        points += [(90.0 + t, 5.0) for t in range(10)]
+        (result,) = evaluate_live(spec, self._aggregator_with(points), now=99.0)
+        [window] = result.burn_rates
+        assert window["short_burn"] > 2.0
+        assert window["long_burn"] <= 2.0
+        assert result.ok
+
+        # sustained violation: both windows burn -> fires
+        points = [(float(t), 5.0) for t in range(100)]
+        (result,) = evaluate_live(spec, self._aggregator_with(points), now=99.0)
+        assert not result.ok
+        assert result.burn_rates[0]["fired"]
+
+    def test_artifact_only_slos_are_skipped(self):
+        spec = parse_spec(_spec(_slo()))
+        assert evaluate_live(spec, self._aggregator_with([]), now=0.0) == []
+
+
+class TestSloCheckCli:
+    def test_committed_baseline_passes(self, capsys):
+        code = main([
+            "slo", "check",
+            "--artifact", COMMITTED_BASELINE,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        artifact = json.loads(open(COMMITTED_BASELINE).read())
+        series = artifact["cases"]["fig11_delay"]["stage_seconds"]
+        for summary in series.values():
+            for quantile in ("p50", "p95", "p99"):
+                if quantile in summary:
+                    summary[quantile] = summary[quantile] * 100.0
+        regressed = tmp_path / "BENCH_regressed.json"
+        regressed.write_text(json.dumps(artifact))
+        code = main(["slo", "check", "--artifact", str(regressed)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "violated" in out
+
+    def test_json_format(self, capsys):
+        code = main([
+            "slo", "check",
+            "--artifact", COMMITTED_BASELINE,
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == 0
+        assert all(entry["ok"] for entry in payload["results"])
+
+    def test_missing_artifact_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="slo check failed"):
+            main(["slo", "check", "--artifact", "nope.json"])
