@@ -19,6 +19,8 @@ from __future__ import annotations
 
 # beeslint: disable-file=raw-timing (micro-benchmark timing loops are the measurement)
 
+import os
+import tempfile
 import time
 from collections import defaultdict
 
@@ -27,10 +29,12 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.features.base import FeatureSet
 from repro.features.matching import DEFAULT_HAMMING_THRESHOLD, mutual_matches
+from repro.fleet import FleetRunner
 from repro.index.lsh import HammingLSH
 from repro.kernels.batch import batch_similarity_matrix
 from repro.kernels.cache import MatchCountCache
 from repro.kernels.hamming import hamming_distance_matrix
+from repro.obs.journal import journal_to, read_journal
 from repro.obs.profiling import SamplingProfiler
 
 from common import merge_params
@@ -45,6 +49,10 @@ PARAMS = {
     "repeats": 3,
     "profile_repeats": 5,
     "profile_passes": 48,
+    "journal_repeats": 3,
+    "journal_devices": 2,
+    "journal_rounds": 2,
+    "journal_batch": 4,
 }
 QUICK_PARAMS = {
     "dist_rows": 256,
@@ -54,6 +62,8 @@ QUICK_PARAMS = {
     "repeats": 2,
     "profile_repeats": 3,
     "profile_passes": 24,
+    "journal_repeats": 2,
+    "journal_rounds": 1,
 }
 
 #: The acceptance floors for the kernel layer (see the README's
@@ -65,6 +75,11 @@ MIN_VOTING_SPEEDUP = 2.0
 #: ``test_kernels`` (the observability layer's "low-overhead" promise,
 #: measured min-of-N against the same kernel workload).
 MAX_PROFILER_OVERHEAD = 0.05
+
+#: Ceiling on the decision journal's CPU-time overhead, asserted by
+#: ``test_kernels``: a fully journaled fleet run may cost at most 5%
+#: more process time than the identical run with the journal disabled.
+MAX_JOURNAL_OVERHEAD = 0.05
 
 # -- frozen pre-kernel implementations ------------------------------------
 
@@ -285,6 +300,54 @@ def bench_profiler_overhead(dist_rows, seed, repeats, passes):
     }
 
 
+def bench_journal_overhead(journal_devices, journal_rounds, journal_batch, seed, repeats):
+    """The same fleet run with the decision journal off vs. on.
+
+    The journaled side records every decision site (CBRD verdicts, AIU
+    prepares, policy applications, SSMM selections, batch summaries) to
+    a real JSONL file, so the measurement includes serialization and
+    buffered I/O, not just the emit calls.  Interleaved pairs and
+    **process CPU time** min-of-N, exactly like the profiler gate: the
+    journal's promise is "always on" observability, so it gets the same
+    5% budget.  Decisions must not move — both sides' fingerprints are
+    asserted identical each repeat.
+    """
+
+    def fleet():
+        return FleetRunner(
+            n_devices=journal_devices,
+            n_rounds=journal_rounds,
+            batch_size=journal_batch,
+            seed=seed,
+            mode="sequential",
+        ).run()
+
+    fleet()  # warm-up: dataset generation, caches, allocator
+    bare_times = []
+    journaled_times = []
+    events = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for number in range(repeats):
+            started = time.process_time()
+            bare = fleet()
+            bare_times.append(time.process_time() - started)
+            path = os.path.join(tmp, f"bench-journal-{number}.jsonl")
+            with journal_to(path):
+                started = time.process_time()
+                journaled = fleet()
+                journaled_times.append(time.process_time() - started)
+            assert journaled.fingerprint() == bare.fingerprint()
+            events = len(read_journal(path).records)
+    bare_seconds = min(bare_times)
+    journaled_seconds = min(journaled_times)
+    return {
+        "bare_seconds": bare_seconds,
+        "journaled_seconds": journaled_seconds,
+        "overhead_fraction": journaled_seconds / max(bare_seconds, 1e-9) - 1.0,
+        "events": events,
+    }
+
+
 def run(params: "dict | None" = None) -> dict:
     """Registered bench entry point (``repro bench run``)."""
     p = merge_params(PARAMS, params)
@@ -303,6 +366,13 @@ def run(params: "dict | None" = None) -> dict:
         },
         "profiler_overhead": bench_profiler_overhead(
             p["dist_rows"], p["seed"], p["profile_repeats"], p["profile_passes"]
+        ),
+        "journal_overhead": bench_journal_overhead(
+            p["journal_devices"],
+            p["journal_rounds"],
+            p["journal_batch"],
+            p["seed"],
+            p["journal_repeats"],
         ),
     }
 
@@ -343,6 +413,15 @@ def test_kernels(benchmark, emit):
             f"{overhead['overhead_fraction'] * 100:+.1f}%",
         ]
     )
+    journal = data["journal_overhead"]
+    rows.append(
+        [
+            f"decision journal overhead ({journal['events']} events)",
+            f"{journal['bare_seconds']:.4f} s",
+            f"{journal['journaled_seconds']:.4f} s",
+            f"{journal['overhead_fraction'] * 100:+.1f}%",
+        ]
+    )
     emit(
         "Kernel microbenchmarks — repro.kernels vs. the pre-kernel hot "
         "paths (outputs asserted byte-identical per case)",
@@ -360,4 +439,8 @@ def test_kernels(benchmark, emit):
     assert overhead["overhead_fraction"] <= MAX_PROFILER_OVERHEAD, (
         f"profiler overhead {overhead['overhead_fraction']:.1%} exceeds "
         f"the {MAX_PROFILER_OVERHEAD:.0%} budget"
+    )
+    assert journal["overhead_fraction"] <= MAX_JOURNAL_OVERHEAD, (
+        f"journal overhead {journal['overhead_fraction']:.1%} exceeds "
+        f"the {MAX_JOURNAL_OVERHEAD:.0%} budget"
     )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven subcommands drive the main experiments without writing code:
+Twelve subcommands drive the main experiments without writing code:
 
 * ``compare``  — one controlled batch through every scheme (Fig. 7/10/11)
 * ``lifetime`` — the battery drain race (Fig. 9)
@@ -10,6 +10,7 @@ Eleven subcommands drive the main experiments without writing code:
 * ``bench``    — the benchmark telemetry harness (run/list/compare/report)
 * ``slo``      — check SLO specs against bench artifacts (exit 1 on burn)
 * ``top``      — live fleet dashboard (terminal frames + HTML snapshot)
+* ``journal``  — the decision journal (explain/diff/replay/stats)
 * ``lint``     — the beeslint static-analysis suite over the repo
 * ``metrics``  — render a captured Prometheus metrics file as a table
 * ``info``     — versions, device profile, policies, observability
@@ -19,7 +20,10 @@ Eleven subcommands drive the main experiments without writing code:
 exposition), and ``--profile PATH`` (a folded-stack CPU profile with
 samples attributed to BEES stage spans), any of which switch the
 :mod:`repro.obs` layer on for the run.  ``bench run --profile`` covers
-the bench suite the same way.
+the bench suite the same way.  ``fleet run --journal PATH`` and
+``top --journal PATH`` additionally record the decision-provenance
+journal (:mod:`repro.obs.journal`) that the ``journal`` subcommands
+read back.
 """
 
 from __future__ import annotations
@@ -246,6 +250,13 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _journal_context(path: "str | None"):
+    """``journal_to(path)`` when a path was given, else a no-op block."""
+    if path is None:
+        return contextlib.nullcontext(None)
+    return obs_module.journal_to(path)
+
+
 def cmd_fleet_run(args: argparse.Namespace) -> int:
     """Run the concurrent multi-device fleet simulation."""
     from .fleet import FleetRunner, assert_equivalent  # lazy: keeps startup lean
@@ -266,7 +277,10 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from None
 
     with _observability(args):
-        result = build(args.mode, args.shards).run()
+        with _journal_context(args.journal):
+            result = build(args.mode, args.shards).run()
+        if args.journal is not None:
+            print(f"wrote {args.journal}")
         print(
             f"fleet: {result.n_devices} device(s) x {result.n_rounds} round(s) "
             f"x {args.batch_size} images, {result.n_shards} shard(s), "
@@ -301,7 +315,15 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         )
         print(f"decision fingerprint: {result.fingerprint()}")
         if args.verify:
-            reference = build("sequential", 1).run()
+            # Journal the reference too (to PATH.ref) so a mismatch can
+            # name the first divergent journal event, not just the hash.
+            reference_journal = (
+                None if args.journal is None else args.journal + ".ref"
+            )
+            with _journal_context(reference_journal):
+                reference = build("sequential", 1).run()
+            if reference_journal is not None:
+                print(f"wrote {reference_journal}")
             try:
                 assert_equivalent(reference, result)
             except SimulationError as exc:
@@ -481,6 +503,11 @@ def cmd_top(args: argparse.Namespace) -> int:
         except ObservabilityError as exc:
             raise SystemExit(f"top failed: {exc}") from None
     obs = obs_module.configure()
+    journal = (
+        None
+        if args.journal is None
+        else obs_module.configure_journal(path=args.journal)
+    )
     try:
         try:
             runner = FleetRunner(
@@ -512,14 +539,16 @@ def cmd_top(args: argparse.Namespace) -> int:
         while not done.wait(args.interval):
             aggregator.sample()
             if not args.once:
-                frame = obs_module.render_frame(aggregator, obs, spec)
+                frame = obs_module.render_frame(aggregator, obs, spec, journal=journal)
                 print("\x1b[2J\x1b[H" + frame, flush=True)
         worker.join()
         if failure:
             raise SystemExit(f"top failed: fleet run raised {failure[0]}")
         aggregator.sample()
-        frame = obs_module.render_frame(aggregator, obs, spec)
+        frame = obs_module.render_frame(aggregator, obs, spec, journal=journal)
         print(frame if args.once else "\x1b[2J\x1b[H" + frame, flush=True)
+        if journal is not None:
+            print(f"\nwrote {args.journal}")
         if args.html is not None:
             import pathlib
 
@@ -531,6 +560,8 @@ def cmd_top(args: argparse.Namespace) -> int:
             if any(not verdict.ok for verdict in verdicts):
                 return 1
     finally:
+        if journal is not None:
+            obs_module.disable_journal()
         obs_module.disable()
     return 0
 
@@ -586,6 +617,58 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
                     stage_rows,
                 )
             )
+    return 0
+
+
+def _read_journal_or_exit(path: str):
+    from .errors import ObservabilityError
+
+    try:
+        return obs_module.read_journal(path)
+    except (ObservabilityError, OSError) as exc:
+        raise SystemExit(f"journal read failed: {exc}") from None
+
+
+def cmd_journal_explain(args: argparse.Namespace) -> int:
+    """Print the causal chain of one image from a journal."""
+    journal = _read_journal_or_exit(args.journal)
+    print(obs_module.format_explain(journal, args.image_id))
+    return 0
+
+
+def cmd_journal_diff(args: argparse.Namespace) -> int:
+    """Diff two journals; exit 1 at the first divergent decision."""
+    left = _read_journal_or_exit(args.run_a)
+    right = _read_journal_or_exit(args.run_b)
+    divergence = obs_module.first_divergence(left, right)
+    if divergence is None:
+        print(
+            f"journals are decision-identical "
+            f"({len(left.records)} vs {len(right.records)} record(s); "
+            f"volatile events ignored)"
+        )
+        return 0
+    print(f"first divergent event: {divergence.describe()}")
+    return 1
+
+
+def cmd_journal_replay(args: argparse.Namespace) -> int:
+    """Re-derive a FleetResult from a journal; exit 1 on mismatch."""
+    from .fleet import format_replay, replay_journal  # lazy: keeps startup lean
+
+    journal = _read_journal_or_exit(args.journal)
+    try:
+        report = replay_journal(journal)
+    except SimulationError as exc:
+        raise SystemExit(f"journal replay failed: {exc}") from None
+    print(format_replay(report))
+    return 0 if report.ok else 1
+
+
+def cmd_journal_stats(args: argparse.Namespace) -> int:
+    """Per-device health summary: stragglers, outliers, drift."""
+    journal = _read_journal_or_exit(args.journal)
+    print(obs_module.format_stats(obs_module.journal_stats(journal)))
     return 0
 
 
@@ -717,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="re-run sequentially on a single index and assert the "
         "decisions are byte-identical",
+    )
+    fleet_run.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="record the decision journal (JSONL) to PATH; with "
+        "--verify the reference run is journaled to PATH.ref",
     )
     _add_obs_flags(fleet_run)
     fleet_run.set_defaults(handler=cmd_fleet_run)
@@ -852,7 +940,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO spec whose live objectives the dashboard evaluates "
         "(exit 1 if any burn-rate alert fires)",
     )
+    top.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="record the decision journal to PATH and show its live "
+        "counters as a dashboard panel",
+    )
     top.set_defaults(handler=cmd_top)
+
+    journal = commands.add_parser(
+        "journal", help="decision journal: explain, diff, replay, stats"
+    )
+    journal_commands = journal.add_subparsers(dest="journal_command", required=True)
+
+    journal_explain = journal_commands.add_parser(
+        "explain", help="the causal chain of one image id"
+    )
+    journal_explain.add_argument("journal", help="a journal JSONL file")
+    journal_explain.add_argument("image_id", help="the image id to explain")
+    journal_explain.set_defaults(handler=cmd_journal_explain)
+
+    journal_diff = journal_commands.add_parser(
+        "diff", help="first divergent decision between two runs (exit 1)"
+    )
+    journal_diff.add_argument("run_a", help="left journal JSONL file")
+    journal_diff.add_argument("run_b", help="right journal JSONL file")
+    journal_diff.set_defaults(handler=cmd_journal_diff)
+
+    journal_replay = journal_commands.add_parser(
+        "replay", help="re-derive the FleetResult and check the recorded "
+        "fingerprint (exit 1 on mismatch)"
+    )
+    journal_replay.add_argument("journal", help="a fleet-run journal JSONL file")
+    journal_replay.set_defaults(handler=cmd_journal_replay)
+
+    journal_stats = journal_commands.add_parser(
+        "stats", help="per-device health: stragglers, outliers, drift"
+    )
+    journal_stats.add_argument("journal", help="a journal JSONL file")
+    journal_stats.set_defaults(handler=cmd_journal_stats)
 
     lint = commands.add_parser(
         "lint", help="run the beeslint static-analysis rules (exit 1 on findings)"

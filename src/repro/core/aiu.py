@@ -25,6 +25,7 @@ from ..energy import EnergyCostModel, WorkCost, ZERO_COST
 from ..imaging import jpeg
 from ..imaging.image import Image
 from ..imaging.resolution import compress_resolution
+from ..obs.journal import get_journal
 from .config import DEFAULT_QUALITY_PROPORTION, FIT_PROPORTIONS
 from .policies import LinearPolicy, eau_policy
 
@@ -79,11 +80,16 @@ class ApproximateImageUploading:
     def prepare(self, image: Image, ebat: float) -> AiuResult:
         """Compress *image* for upload at the current battery level."""
         if not self.enabled:
-            return AiuResult(
-                image=image,
-                quality_proportion=0.0,
-                resolution_proportion=0.0,
-                cost=ZERO_COST,
+            return self._emit(
+                AiuResult(
+                    image=image,
+                    quality_proportion=0.0,
+                    resolution_proportion=0.0,
+                    cost=ZERO_COST,
+                ),
+                source=image,
+                ebat=ebat,
+                mode="passthrough",
             )
         resolution_proportion = self.resolution_proportion_for(ebat)
         # Resolution first: the quality encode then runs over fewer
@@ -103,9 +109,34 @@ class ApproximateImageUploading:
                     nominal_bytes=prepared.scaled_nominal_bytes(factor),
                 )
             cost = cost + self.cost_model.compression_cost(prepared.nominal_pixels)
-        return AiuResult(
-            image=prepared,
-            quality_proportion=self.quality_proportion,
-            resolution_proportion=resolution_proportion,
-            cost=cost,
+        return self._emit(
+            AiuResult(
+                image=prepared,
+                quality_proportion=self.quality_proportion,
+                resolution_proportion=resolution_proportion,
+                cost=cost,
+            ),
+            source=image,
+            ebat=ebat,
+            mode="transmit",
         )
+
+    def _emit(
+        self, result: AiuResult, source: Image, ebat: float, mode: str
+    ) -> AiuResult:
+        """Journal the transmit/passthrough decision with bitmap sizes."""
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "aiu.prepare",
+                image_id=source.image_id,
+                mode=mode,
+                ebat=ebat,
+                quality=result.quality_proportion,
+                resolution=result.resolution_proportion,
+                input_pixels=source.nominal_pixels,
+                output_pixels=result.image.nominal_pixels,
+                input_bytes=source.nominal_bytes,
+                upload_bytes=result.upload_bytes,
+            )
+        return result

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from ..features.base import FeatureSet
 from ..index.index import QueryResult
+from ..obs.journal import get_journal
 from .policies import LinearPolicy, edr_policy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,12 +56,15 @@ class CrossBatchDetector:
         """
         threshold = self.threshold_for(ebat)
         if not self.enabled:
-            return CbrdDecision(
-                image_id=features.image_id,
-                redundant=False,
-                max_similarity=0.0,
-                threshold=threshold,
-                best_match_id=None,
+            return self._emit(
+                CbrdDecision(
+                    image_id=features.image_id,
+                    redundant=False,
+                    max_similarity=0.0,
+                    threshold=threshold,
+                    best_match_id=None,
+                ),
+                votes=0,
             )
         result: QueryResult = server.query_features(features)
         return self._classify(features, result, threshold)
@@ -78,12 +82,15 @@ class CrossBatchDetector:
         threshold = self.threshold_for(ebat)
         if not self.enabled:
             return [
-                CbrdDecision(
-                    image_id=features.image_id,
-                    redundant=False,
-                    max_similarity=0.0,
-                    threshold=threshold,
-                    best_match_id=None,
+                self._emit(
+                    CbrdDecision(
+                        image_id=features.image_id,
+                        redundant=False,
+                        max_similarity=0.0,
+                        threshold=threshold,
+                        best_match_id=None,
+                    ),
+                    votes=0,
                 )
                 for features in feature_sets
             ]
@@ -96,10 +103,29 @@ class CrossBatchDetector:
     def _classify(
         self, features: FeatureSet, result: QueryResult, threshold: float
     ) -> CbrdDecision:
-        return CbrdDecision(
-            image_id=features.image_id,
-            redundant=result.best_similarity > threshold,
-            max_similarity=result.best_similarity,
-            threshold=threshold,
-            best_match_id=result.best_id,
+        return self._emit(
+            CbrdDecision(
+                image_id=features.image_id,
+                redundant=result.best_similarity > threshold,
+                max_similarity=result.best_similarity,
+                threshold=threshold,
+                best_match_id=result.best_id,
+            ),
+            votes=result.candidates_checked,
         )
+
+    def _emit(self, decision: CbrdDecision, votes: int) -> CbrdDecision:
+        """Journal the verdict; every construction path funnels through
+        here so the decision journal never misses a CBRD outcome."""
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "cbrd.verdict",
+                image_id=decision.image_id,
+                redundant=decision.redundant,
+                max_similarity=decision.max_similarity,
+                threshold=decision.threshold,
+                best_match=decision.best_match_id,
+                votes=votes,
+            )
+        return decision

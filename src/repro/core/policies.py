@@ -22,16 +22,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..obs.journal import get_journal
 
 
 @dataclass(frozen=True)
 class LinearPolicy:
-    """``value(ebat) = clip(intercept + slope * ebat, lo, hi)``."""
+    """``value(ebat) = clip(intercept + slope * ebat, lo, hi)``.
+
+    ``label`` names the policy in decision-journal events (``eac``,
+    ``edr``, ``eau``, ``fixed``); it carries no behavioural weight.
+    """
 
     intercept: float
     slope: float
     lo: float
     hi: float
+    label: str = "linear"
 
     def __post_init__(self) -> None:
         if self.lo > self.hi:
@@ -41,29 +47,44 @@ class LinearPolicy:
         if not 0.0 <= ebat <= 1.0:
             raise ConfigurationError(f"Ebat must be in [0, 1], got {ebat}")
         value = self.intercept + self.slope * ebat
-        return min(self.hi, max(self.lo, value))
+        value = min(self.hi, max(self.lo, value))
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "policy.applied",
+                policy=self.label,
+                ebat=ebat,
+                value=value,
+                intercept=self.intercept,
+                slope=self.slope,
+            )
+        return value
 
     @classmethod
     def fixed(cls, value: float) -> "LinearPolicy":
         """A constant policy — what BEES-EA uses (no adaptation)."""
-        return cls(intercept=value, slope=0.0, lo=value, hi=value)
+        return cls(intercept=value, slope=0.0, lo=value, hi=value, label="fixed")
 
 
 def eac_policy() -> LinearPolicy:
     """EAC: bitmap compression proportion ``C = 0.4 - 0.4 * Ebat``."""
-    return LinearPolicy(intercept=0.4, slope=-0.4, lo=0.0, hi=0.4)
+    return LinearPolicy(intercept=0.4, slope=-0.4, lo=0.0, hi=0.4, label="eac")
 
 
 def edr_policy() -> LinearPolicy:
     """EDR: similarity threshold ``T = 0.013 + 0.006 * Ebat``."""
-    return LinearPolicy(intercept=0.013, slope=0.006, lo=0.013, hi=0.019)
+    return LinearPolicy(
+        intercept=0.013, slope=0.006, lo=0.013, hi=0.019, label="edr"
+    )
 
 
 def ssmm_cut_policy() -> LinearPolicy:
     """SSMM's graph-cut threshold ``Tw`` — same parameters as EDR."""
-    return edr_policy()
+    return LinearPolicy(
+        intercept=0.013, slope=0.006, lo=0.013, hi=0.019, label="ssmm_cut"
+    )
 
 
 def eau_policy() -> LinearPolicy:
     """EAU: resolution compression proportion ``Cr = 0.8 - 0.8 * Ebat``."""
-    return LinearPolicy(intercept=0.8, slope=-0.8, lo=0.0, hi=0.8)
+    return LinearPolicy(intercept=0.8, slope=-0.8, lo=0.0, hi=0.8, label="eau")

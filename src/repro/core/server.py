@@ -17,6 +17,7 @@ from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..imaging.image import Image
 from ..index import FeatureIndex, ImageStore, QueryResult, ShardedFeatureIndex
+from ..obs.journal import get_journal
 from ..obs.runtime import get_obs
 
 
@@ -120,6 +121,14 @@ class BeesServer:
             self.index.add(features)
         if obs.enabled:
             obs.index_size.set(len(self.index))
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "server.index",
+                image_id=image.image_id,
+                received_bytes=received_bytes,
+                index_size=len(self.index),
+            )
 
     def seed_image(self, image: Image, features: FeatureSet) -> None:
         """Pre-populate the server (experiment setup: cross-batch

@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..features.base import FeatureSet
 from ..kernels.batch import batch_similarity_matrix
+from ..obs.journal import DecisionJournal, get_journal
 
 
 def similarity_matrix(feature_sets: "list[FeatureSet]") -> np.ndarray:
@@ -210,9 +211,62 @@ def select_unique_subset(
     else:
         resolved_budget = int(budget)
     selected = selector.greedy(weights, labels, resolved_budget)
-    return SsmmResult(
+    result = SsmmResult(
         selected=selected,
         budget=resolved_budget,
         component_labels=labels,
         objective=selector.objective(weights, labels, selected),
+    )
+    journal = get_journal()
+    if journal.enabled:
+        _emit_selection(
+            journal, feature_sets, cut_threshold, selector, weights, result
+        )
+    return result
+
+
+def _emit_selection(
+    journal: "DecisionJournal",
+    feature_sets: "list[FeatureSet]",
+    cut_threshold: float,
+    selector: SubmodularSelector,
+    weights: np.ndarray,
+    result: SsmmResult,
+) -> None:
+    """Journal one SSMM selection, including per-pick marginal coverage.
+
+    The marginal gains re-evaluate the objective over the greedy pick
+    prefixes — O(budget · n²) on batch-sized inputs, and only paid when
+    the journal is enabled.
+    """
+    labels = result.component_labels
+    gains: "list[dict[str, object]]" = []
+    previous = 0.0
+    for position in range(len(result.selected)):
+        prefix = list(result.selected[: position + 1])
+        value = selector.objective(weights, labels, prefix)
+        gains.append(
+            {
+                "image": feature_sets[result.selected[position]].image_id,
+                "gain": value - previous,
+            }
+        )
+        previous = value
+    chosen = set(result.selected)
+    journal.emit(
+        "ssmm.select",
+        n_candidates=len(feature_sets),
+        budget=result.budget,
+        n_components=result.n_components,
+        cut_threshold=cut_threshold,
+        objective=result.objective,
+        selected=[
+            feature_sets[i].image_id for i in sorted(chosen)
+        ],
+        rejected=[
+            feature_sets[i].image_id
+            for i in range(len(feature_sets))
+            if i not in chosen
+        ],
+        marginal_gains=gains,
     )

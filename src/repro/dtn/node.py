@@ -22,6 +22,7 @@ from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..features.similarity import jaccard_similarity
 from ..imaging.image import Image
+from ..obs.journal import get_journal
 
 
 @dataclass(frozen=True)
@@ -125,16 +126,36 @@ class DtnNode:
             self.buffer.append(carried)
             return True
         victim = self.policy.select_victim(self.buffer, carried)
+        journal = get_journal()
         if victim is None:
             self.rejections += 1
+            if journal.enabled:
+                journal.emit(
+                    "dtn.drop",
+                    image_id=carried.image_id,
+                    node=self.node_id,
+                    policy=self.policy.name,
+                    kind="rejected",
+                    victim=None,
+                )
             return False
         if not 0 <= victim < len(self.buffer):
             raise SimulationError(
                 f"policy returned invalid victim index {victim}"
             )
+        evicted = self.buffer[victim]
         del self.buffer[victim]
         self.drops += 1
         self.buffer.append(carried)
+        if journal.enabled:
+            journal.emit(
+                "dtn.drop",
+                image_id=evicted.image_id,
+                node=self.node_id,
+                policy=self.policy.name,
+                kind="evicted",
+                victim=evicted.image_id,
+            )
         return True
 
     def take_all(self) -> "list[CarriedImage]":

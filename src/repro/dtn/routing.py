@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.journal import get_journal
 from ..obs.runtime import get_obs
 from .node import CarriedImage, DropPolicy, DtnNode
 
@@ -89,6 +90,7 @@ class EpidemicSimulation:
     def _exchange(self, sender: DtnNode, receiver: DtnNode) -> None:
         """One-way epidemic transfer under the contact bandwidth."""
         sent = 0
+        forwarded: "list[str]" = []
         for carried in list(sender.buffer):
             if sent >= self.contact_bandwidth:
                 break
@@ -96,10 +98,19 @@ class EpidemicSimulation:
                 continue
             self.transmissions += 1
             sent += 1
+            forwarded.append(carried.image_id)
             receiver.offer(carried)
         obs = get_obs()
         if obs.enabled and sent:
             obs.dtn_transmissions.inc(sent, kind="relay")
+        journal = get_journal()
+        if journal.enabled and forwarded:
+            journal.emit(
+                "dtn.forward",
+                sender=sender.node_id,
+                receiver=receiver.node_id,
+                image_ids=forwarded,
+            )
 
     def step(self) -> None:
         """One round: a few pairwise contacts + possible gateway visits."""
@@ -108,6 +119,7 @@ class EpidemicSimulation:
             self._exchange(self.nodes[int(a)], self.nodes[int(b)])
             self._exchange(self.nodes[int(b)], self.nodes[int(a)])
         obs = get_obs()
+        journal = get_journal()
         for node in self.nodes:
             if self._rng.random() < self.gateway_probability:
                 drained = node.take_all()
@@ -116,6 +128,12 @@ class EpidemicSimulation:
                 if obs.enabled and drained:
                     obs.dtn_transmissions.inc(len(drained), kind="gateway")
                     obs.dtn_delivered.inc(len(drained))
+                if journal.enabled and drained:
+                    journal.emit(
+                        "dtn.deliver",
+                        node=node.node_id,
+                        image_ids=[carried.image_id for carried in drained],
+                    )
 
     def run(self, rounds: int) -> DeliveryReport:
         """Advance *rounds* steps and report what the gateway received."""

@@ -9,6 +9,7 @@ sequential single-index reference run of the same seed.  See
 :mod:`repro.fleet.report` for the equivalence contract.
 """
 
+from .replay import ReplayReport, format_replay, replay_journal
 from .report import DeviceResult, FleetResult, assert_equivalent
 from .runner import MODES, FleetRunner
 from .staging import StagedServer, StagedUpload
@@ -20,7 +21,10 @@ __all__ = [
     "FleetRunner",
     "FleetWorkload",
     "MODES",
+    "ReplayReport",
     "StagedServer",
     "StagedUpload",
     "assert_equivalent",
+    "format_replay",
+    "replay_journal",
 ]

@@ -1,0 +1,227 @@
+"""Re-derive a :class:`FleetResult` from a decision journal alone.
+
+``repro journal replay`` is the journal's integrity proof: if the
+journal really captured every decision, then folding its ``fleet.batch``
+events back together must reproduce the run's bytes, joules, and
+eliminated-image lists **byte-identically** — the same fingerprint the
+live run recorded in its ``fleet.run.end`` event.
+
+Exactness notes (why this works at the byte level):
+
+* JSON round-trips Python floats exactly (``repr``-based encoding), so
+  summing the journalled per-category joules in the order they were
+  written reproduces :attr:`repro.baselines.base.BatchReport.
+  total_energy_joules` bit-for-bit.
+* Per-device energy folds in round order, mirroring
+  :meth:`repro.fleet.report.DeviceResult.from_reports` — float addition
+  is not associative, and the fingerprint is byte-level.
+* Device order comes from the ``fleet.run.start`` event's device list,
+  matching the runner's construction order.
+
+Beyond the fingerprint, replay cross-checks the fine-grained decision
+events against the per-batch summaries: every image a ``cbrd.verdict``
+called redundant must appear in that batch's ``eliminated_cross`` list,
+and every image an ``ssmm.select`` rejected must appear in
+``eliminated_in`` — catching a journal whose summaries and events
+disagree even when the summaries alone are self-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import SimulationError
+from ..obs.journal import JournalFile, JournalRecord, read_journal
+from .report import DeviceResult, FleetResult
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """The outcome of replaying one journal."""
+
+    result: FleetResult
+    #: Fingerprint of the replayed result.
+    fingerprint: str
+    #: Fingerprint recorded by the live run, if the journal has one.
+    recorded_fingerprint: "str | None"
+    #: Cross-check failures (empty on a healthy journal).
+    issues: "tuple[str, ...]"
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.issues
+            and self.recorded_fingerprint is not None
+            and self.fingerprint == self.recorded_fingerprint
+        )
+
+
+def replay_journal(source: "str | Path | JournalFile") -> ReplayReport:
+    """Rebuild the :class:`FleetResult` of a journalled fleet run.
+
+    Raises :class:`~repro.errors.SimulationError` when the journal does
+    not describe exactly one fleet run; torn tails and cross-check
+    mismatches are reported via :attr:`ReplayReport.issues` instead.
+    """
+    journal = (
+        source if isinstance(source, JournalFile) else read_journal(source)
+    )
+    starts = journal.events("fleet.run.start")
+    if len(starts) != 1:
+        raise SimulationError(
+            f"journal {journal.path} contains {len(starts)} fleet runs; "
+            "replay needs exactly one (one file per run)"
+        )
+    config = starts[0].data
+    device_names = [str(name) for name in _expect_list(config, "devices")]
+    issues: "list[str]" = []
+    if journal.torn_tail is not None:
+        issues.append("journal has a torn final record (skipped by reader)")
+
+    streams = journal.by_device()
+    devices = []
+    for name in device_names:
+        stream = streams.get(name, [])
+        devices.append(_fold_device(name, stream, issues))
+
+    result = FleetResult(
+        mode=str(config.get("mode", "")),
+        scheme=str(config.get("scheme", "")),
+        n_devices=_as_int(config.get("n_devices", len(device_names))),
+        n_shards=_as_int(config.get("n_shards", 1)),
+        n_rounds=_as_int(config.get("n_rounds", 0)),
+        seed=_as_int(config.get("seed", 0)),
+        devices=tuple(devices),
+        wall_seconds=0.0,
+        journal_path=journal.path,
+    )
+    fingerprint = result.fingerprint()
+    ends = journal.events("fleet.run.end")
+    recorded: "str | None" = None
+    if ends:
+        recorded = str(ends[-1].data.get("fingerprint", ""))
+        if recorded != fingerprint:
+            issues.append(
+                f"replayed fingerprint {fingerprint[:16]}… does not match "
+                f"recorded {recorded[:16]}…"
+            )
+    else:
+        issues.append("journal has no fleet.run.end event (run incomplete?)")
+    return ReplayReport(
+        result=result,
+        fingerprint=fingerprint,
+        recorded_fingerprint=recorded,
+        issues=tuple(issues),
+    )
+
+
+def _fold_device(
+    name: str,
+    stream: "list[JournalRecord]",
+    issues: "list[str]",
+) -> DeviceResult:
+    uploaded: "list[str]" = []
+    eliminated_cross: "list[str]" = []
+    eliminated_in: "list[str]" = []
+    sent_bytes = 0
+    energy = 0.0
+    halted = False
+    # Fine-grained decision events, for the summary cross-check.
+    cbrd_redundant: "list[str]" = []
+    ssmm_rejected: "list[str]" = []
+    for record in stream:
+        if record.event == "fleet.batch":
+            data = record.data
+            uploaded.extend(_string_list(data.get("uploaded")))
+            eliminated_cross.extend(_string_list(data.get("eliminated_cross")))
+            eliminated_in.extend(_string_list(data.get("eliminated_in")))
+            sent_bytes += _as_int(data.get("sent_bytes", 0))
+            batch_energy = data.get("energy")
+            if isinstance(batch_energy, dict):
+                # Mirror BatchReport.total_energy_joules: sum the
+                # categories in recorded (insertion) order, then fold
+                # batches in round order — byte-exact float addition.
+                batch_total = 0.0
+                for joules in batch_energy.values():
+                    batch_total += _as_float(joules)
+                energy += float(batch_total)
+            halted = halted or bool(data.get("halted"))
+        elif record.event == "cbrd.verdict":
+            if bool(record.data.get("redundant")) and record.image:
+                cbrd_redundant.append(record.image)
+        elif record.event == "ssmm.select":
+            ssmm_rejected.extend(_string_list(record.data.get("rejected")))
+    if cbrd_redundant and cbrd_redundant != eliminated_cross:
+        issues.append(
+            f"{name}: cbrd.verdict events name {len(cbrd_redundant)} "
+            f"redundant image(s) but batch summaries eliminated "
+            f"{len(eliminated_cross)} (or in a different order)"
+        )
+    if ssmm_rejected and ssmm_rejected != eliminated_in:
+        issues.append(
+            f"{name}: ssmm.select events reject {len(ssmm_rejected)} "
+            f"image(s) but batch summaries eliminated "
+            f"{len(eliminated_in)} in-batch (or in a different order)"
+        )
+    return DeviceResult(
+        device=name,
+        uploaded_ids=tuple(uploaded),
+        eliminated_cross_batch=tuple(eliminated_cross),
+        eliminated_in_batch=tuple(eliminated_in),
+        sent_bytes=sent_bytes,
+        energy_joules=energy,
+        halted=halted,
+    )
+
+
+def _expect_list(data: "dict[str, object]", key: str) -> "list[object]":
+    value = data.get(key)
+    if not isinstance(value, list):
+        raise SimulationError(
+            f"fleet.run.start event is missing the {key!r} list"
+        )
+    return value
+
+
+def _string_list(value: object) -> "list[str]":
+    if not isinstance(value, list):
+        return []
+    return [str(item) for item in value]
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SimulationError(f"expected an integer journal field, got {value!r}")
+    return value
+
+
+def _as_float(value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SimulationError(f"expected a numeric journal field, got {value!r}")
+    return float(value)
+
+
+def format_replay(report: ReplayReport) -> str:
+    """Human-readable ``repro journal replay`` output."""
+    result = report.result
+    lines = [
+        f"replayed {result.n_devices} device(s) × {result.n_rounds} "
+        f"round(s) [{result.mode}/{result.n_shards} shard(s), "
+        f"seed {result.seed}]:",
+        f"  bytes:      {result.total_bytes}",
+        f"  joules:     {result.total_energy_joules:.6f}",
+        f"  uploaded:   {result.total_uploaded}",
+        f"  eliminated: {result.total_eliminated}",
+        f"  fingerprint {report.fingerprint}",
+    ]
+    if report.recorded_fingerprint is not None:
+        verdict = (
+            "MATCHES" if report.fingerprint == report.recorded_fingerprint
+            else "DOES NOT MATCH"
+        )
+        lines.append(f"  recorded    {report.recorded_fingerprint} [{verdict}]")
+    for issue in report.issues:
+        lines.append(f"  issue: {issue}")
+    lines.append("replay OK" if report.ok else "replay FAILED")
+    return "\n".join(lines)

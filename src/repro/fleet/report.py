@@ -19,7 +19,8 @@ import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..errors import SimulationError
+from ..errors import BeesError, SimulationError
+from ..obs.journal import first_divergence, read_journal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines.base import BatchReport
@@ -95,6 +96,11 @@ class FleetResult:
     seed: int
     devices: "tuple[DeviceResult, ...]"
     wall_seconds: float
+    #: Path of the decision journal recorded alongside the run, if any.
+    #: Excluded from the fingerprint (it's provenance, not a decision);
+    #: :func:`assert_equivalent` reads it to *name* the first divergent
+    #: event when two runs disagree.
+    journal_path: "str | None" = None
 
     # -- totals (device-order sums: see DeviceResult.from_reports) ---------
 
@@ -140,7 +146,14 @@ class FleetResult:
 
 
 def assert_equivalent(reference: FleetResult, candidate: FleetResult) -> None:
-    """Raise with a per-device diff unless the two runs match exactly."""
+    """Raise with a pinpoint diagnosis unless the two runs match exactly.
+
+    When both results carry decision journals, the failure names the
+    **first divergent journal event** — device, image, stage, and the
+    payload fields that differ — turning the boolean fingerprint check
+    into a localized diagnosis.  Without journals it falls back to the
+    per-device summary diff (which keys differ, not why).
+    """
     if reference.fingerprint() == candidate.fingerprint():
         return
     lines = [
@@ -148,6 +161,9 @@ def assert_equivalent(reference: FleetResult, candidate: FleetResult) -> None:
         f"({reference.mode}/{reference.n_shards} shard(s) vs "
         f"{candidate.mode}/{candidate.n_shards} shard(s)):"
     ]
+    divergence = _journal_divergence(reference, candidate)
+    if divergence is not None:
+        lines.append(f"  first divergent journal event: {divergence}")
     left = reference.decisions()
     right = candidate.decisions()
     for device in sorted(set(left) | set(right)):
@@ -159,5 +175,23 @@ def assert_equivalent(reference: FleetResult, candidate: FleetResult) -> None:
             continue
         for key in sorted(set(a) | set(b)):
             if a.get(key) != b.get(key):
-                lines.append(f"  {device}.{key}: {a.get(key)!r} != {b.get(key)!r}")
+                lines.append(f"  {device}.{key}: differs")
     raise SimulationError("\n".join(lines))
+
+
+def _journal_divergence(
+    reference: FleetResult, candidate: FleetResult
+) -> "str | None":
+    """Describe the first divergent journal event, if journals exist."""
+    if reference.journal_path is None or candidate.journal_path is None:
+        return None
+    try:
+        divergence = first_divergence(
+            read_journal(reference.journal_path),
+            read_journal(candidate.journal_path),
+        )
+    except (BeesError, OSError):
+        return None  # a missing/corrupt journal must not mask the diff
+    if divergence is None:
+        return None
+    return divergence.describe()

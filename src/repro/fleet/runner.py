@@ -44,6 +44,7 @@ from ..index import FeatureIndex, ShardedFeatureIndex
 from ..kernels.cache import get_match_cache
 from ..network import FluctuatingChannel, Uplink
 from ..obs import get_obs
+from ..obs.journal import get_journal
 from ..schemes import make_scheme
 from ..sim.device import Smartphone
 from ..sim.session import scheme_extractor
@@ -129,13 +130,33 @@ class FleetRunner:
     # -- execution -----------------------------------------------------------
 
     def run(self) -> FleetResult:
-        """Run all rounds; returns the per-device decision summary."""
+        """Run all rounds; returns the per-device decision summary.
+
+        When the global decision journal (:func:`repro.obs.journal.
+        get_journal`) is enabled, the run brackets its events with
+        ``fleet.run.start`` / ``fleet.run.end`` records — the contract
+        ``repro journal replay`` rebuilds the result from — and the
+        returned :class:`FleetResult` carries the journal path.
+        """
         assert self.workload is not None
         devices = self._build_devices()
         server = self._build_server()
         reports: "list[list[BatchReport]]" = [[] for _ in range(self.n_devices)]
         halted = [False] * self.n_devices
         obs = get_obs()
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "fleet.run.start",
+                mode=self.mode,
+                scheme=self.scheme,
+                n_devices=self.n_devices,
+                n_shards=self.n_shards,
+                n_rounds=self.n_rounds,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                devices=[device.name for device in devices],
+            )
         cache_stats_start = get_match_cache().stats()
         t0 = time.perf_counter()
         with obs.span(
@@ -171,7 +192,7 @@ class FleetRunner:
                     cache_stats["misses"] - cache_stats_start["misses"],
                 )
         wall_seconds = time.perf_counter() - t0  # beeslint: disable=raw-timing (FleetResult wall clock, reported not recorded)
-        return FleetResult(
+        result = FleetResult(
             mode=self.mode,
             scheme=self.scheme,
             n_devices=self.n_devices,
@@ -183,7 +204,23 @@ class FleetRunner:
                 for number in range(self.n_devices)
             ),
             wall_seconds=wall_seconds,
+            journal_path=(
+                str(journal.path)
+                if journal.enabled and journal.path is not None
+                else None
+            ),
         )
+        if journal.enabled:
+            journal.emit(
+                "fleet.run.end",
+                fingerprint=result.fingerprint(),
+                total_bytes=result.total_bytes,
+                total_energy_joules=result.total_energy_joules,
+                total_uploaded=result.total_uploaded,
+                total_eliminated=result.total_eliminated,
+            )
+            journal.flush()
+        return result
 
     def _run_round(
         self,
@@ -196,6 +233,10 @@ class FleetRunner:
     ) -> None:
         assert self.workload is not None
         obs = get_obs()
+        journal = get_journal()
+        round_cache_start = (
+            get_match_cache().stats() if journal.enabled else None
+        )
         active = [
             number
             for number in range(self.n_devices)
@@ -223,7 +264,14 @@ class FleetRunner:
             round_context = obs.capture_context()
 
             def job(number: int) -> BatchReport:
-                with obs.attach(round_context):
+                # The journal binding wraps the whole pipeline, so every
+                # decision event the stages emit (cbrd.verdict,
+                # aiu.prepare, policy.applied, ssmm.select) carries this
+                # device — thread-local, so concurrent jobs never leak
+                # into each other's streams.
+                with obs.attach(round_context), journal.bind(
+                    devices[number].name
+                ):
                     with obs.span(
                         "fleet.device",
                         device=devices[number].name,
@@ -234,6 +282,20 @@ class FleetRunner:
                         )
                         span.set_attribute("n_uploaded", report.n_uploaded)
                         span.set_attribute("halted", report.halted)
+                    if journal.enabled:
+                        journal.emit(
+                            "fleet.batch",
+                            round=round_no,
+                            n_images=report.n_images,
+                            uploaded=list(report.uploaded_ids),
+                            eliminated_cross=list(
+                                report.eliminated_cross_batch
+                            ),
+                            eliminated_in=list(report.eliminated_in_batch),
+                            sent_bytes=report.sent_bytes,
+                            energy=dict(report.energy_by_category),
+                            halted=report.halted,
+                        )
                 if obs.enabled:
                     obs.fleet_queue_depth.dec()
                 return report
@@ -259,3 +321,23 @@ class FleetRunner:
             if obs.enabled:
                 obs.fleet_queue_depth.set(0)
                 obs.fleet_rounds.inc()
+            if journal.enabled and round_cache_start is not None:
+                journal.emit(
+                    "fleet.round",
+                    round=round_no,
+                    n_active=len(active),
+                    n_committed=committed,
+                )
+                # Aggregated per-round cache deltas: the shared LRU
+                # races across device threads (hit-or-miss never
+                # changes a decision), so this event is diagnostics
+                # only and diffs ignore it (DIFF_IGNORED_EVENTS).
+                cache_stats = get_match_cache().stats()
+                journal.emit(
+                    "kernel.cache",
+                    round=round_no,
+                    hits=cache_stats["hits"] - round_cache_start["hits"],
+                    misses=(
+                        cache_stats["misses"] - round_cache_start["misses"]
+                    ),
+                )

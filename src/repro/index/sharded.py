@@ -47,6 +47,7 @@ import numpy as np
 from ..errors import IndexError_
 from ..features.base import FeatureSet
 from ..obs import get_obs
+from ..obs.journal import get_journal
 from .index import FeatureIndex, QueryResult, rank_votes, verify_candidates
 
 DEFAULT_N_SHARDS = 4
@@ -144,6 +145,15 @@ class ShardedFeatureIndex:
             lock.release()
         if obs.enabled:
             obs.shard_entries.set(size, shard=shard_no)
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "index.route",
+                image_id=image_id,
+                shard=shard_no,
+                n_shards=self.n_shards,
+                shard_size=size,
+            )
 
     # -- queries (lock-free) -------------------------------------------------
 

@@ -6,6 +6,15 @@ coupling between the engine and the rules.
 
 from __future__ import annotations
 
-from . import battery, constants, floateq, obs, rng, timing, units
+from . import battery, constants, floateq, journal, obs, rng, timing, units
 
-__all__ = ["battery", "constants", "floateq", "obs", "rng", "timing", "units"]
+__all__ = [
+    "battery",
+    "constants",
+    "floateq",
+    "journal",
+    "obs",
+    "rng",
+    "timing",
+    "units",
+]

@@ -1,0 +1,161 @@
+"""BEES108 ``missing-journal-event`` — decision sites must journal.
+
+The decision-provenance journal (:mod:`repro.obs.journal`) is only a
+flight recorder if every decision site reports to it: a verdict that
+never lands in the journal cannot be explained, diffed, or replayed.
+This rule walks the four decision-bearing modules — ``core/ard.py``,
+``core/aiu.py``, ``core/policies.py``, ``dtn/routing.py`` — and flags
+any *decision site* that can return without a journal event on any
+path to ``.emit(...)``:
+
+* functions whose return annotation names a verdict type
+  (``CbrdDecision``, ``AiuResult``, ``DeliveryReport``);
+* ``__call__`` on ``*Policy*`` classes (the EAAS policies);
+* the DTN dynamics entry points ``_exchange`` and ``step``.
+
+A site passes if it emits directly **or** calls (by simple name,
+transitively, within the same file) a function that does — the idiom
+here is a per-module ``_emit`` funnel, and e.g. ``decide`` →
+``_classify`` → ``_emit`` must count as covered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, iter_nodes, register
+
+#: Basenames of the modules whose functions make journaled decisions.
+_TARGET_BASENAMES = frozenset({"ard.py", "aiu.py", "policies.py", "routing.py"})
+
+#: Return-annotation type names that mark a function as a decision site.
+_DECISION_TYPES = ("CbrdDecision", "AiuResult", "DeliveryReport")
+
+#: Function names that are decision sites regardless of annotation
+#: (the DTN dynamics: forwarding and gateway delivery).
+_NAMED_SITES = frozenset({"_exchange", "step"})
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_abstract(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    for decorator in func.decorator_list:
+        name = ""
+        if isinstance(decorator, ast.Name):
+            name = decorator.id
+        elif isinstance(decorator, ast.Attribute):
+            name = decorator.attr
+        if name in {"abstractmethod", "abstractproperty"}:
+            return True
+    return False
+
+
+def _emits_directly(func: ast.AST) -> bool:
+    """Does *func* contain an ``<anything>.emit(...)`` call?"""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            return True
+    return False
+
+
+def _called_names(func: ast.AST) -> "set[str]":
+    """Simple names *func* calls: ``foo(...)`` and ``self.foo(...)``."""
+    names = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name):
+            names.add(node.func.id)
+        elif isinstance(node.func, ast.Attribute):
+            names.add(node.func.attr)
+    return names
+
+
+def _enclosing_class(ctx: FileContext, node: ast.AST) -> "ast.ClassDef | None":
+    parent = ctx.parent(node)
+    while parent is not None:
+        if isinstance(parent, ast.ClassDef):
+            return parent
+        parent = ctx.parent(parent)
+    return None
+
+
+def _returns_text(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> str:
+    if func.returns is None:
+        return ""
+    return ast.unparse(func.returns)
+
+
+@register
+class MissingJournalEventRule(Rule):
+    """Decision sites in the journaled modules must reach ``.emit``."""
+
+    name = "missing-journal-event"
+    code = "BEES108"
+    summary = (
+        "decision sites in core/ard.py, core/aiu.py, core/policies.py, "
+        "and dtn/routing.py must emit (or transitively reach) a "
+        "decision-journal event"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        basename = ctx.path.replace("\\", "/").rsplit("/", 1)[-1]
+        if basename not in _TARGET_BASENAMES:
+            return
+        functions = [
+            node
+            for node in iter_nodes(ctx.tree, _FunctionNode)
+            if isinstance(node, _FunctionNode)
+        ]
+        # Fixpoint closure over same-file calls by simple name: a
+        # function "emits" if it contains .emit(...) or calls another
+        # in-file function that does (e.g. decide -> _classify -> _emit).
+        emitting = {func.name for func in functions if _emits_directly(func)}
+        calls = {func.name: _called_names(func) for func in functions}
+        changed = True
+        while changed:
+            changed = False
+            for func in functions:
+                if func.name in emitting:
+                    continue
+                if calls[func.name] & emitting:
+                    emitting.add(func.name)
+                    changed = True
+        for func in functions:
+            if _is_abstract(func) or func.name in emitting:
+                continue
+            site = self._site_kind(ctx, func)
+            if site is None:
+                continue
+            yield self.make(
+                ctx,
+                func,
+                f"{func.name} is a decision site ({site}) but no path "
+                "through it reaches a journal .emit(...) — every verdict "
+                "must land in the decision journal",
+            )
+
+    def _site_kind(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> "str | None":
+        """Why *func* is a decision site, or ``None`` if it isn't one."""
+        returns = _returns_text(func)
+        for type_name in _DECISION_TYPES:
+            if type_name in returns:
+                return f"returns {type_name}"
+        enclosing = _enclosing_class(ctx, func)
+        if (
+            func.name == "__call__"
+            and enclosing is not None
+            and "Policy" in enclosing.name
+        ):
+            return f"{enclosing.name}.__call__ policy application"
+        if func.name in _NAMED_SITES:
+            return f"DTN dynamics entry point {func.name}"
+        return None

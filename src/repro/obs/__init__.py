@@ -35,6 +35,27 @@ from .exporters import (
     write_jsonl,
     write_prometheus,
 )
+from .journal import (
+    DIFF_IGNORED_EVENTS,
+    SCHEMA_VERSION,
+    DecisionJournal,
+    DeviceStats,
+    JournalDivergence,
+    JournalFile,
+    JournalRecord,
+    JournalStats,
+    configure_journal,
+    disable_journal,
+    explain_image,
+    first_divergence,
+    format_explain,
+    format_stats,
+    get_journal,
+    journal_stats,
+    journal_to,
+    read_journal,
+    set_journal,
+)
 from .live import LiveSampler, RingBuffer, StreamingAggregator, series_key
 from .metrics import (
     DEFAULT_STAGE_BUCKETS,
@@ -69,16 +90,24 @@ from .slo import (
 from .tracer import EMPTY_CONTEXT, NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
+    "DIFF_IGNORED_EVENTS",
     "EMPTY_CONTEXT",
     "NULL_SPAN",
     "DEFAULT_STAGE_BUCKETS",
     "MAX_LABEL_SETS",
     "PIPELINE_STAGES",
+    "SCHEMA_VERSION",
     "BurnWindow",
     "CardinalityWarning",
     "Counter",
+    "DecisionJournal",
+    "DeviceStats",
     "Gauge",
     "Histogram",
+    "JournalDivergence",
+    "JournalFile",
+    "JournalRecord",
+    "JournalStats",
     "LiveSampler",
     "MetricsRegistry",
     "Observability",
@@ -93,6 +122,17 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "bucket_quantile",
+    "configure_journal",
+    "disable_journal",
+    "explain_image",
+    "first_divergence",
+    "format_explain",
+    "format_stats",
+    "get_journal",
+    "journal_stats",
+    "journal_to",
+    "read_journal",
+    "set_journal",
     "burn_rate",
     "configure",
     "console_summary",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import html as html_escape
 import math
 
+from .journal import DecisionJournal
 from .live import StreamingAggregator
 from .runtime import Observability, get_obs
 from .slo import SloSpec, evaluate_live
@@ -72,6 +73,7 @@ def render_frame(
     obs: "Observability | None" = None,
     spec: "SloSpec | None" = None,
     width: int = 80,
+    journal: "DecisionJournal | None" = None,
 ) -> str:
     """One terminal frame over the aggregator's current snapshot."""
     sparkline, format_table = _charts()
@@ -177,6 +179,31 @@ def render_frame(
     if shard_rows:
         lines.append("")
         lines.append(format_table(["shard", "entries", "trend"], shard_rows))
+
+    # -- decision journal counters -------------------------------------------
+    if journal is not None and journal.enabled:
+        counters = journal.snapshot()
+        by_event = counters["by_event"]
+        by_device = counters["by_device"]
+        assert isinstance(by_event, dict) and isinstance(by_device, dict)
+        lines.append("")
+        lines.append(
+            f"journal {counters['run']}: {counters['events']} event(s)"
+            + (f" -> {counters['path']}" if counters["path"] else "")
+        )
+        journal_rows = [
+            [event, _fmt(float(count))]
+            for event, count in sorted(
+                by_event.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        if journal_rows:
+            lines.append(format_table(["event", "count"], journal_rows))
+        device_counts = [
+            f"{device}:{count}" for device, count in sorted(by_device.items())
+        ]
+        if device_counts:
+            lines.append("per-device events: " + "  ".join(device_counts))
 
     # -- live SLO verdicts ---------------------------------------------------
     if spec is not None:

@@ -1,0 +1,735 @@
+"""The decision-provenance journal — a flight recorder for BEES runs.
+
+Aggregate metrics say *how much* a run uploaded; spans say *how long*
+stages took.  Neither says **why** image ``img-0042`` was eliminated.
+The journal does: every decision site in the pipeline — CBRD verdicts,
+AIU transmit/passthrough, EAAS policy evaluations, SSMM selections,
+shard routing, DTN forwards and drops — appends one typed, structured
+event to an append-only, schema-versioned JSONL file, and the
+``repro journal`` CLI reconstructs causal chains (``explain``),
+pinpoints the first divergent event between two runs (``diff``),
+re-derives a :class:`~repro.fleet.report.FleetResult` from events alone
+(``replay``, in :mod:`repro.fleet.replay`), and summarises per-device
+health (``stats``).
+
+Design rules the rest of the repo relies on:
+
+* **Disabled by default, one attribute check on the hot path.**
+  :func:`get_journal` returns a process-wide instance whose
+  ``enabled`` flag gates every emission, exactly like
+  :func:`repro.obs.runtime.get_obs`.
+* **Records are deterministic.**  No wall-clock timestamps inside
+  records; float payloads round-trip exactly through JSON (``repr``
+  based), so replaying energy sums in round order is *byte*-identical
+  to the live run.  The only nondeterministic event type is
+  ``kernel.cache`` (the shared LRU races across device threads) and it
+  is excluded from diffs (:data:`DIFF_IGNORED_EVENTS`).
+* **One global monotonic sequence.**  ``seq`` increases under a lock,
+  so any single device's events are strictly ordered even when many
+  pool threads interleave (pinned by
+  ``tests/obs/test_journal.py::test_concurrent_writers_keep_per_device_order``).
+* **Torn tails are survivable.**  A crash mid-write leaves at most one
+  partial final line; :func:`read_journal` skips it and reports it via
+  :attr:`JournalFile.torn_tail` instead of failing the whole file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from ..errors import ObservabilityError
+from .runtime import get_obs
+
+#: Journal file format version; bump on any incompatible record change.
+SCHEMA_VERSION = 1
+
+#: The event name of the first record in every journal file.
+HEADER_EVENT = "journal.header"
+
+#: Records buffered in memory before a write hits the file.
+DEFAULT_FLUSH_EVERY = 256
+
+#: Event types excluded from cross-run diffs: ``kernel.cache`` is
+#: genuinely nondeterministic (the shared LRU races across device
+#: threads and never changes a decision); ``index.route`` and the run
+#: lifecycle events depend on the *configuration* (shard count, mode)
+#: that an equivalence diff deliberately allows to differ.
+DIFF_IGNORED_EVENTS = frozenset(
+    {"kernel.cache", "index.route", "fleet.run.start", "fleet.run.end"}
+)
+
+#: A device whose total joules exceed the fleet median by this ratio is
+#: flagged as a battery-drain outlier by :func:`journal_stats`.
+STATS_ENERGY_OUTLIER_RATIO = 1.25
+
+#: A device whose elimination rate strays this far (absolute) from the
+#: fleet mean is flagged as drifting by :func:`journal_stats`.
+STATS_DRIFT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decision event.
+
+    ``seq`` is the run-global monotonic sequence number; ``device`` and
+    ``image`` identify what the decision was about (either may be
+    ``None`` — coordinator events carry no device); ``span`` is the
+    enclosing tracer span id when observability is enabled.
+    """
+
+    seq: int
+    event: str
+    device: "str | None"
+    image: "str | None"
+    span: "int | None"
+    data: "dict[str, object]"
+
+    def to_json_dict(self) -> "dict[str, object]":
+        return {
+            "seq": self.seq,
+            "event": self.event,
+            "device": self.device,
+            "image": self.image,
+            "span": self.span,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_json_dict(cls, raw: "dict[str, object]") -> "JournalRecord":
+        data = raw["data"]
+        if not isinstance(data, dict):
+            raise ObservabilityError("journal record 'data' must be an object")
+        return cls(
+            seq=_to_int(raw["seq"]),
+            event=str(raw["event"]),
+            device=None if raw.get("device") is None else str(raw["device"]),
+            image=None if raw.get("image") is None else str(raw["image"]),
+            span=None if raw.get("span") is None else _to_int(raw["span"]),
+            data=data,
+        )
+
+
+def _to_int(value: object) -> int:
+    """A strict JSON-value-to-int coercion (no silent float truncation)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ObservabilityError(f"expected an integer, got {value!r}")
+    return value
+
+
+def _to_float(value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ObservabilityError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+class _DeviceBinding(threading.local):
+    """Thread-local device context (set by the fleet runner's jobs)."""
+
+    device: "str | None" = None
+
+
+class DecisionJournal:
+    """A buffered, append-only JSONL writer of :class:`JournalRecord`.
+
+    With ``path=None`` the journal records in memory only (``records``)
+    — handy for tests and the live dashboard panel; with a path, records
+    stream to disk through a bounded buffer flushed every
+    ``flush_every`` events and on :meth:`flush`/:meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        run_id: "str | None" = None,
+        enabled: bool = True,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        if flush_every < 1:
+            raise ObservabilityError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self.enabled = enabled
+        self.path: "Path | None" = None if path is None else Path(path)
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.flush_every = flush_every
+        self.records: "list[JournalRecord]" = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._binding = _DeviceBinding()
+        self._buffer: "list[str]" = []
+        self._handle: "IO[str] | None" = None
+        self._counts: "dict[str, int]" = {}
+        self._device_counts: "dict[str, int]" = {}
+        if self.enabled and self.path is not None:
+            self._handle = self.path.open("w", encoding="utf-8")
+            header: "dict[str, object]" = {
+                "event": HEADER_EVENT,
+                "schema": SCHEMA_VERSION,
+                "run": self.run_id,
+            }
+            self._handle.write(json.dumps(header) + "\n")
+
+    # -- context -------------------------------------------------------------
+
+    @property
+    def device(self) -> "str | None":
+        """The device bound to the calling thread, if any."""
+        return self._binding.device
+
+    @contextlib.contextmanager
+    def bind(self, device: "str | None") -> Iterator[None]:
+        """Attribute every emission in the block to *device*.
+
+        Thread-local, so concurrent fleet jobs binding different
+        devices never see each other's context.  Cheap enough to use
+        unconditionally (it works on a disabled journal too).
+        """
+        previous = self._binding.device
+        self._binding.device = device
+        try:
+            yield
+        finally:
+            self._binding.device = previous
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(
+        self,
+        event: str,
+        image_id: "str | None" = None,
+        **data: object,
+    ) -> "JournalRecord | None":
+        """Append one event; returns the record, or ``None`` if disabled.
+
+        The enclosing tracer span id is captured automatically when
+        observability is enabled, tying every decision back to the span
+        tree it happened under.
+        """
+        if not self.enabled:
+            return None
+        obs = get_obs()
+        span = obs.tracer.active if obs.enabled else None
+        device = self._binding.device
+        with self._lock:
+            record = JournalRecord(
+                seq=self._seq,
+                event=event,
+                device=device,
+                image=image_id,
+                span=None if span is None else span.span_id,
+                data=data,
+            )
+            self._seq += 1
+            self._counts[event] = self._counts.get(event, 0) + 1
+            if device is not None:
+                self._device_counts[device] = (
+                    self._device_counts.get(device, 0) + 1
+                )
+            if self._handle is not None:
+                self._buffer.append(json.dumps(record.to_json_dict()))
+                if len(self._buffer) >= self.flush_every:
+                    self._flush_locked()
+            else:
+                self.records.append(record)
+        return record
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        if self._handle is not None and self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def flush(self) -> None:
+        """Write any buffered records through to the file."""
+        with self._lock:
+            self._flush_locked()
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file; idempotent."""
+        with self._lock:
+            self._flush_locked()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- introspection (feeds the ``repro top`` journal panel) ---------------
+
+    def snapshot(self) -> "dict[str, object]":
+        """Live counters: total events, per-event and per-device counts."""
+        with self._lock:
+            return {
+                "run": self.run_id,
+                "path": None if self.path is None else str(self.path),
+                "events": self._seq,
+                "by_event": dict(self._counts),
+                "by_device": dict(self._device_counts),
+            }
+
+
+#: The process-wide journal; disabled by default so every decision site
+#: costs one attribute check.
+_DISABLED = DecisionJournal(enabled=False)
+_JOURNAL = _DISABLED
+
+
+def get_journal() -> DecisionJournal:
+    """The current global decision journal (disabled by default)."""
+    return _JOURNAL
+
+
+def set_journal(journal: DecisionJournal) -> DecisionJournal:
+    """Install *journal* globally; returns the previous one."""
+    global _JOURNAL
+    previous = _JOURNAL
+    _JOURNAL = journal
+    return previous
+
+
+def configure_journal(
+    path: "str | Path | None" = None,
+    run_id: "str | None" = None,
+    flush_every: int = DEFAULT_FLUSH_EVERY,
+) -> DecisionJournal:
+    """Install (and return) a fresh enabled global journal."""
+    journal = DecisionJournal(
+        path=path, run_id=run_id, enabled=True, flush_every=flush_every
+    )
+    set_journal(journal)
+    return journal
+
+
+def disable_journal() -> DecisionJournal:
+    """Close any active journal and restore the disabled default."""
+    global _JOURNAL
+    if _JOURNAL.enabled:
+        _JOURNAL.close()
+    _JOURNAL = _DISABLED
+    return _JOURNAL
+
+
+@contextlib.contextmanager
+def journal_to(
+    path: "str | Path",
+    run_id: "str | None" = None,
+) -> Iterator[DecisionJournal]:
+    """Journal everything in the block to *path* (one file per run)."""
+    journal = DecisionJournal(path=path, run_id=run_id, enabled=True)
+    previous = set_journal(journal)
+    try:
+        yield journal
+    finally:
+        journal.close()
+        set_journal(previous)
+
+
+# -- reading -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalFile:
+    """A parsed journal: header + records (+ the torn tail, if any)."""
+
+    path: str
+    header: "dict[str, object]"
+    records: "tuple[JournalRecord, ...]"
+    #: The raw final line skipped by torn-tail recovery, or ``None``.
+    torn_tail: "str | None" = None
+
+    @property
+    def run_id(self) -> str:
+        return str(self.header.get("run", ""))
+
+    def events(self, *names: str) -> "list[JournalRecord]":
+        """Records whose event type is one of *names* (all if empty)."""
+        if not names:
+            return list(self.records)
+        wanted = set(names)
+        return [record for record in self.records if record.event in wanted]
+
+    def by_device(self) -> "dict[str | None, list[JournalRecord]]":
+        """Records grouped by device, per-device order preserved."""
+        grouped: "dict[str | None, list[JournalRecord]]" = {}
+        for record in self.records:
+            grouped.setdefault(record.device, []).append(record)
+        return grouped
+
+    def for_image(self, image_id: str) -> "list[JournalRecord]":
+        """Every record that mentions *image_id* (subject or payload)."""
+        return [
+            record
+            for record in self.records
+            if _mentions(record, image_id)
+        ]
+
+
+def _mentions(record: JournalRecord, image_id: str) -> bool:
+    if record.image == image_id:
+        return True
+    for value in record.data.values():
+        if value == image_id:
+            return True
+        if isinstance(value, list) and image_id in value:
+            return True
+    return False
+
+
+def read_journal(path: "str | Path") -> JournalFile:
+    """Parse a journal file, recovering from a torn final record.
+
+    A record that fails to parse anywhere *except* the final line is a
+    corruption error; a failing final line is the expected signature of
+    a crash mid-write and is skipped (reported via ``torn_tail``).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        raise ObservabilityError(f"journal {path} is empty")
+    header = _parse_header(path, lines[0])
+    records: "list[JournalRecord]" = []
+    torn_tail: "str | None" = None
+    last = len(lines) - 1
+    for number, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(JournalRecord.from_json_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError, ObservabilityError) as exc:
+            if number == last:
+                torn_tail = line
+                break
+            raise ObservabilityError(
+                f"journal {path} is corrupt at line {number + 1}: {exc}"
+            ) from exc
+    return JournalFile(
+        path=str(path),
+        header=header,
+        records=tuple(records),
+        torn_tail=torn_tail,
+    )
+
+
+def _parse_header(path: "str | Path", line: str) -> "dict[str, object]":
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"journal {path} has an unreadable header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("event") != HEADER_EVENT:
+        raise ObservabilityError(
+            f"journal {path} does not start with a {HEADER_EVENT!r} record"
+        )
+    schema = header.get("schema")
+    if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"journal {path} has unsupported schema {schema!r} "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+    return header
+
+
+# -- diff --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalDivergence:
+    """The first decision event on which two runs disagree."""
+
+    device: "str | None"
+    #: Position within the device's (filtered) event stream.
+    position: int
+    left: "JournalRecord | None"
+    right: "JournalRecord | None"
+
+    def describe(self) -> str:
+        device = self.device if self.device is not None else "<coordinator>"
+        if self.left is None or self.right is None:
+            present = self.left if self.left is not None else self.right
+            side = "left" if self.left is not None else "right"
+            assert present is not None
+            return (
+                f"device {device}, event #{self.position}: only the {side} "
+                f"run has {present.event}"
+                + (f" on {present.image}" if present.image else "")
+                + f" {json.dumps(present.data, sort_keys=True)}"
+            )
+        subject = self.left.image or self.right.image or "<no image>"
+        if self.left.event != self.right.event:
+            return (
+                f"device {device}, event #{self.position}: stage mismatch — "
+                f"{self.left.event} (on {self.left.image}) vs "
+                f"{self.right.event} (on {self.right.image})"
+            )
+        changed = sorted(
+            set(self.left.data) | set(self.right.data),
+        )
+        fields = ", ".join(
+            f"{key}: {self.left.data.get(key)!r} != {self.right.data.get(key)!r}"
+            for key in changed
+            if self.left.data.get(key) != self.right.data.get(key)
+        )
+        if self.left.image != self.right.image:
+            fields = (
+                f"image: {self.left.image!r} != {self.right.image!r}"
+                + (f", {fields}" if fields else "")
+            )
+        return (
+            f"device {device}, event #{self.position}: {self.left.event} on "
+            f"{subject} diverges ({fields})"
+        )
+
+
+def _comparable_streams(
+    journal: JournalFile, ignore: "frozenset[str]"
+) -> "dict[str | None, list[JournalRecord]]":
+    return {
+        device: [record for record in stream if record.event not in ignore]
+        for device, stream in journal.by_device().items()
+    }
+
+
+def first_divergence(
+    left: JournalFile,
+    right: JournalFile,
+    ignore: "frozenset[str]" = DIFF_IGNORED_EVENTS,
+) -> "JournalDivergence | None":
+    """The first per-device event where two journals disagree.
+
+    Comparison is per device stream (global interleaving legitimately
+    differs between sequential and concurrent modes; each device's own
+    order does not), on ``(event, image, data)`` — volatile fields
+    (``seq``, ``span``) and :data:`DIFF_IGNORED_EVENTS` are excluded.
+    Returns ``None`` when the journals are decision-identical.
+    """
+    left_streams = _comparable_streams(left, ignore)
+    right_streams = _comparable_streams(right, ignore)
+    devices = sorted(
+        set(left_streams) | set(right_streams),
+        key=lambda device: (device is not None, device or ""),
+    )
+    for device in devices:
+        ours = left_streams.get(device, [])
+        theirs = right_streams.get(device, [])
+        for position, (a, b) in enumerate(zip(ours, theirs)):
+            if (a.event, a.image, a.data) != (b.event, b.image, b.data):
+                return JournalDivergence(
+                    device=device, position=position, left=a, right=b
+                )
+        if len(ours) != len(theirs):
+            position = min(len(ours), len(theirs))
+            return JournalDivergence(
+                device=device,
+                position=position,
+                left=ours[position] if position < len(ours) else None,
+                right=theirs[position] if position < len(theirs) else None,
+            )
+    return None
+
+
+# -- explain -----------------------------------------------------------------
+
+
+def explain_image(journal: JournalFile, image_id: str) -> "list[JournalRecord]":
+    """The causal chain of one image, in emission (seq) order.
+
+    Includes events where the image is the subject *and* events whose
+    payload references it (e.g. it was another image's best CBRD match,
+    or it rode along in a DTN forward).
+    """
+    return journal.for_image(image_id)
+
+
+def format_explain(journal: JournalFile, image_id: str) -> str:
+    """Human-readable ``repro journal explain`` output."""
+    chain = explain_image(journal, image_id)
+    if not chain:
+        return f"no journal events mention image {image_id!r}"
+    lines = [
+        f"image {image_id} — {len(chain)} event(s) in run {journal.run_id}:"
+    ]
+    for record in chain:
+        device = record.device if record.device is not None else "-"
+        role = "subject" if record.image == image_id else "referenced"
+        lines.append(
+            f"  #{record.seq:<6d} {device:<12s} {record.event:<16s} "
+            f"[{role}] {json.dumps(record.data, sort_keys=True)}"
+        )
+    return "\n".join(lines)
+
+
+# -- stats -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceStats:
+    """Per-device health derived from ``fleet.batch`` events."""
+
+    device: str
+    events: int
+    batches: int
+    images: int
+    uploaded: int
+    eliminated_cross: int
+    eliminated_in: int
+    sent_bytes: int
+    energy_joules: float
+    halted: bool
+
+    @property
+    def elimination_rate(self) -> float:
+        if self.images == 0:
+            return 0.0
+        return (self.eliminated_cross + self.eliminated_in) / self.images
+
+
+@dataclass(frozen=True)
+class JournalStats:
+    """Fleet-level health summary of one journal."""
+
+    run_id: str
+    n_records: int
+    torn: bool
+    devices: "tuple[DeviceStats, ...]"
+    #: Devices that halted (battery death) or uploaded nothing while
+    #: the rest of the fleet did — the run's stragglers.
+    stragglers: "tuple[str, ...]"
+    #: Devices whose joules exceed the fleet median by
+    #: :data:`STATS_ENERGY_OUTLIER_RATIO`.
+    energy_outliers: "tuple[str, ...]"
+    #: Devices whose elimination rate strays from the fleet mean by more
+    #: than :data:`STATS_DRIFT_TOLERANCE` — drift against the paper's
+    #: Fig. 6/12 expectation that rates track content, not devices.
+    elimination_drift: "tuple[str, ...]"
+
+
+@dataclass
+class _DeviceAccumulator:
+    batches: int = 0
+    images: int = 0
+    uploaded: int = 0
+    cross: int = 0
+    in_batch: int = 0
+    sent_bytes: int = 0
+    energy_joules: float = 0.0
+    halted: bool = False
+
+    def fold(self, data: "dict[str, object]") -> None:
+        self.batches += 1
+        self.images += _to_int(data.get("n_images", 0))
+        self.uploaded += len(_as_list(data.get("uploaded")))
+        self.cross += len(_as_list(data.get("eliminated_cross")))
+        self.in_batch += len(_as_list(data.get("eliminated_in")))
+        self.sent_bytes += _to_int(data.get("sent_bytes", 0))
+        energy = data.get("energy")
+        if isinstance(energy, dict):
+            total = 0.0
+            for joules in energy.values():
+                total += _to_float(joules)
+            self.energy_joules += total
+        self.halted = self.halted or bool(data.get("halted"))
+
+
+def journal_stats(journal: JournalFile) -> JournalStats:
+    """Summarise per-device health from a journal's batch events."""
+    per_device: "dict[str, _DeviceAccumulator]" = {}
+    event_counts: "dict[str, int]" = {}
+    for record in journal.records:
+        if record.device is not None:
+            event_counts[record.device] = (
+                event_counts.get(record.device, 0) + 1
+            )
+    for record in journal.events("fleet.batch"):
+        if record.device is None:
+            continue
+        per_device.setdefault(record.device, _DeviceAccumulator()).fold(
+            record.data
+        )
+    devices = tuple(
+        DeviceStats(
+            device=device,
+            events=event_counts.get(device, 0),
+            batches=slot.batches,
+            images=slot.images,
+            uploaded=slot.uploaded,
+            eliminated_cross=slot.cross,
+            eliminated_in=slot.in_batch,
+            sent_bytes=slot.sent_bytes,
+            energy_joules=slot.energy_joules,
+            halted=slot.halted,
+        )
+        for device, slot in sorted(per_device.items())
+    )
+    stragglers = tuple(
+        stats.device
+        for stats in devices
+        if stats.halted
+        or (stats.uploaded == 0 and any(d.uploaded for d in devices))
+    )
+    energies = sorted(stats.energy_joules for stats in devices)
+    median = energies[len(energies) // 2] if energies else 0.0
+    energy_outliers = tuple(
+        stats.device
+        for stats in devices
+        if median > 0.0
+        and stats.energy_joules > STATS_ENERGY_OUTLIER_RATIO * median
+    )
+    rates = [stats.elimination_rate for stats in devices]
+    mean_rate = sum(rates) / len(rates) if rates else 0.0
+    elimination_drift = tuple(
+        stats.device
+        for stats in devices
+        if abs(stats.elimination_rate - mean_rate) > STATS_DRIFT_TOLERANCE
+    )
+    return JournalStats(
+        run_id=journal.run_id,
+        n_records=len(journal.records),
+        torn=journal.torn_tail is not None,
+        devices=devices,
+        stragglers=stragglers,
+        energy_outliers=energy_outliers,
+        elimination_drift=elimination_drift,
+    )
+
+
+def _as_list(value: object) -> "list[object]":
+    return value if isinstance(value, list) else []
+
+
+def format_stats(stats: JournalStats) -> str:
+    """Human-readable ``repro journal stats`` output."""
+    lines = [
+        f"run {stats.run_id}: {stats.n_records} record(s), "
+        f"{len(stats.devices)} device(s)"
+        + (" [torn tail skipped]" if stats.torn else "")
+    ]
+    if stats.devices:
+        lines.append(
+            f"  {'device':<12s} {'batches':>7s} {'images':>7s} "
+            f"{'upload':>7s} {'elim':>6s} {'rate':>6s} {'bytes':>12s} "
+            f"{'joules':>10s} halted"
+        )
+        for device in stats.devices:
+            eliminated = device.eliminated_cross + device.eliminated_in
+            lines.append(
+                f"  {device.device:<12s} {device.batches:>7d} "
+                f"{device.images:>7d} {device.uploaded:>7d} "
+                f"{eliminated:>6d} {device.elimination_rate:>6.2f} "
+                f"{device.sent_bytes:>12d} {device.energy_joules:>10.3f} "
+                f"{'yes' if device.halted else 'no'}"
+            )
+    for label, names in (
+        ("stragglers", stats.stragglers),
+        ("battery-drain outliers", stats.energy_outliers),
+        ("elimination-rate drift", stats.elimination_drift),
+    ):
+        lines.append(f"  {label}: {', '.join(names) if names else 'none'}")
+    return "\n".join(lines)

@@ -307,3 +307,113 @@ class TestRawTiming:
             "d = time.perf_counter() - t0\n"
         )
         assert len(findings_for(source, "raw-timing")) == 1
+
+
+class TestMissingJournalEvent:
+    ARD_PATH = "src/repro/core/ard.py"
+
+    def test_flags_verdict_function_without_emit(self):
+        source = (
+            "def decide(self, features) -> CbrdDecision:\n"
+            "    return CbrdDecision(redundant=False)\n"
+        )
+        findings = findings_for(source, "missing-journal-event", path=self.ARD_PATH)
+        assert len(findings) == 1
+        assert "decide" in findings[0].message
+        assert "CbrdDecision" in findings[0].message
+
+    def test_allows_direct_emit(self):
+        source = (
+            "def decide(self, features) -> CbrdDecision:\n"
+            "    journal.emit('cbrd.verdict', redundant=False)\n"
+            "    return CbrdDecision(redundant=False)\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path=self.ARD_PATH
+        )
+
+    def test_allows_transitive_emit_through_funnel(self):
+        source = (
+            "def decide(self, features) -> CbrdDecision:\n"
+            "    return self._classify(features)\n"
+            "def _classify(self, features) -> CbrdDecision:\n"
+            "    return self._emit(CbrdDecision(redundant=False))\n"
+            "def _emit(self, decision) -> CbrdDecision:\n"
+            "    get_journal().emit('cbrd.verdict')\n"
+            "    return decision\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path=self.ARD_PATH
+        )
+
+    def test_string_annotation_counts_as_decision_site(self):
+        source = (
+            'def decide_batch(self, sets) -> "list[CbrdDecision]":\n'
+            "    return []\n"
+        )
+        findings = findings_for(source, "missing-journal-event", path=self.ARD_PATH)
+        assert len(findings) == 1
+
+    def test_ignores_non_target_modules(self):
+        source = (
+            "def decide(self, features) -> CbrdDecision:\n"
+            "    return CbrdDecision(redundant=False)\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path="src/repro/core/client.py"
+        )
+
+    def test_flags_policy_call_without_emit(self):
+        source = (
+            "class LinearPolicy:\n"
+            "    def __call__(self, ebat: float) -> float:\n"
+            "        return self.intercept + self.slope * ebat\n"
+        )
+        findings = findings_for(
+            source, "missing-journal-event", path="src/repro/core/policies.py"
+        )
+        assert len(findings) == 1
+        assert "LinearPolicy.__call__" in findings[0].message
+
+    def test_allows_non_policy_dunder_call(self):
+        source = (
+            "class Formatter:\n"
+            "    def __call__(self, value: float) -> float:\n"
+            "        return value\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path="src/repro/core/policies.py"
+        )
+
+    def test_flags_dtn_step_without_emit(self):
+        source = (
+            "class EpidemicSimulation:\n"
+            "    def step(self) -> None:\n"
+            "        self.transmissions += 1\n"
+        )
+        findings = findings_for(
+            source, "missing-journal-event", path="src/repro/dtn/routing.py"
+        )
+        assert len(findings) == 1
+        assert "step" in findings[0].message
+
+    def test_abstract_sites_are_exempt(self):
+        source = (
+            "import abc\n"
+            "class Ard(abc.ABC):\n"
+            "    @abc.abstractmethod\n"
+            "    def decide(self, features) -> CbrdDecision: ...\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path=self.ARD_PATH
+        )
+
+    def test_suppression_is_honoured(self):
+        source = (
+            "def decide(self, features) -> CbrdDecision:"
+            "  # beeslint: disable=missing-journal-event (fixture)\n"
+            "    return CbrdDecision(redundant=False)\n"
+        )
+        assert not findings_for(
+            source, "missing-journal-event", path=self.ARD_PATH
+        )

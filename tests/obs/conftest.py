@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.obs import disable
+from repro.obs import disable, disable_journal
 
 
 @pytest.fixture(autouse=True)
 def reset_observability():
-    """Leave the process-wide context disabled after every test."""
+    """Leave the process-wide context and journal disabled after every test."""
     yield
+    disable_journal()
     disable()

@@ -237,3 +237,102 @@ class TestCoverage:
         assert code == 0
         out = capsys.readouterr().out
         assert "unique locations" in out
+
+
+class TestJournalCommands:
+    def fleet_journal(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "fleet", "run",
+                "--devices", "2",
+                "--rounds", "1",
+                "--batch-size", "3",
+                "--shards", "1",
+                "--mode", "sequential",
+                "--journal", str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_fleet_run_writes_a_journal(self, tmp_path, capsys):
+        path = self.fleet_journal(tmp_path, capsys)
+        assert path.exists()
+        assert '"fleet.run.start"' in path.read_text()
+
+    def test_verify_journals_the_reference_run(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "fleet", "run",
+                "--devices", "2",
+                "--rounds", "1",
+                "--batch-size", "3",
+                "--verify",
+                "--journal", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert path.exists()
+        assert (tmp_path / "run.jsonl.ref").exists()
+
+    def test_journal_replay_round_trips(self, tmp_path, capsys):
+        path = self.fleet_journal(tmp_path, capsys)
+        assert main(["journal", "replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+        assert "MATCHES" in out
+
+    def test_journal_diff_of_identical_runs(self, tmp_path, capsys):
+        path = self.fleet_journal(tmp_path, capsys)
+        assert main(["journal", "diff", str(path), str(path)]) == 0
+        assert "decision-identical" in capsys.readouterr().out
+
+    def test_journal_stats_renders_devices(self, tmp_path, capsys):
+        path = self.fleet_journal(tmp_path, capsys)
+        assert main(["journal", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dev-00" in out
+        assert "stragglers" in out
+
+    def test_journal_explain_names_the_pipeline_stages(self, tmp_path, capsys):
+        path = self.fleet_journal(tmp_path, capsys)
+        import json as json_module
+
+        image_id = None
+        for line in path.read_text().splitlines()[1:]:
+            raw = json_module.loads(line)
+            if raw.get("image"):
+                image_id = raw["image"]
+                break
+        assert image_id is not None
+        assert main(["journal", "explain", str(path), image_id]) == 0
+        out = capsys.readouterr().out
+        assert image_id in out
+        assert "cbrd.verdict" in out
+
+    def test_journal_read_failure_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="journal read failed"):
+            main(["journal", "stats", str(tmp_path / "missing.jsonl")])
+
+    def test_top_journal_panel(self, tmp_path, capsys):
+        path = tmp_path / "top.jsonl"
+        code = main(
+            [
+                "top", "--once",
+                "--devices", "2",
+                "--rounds", "1",
+                "--batch-size", "3",
+                "--interval", "0.2",
+                "--journal", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "journal" in out
+        assert "cbrd.verdict" in out
+        assert path.exists()
