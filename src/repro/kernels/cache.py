@@ -79,7 +79,8 @@ class MatchCountCache:
         self._entries: "OrderedDict[object, int]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: object) -> "int | None":
         """The cached count, refreshed to most-recently-used, or None."""

@@ -12,6 +12,9 @@ BEES103     seeded-rng         every run is reproducible bit-for-bit
 BEES104     float-equality     similarity comparisons are well-defined
 BEES105     obs-coverage       every scheme/benchmark is instrumented
 BEES106     ebat-range         battery fractions stay in [0, 1]
+BEES109     lock-discipline    shared shard state is touched lock-held
+BEES110     unit-flow          bytes/joules/seconds never cross-assign
+BEES111     nondet-order       unordered iteration never reaches journals
 ==========  =================  ==========================================
 
 Use it as a library (:func:`lint_paths`, :func:`lint_source`) or via
@@ -23,10 +26,17 @@ Use it as a library (:func:`lint_paths`, :func:`lint_source`) or via
 from __future__ import annotations
 
 from ..errors import ConfigurationError
-from .engine import LintResult, iter_python_files, lint_paths, lint_source
+from .engine import (
+    LintResult,
+    changed_python_files,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
 from .findings import FileReport, Finding
+from .flow.cache import CACHE_DIR_NAME
 from .registry import FileContext, Rule, all_rules, register, resolve_rules
-from .reporters import render_console, render_json
+from .reporters import render_console, render_json, render_sarif
 
 __all__ = [
     "ConfigurationError",
@@ -35,12 +45,15 @@ __all__ = [
     "Finding",
     "LintResult",
     "Rule",
+    "CACHE_DIR_NAME",
     "all_rules",
+    "changed_python_files",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "register",
     "render_console",
     "render_json",
+    "render_sarif",
     "resolve_rules",
 ]

@@ -19,7 +19,15 @@ from .registry import FileContext, Rule, all_rules, walk_with_parents
 from .suppression import parse_suppressions
 
 #: Directory basenames never descended into.
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results", ".venv", "node_modules"}
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    "results",
+    ".venv",
+    "node_modules",
+    ".beeslint_cache",
+}
 
 
 @dataclass(frozen=True)
@@ -27,6 +35,9 @@ class LintResult:
     """The outcome of one lint run over a set of paths."""
 
     reports: "tuple[FileReport, ...]" = field(default=())
+    #: Incremental-cache accounting for this run (0/0 when uncached).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def findings(self) -> "tuple[Finding, ...]":
@@ -75,6 +86,45 @@ def iter_python_files(paths: "Sequence[str]") -> "Iterator[str]":
                     yield full
 
 
+def changed_python_files(paths: "Sequence[str]") -> "list[str]":
+    """The subset of ``iter_python_files(paths)`` that differs from git HEAD.
+
+    "Changed" means modified/added relative to HEAD (staged or not) or
+    untracked-but-not-ignored — exactly the files a pre-push lint run
+    cares about.  Paths come back repo-root-relative from git, so they
+    are re-anchored to the current working directory first.
+    """
+    import subprocess
+
+    def _git(*argv: str) -> "list[str]":
+        try:
+            proc = subprocess.run(
+                ["git", *argv],
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise ConfigurationError(
+                f"--changed requires a git checkout: git {argv[0]} failed ({exc})"
+            ) from None
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    toplevel = _git("rev-parse", "--show-toplevel")[0]
+    changed = set()
+    for listing in (
+        _git("diff", "--name-only", "HEAD", "--"),
+        _git("ls-files", "--others", "--exclude-standard"),
+    ):
+        for line in listing:
+            changed.add(os.path.normpath(os.path.join(toplevel, line)))
+    return [
+        path
+        for path in iter_python_files(paths)
+        if os.path.normpath(os.path.abspath(path)) in changed
+    ]
+
+
 def _rule_aliases(rules: "Iterable[Rule]") -> "dict[str, str]":
     """slug-and-code -> canonical slug, for suppression matching."""
     aliases = {}
@@ -84,23 +134,25 @@ def _rule_aliases(rules: "Iterable[Rule]") -> "dict[str, str]":
     return aliases
 
 
-def lint_source(
+def _needs_project(rules: "Sequence[Rule]") -> bool:
+    return any(getattr(rule, "requires_project", False) for rule in rules)
+
+
+def _check_file(
+    path: str,
     source: str,
-    path: str = "<string>",
-    rules: "Sequence[Rule] | None" = None,
+    tree: ast.Module,
+    active: "Sequence[Rule]",
+    project: object,
 ) -> FileReport:
-    """Lint one in-memory module; the unit tests' entry point."""
-    active = tuple(rules) if rules is not None else all_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return FileReport(path=path, error=f"syntax error: {exc.msg} (line {exc.lineno})")
+    """Run every rule over one parsed file and apply suppressions."""
     ctx = FileContext(
         path=path,
         source=source,
         tree=tree,
         lines=tuple(source.splitlines()),
         parents=walk_with_parents(tree),
+        project=project,  # type: ignore[arg-type]
     )
     table = parse_suppressions(source)
     aliases = _rule_aliases(active)
@@ -112,18 +164,126 @@ def lint_source(
     return FileReport(path=path, findings=tuple(sorted(findings)))
 
 
+def _syntax_error_report(path: str, exc: SyntaxError) -> FileReport:
+    return FileReport(
+        path=path, error=f"syntax error: {exc.msg} (line {exc.lineno})"
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: "Sequence[Rule] | None" = None,
+) -> FileReport:
+    """Lint one in-memory module; the unit tests' entry point.
+
+    Whole-program rules see a single-file project, so intra-file
+    interprocedural flows (helper -> caller) still resolve.
+    """
+    active = tuple(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return _syntax_error_report(path, exc)
+    project = None
+    if _needs_project(active):
+        from .flow.project import Project
+
+        project = Project.from_sources([(path, tree)])
+    return _check_file(path, source, tree, active, project)
+
+
 def lint_paths(
     paths: "Sequence[str]",
     rules: "Sequence[Rule] | None" = None,
+    cache_dir: "str | None" = None,
+    project_paths: "Sequence[str] | None" = None,
 ) -> LintResult:
-    """Lint every ``.py`` file under *paths*."""
-    reports = []
-    for path in iter_python_files(paths):
+    """Lint every ``.py`` file under *paths*.
+
+    *project_paths* widens the whole-program context beyond the checked
+    set (``--changed`` passes the default roots here so interprocedural
+    summaries always see the full program).  *cache_dir* enables the
+    content-hash incremental cache: files whose own digest **and**
+    project digest match a prior run are served from cache without
+    re-running any rule — and when every file hits, the project is not
+    even built.
+    """
+    active = tuple(rules) if rules is not None else all_rules()
+    needs_project = _needs_project(active)
+    checked = list(iter_python_files(paths))
+    scope = list(checked)
+    if project_paths is not None:
+        in_scope = set(scope)
+        for path in iter_python_files(project_paths):
+            if path not in in_scope:
+                in_scope.add(path)
+                scope.append(path)
+
+    sources: "dict[str, str]" = {}
+    read_errors: "dict[str, str]" = {}
+    for path in scope:
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
+                sources[path] = handle.read()
         except OSError as exc:
-            reports.append(FileReport(path=path, error=f"unreadable: {exc}"))
+            read_errors[path] = f"unreadable: {exc}"
+
+    cache = None
+    proj_digest = None
+    if cache_dir is not None:
+        from .flow.cache import LintCache, file_digest, project_digest, rule_salt
+
+        digests = {
+            path: file_digest(source) for path, source in sources.items()
+        }
+        if needs_project:
+            proj_digest = project_digest(digests)
+        cache = LintCache(
+            cache_dir, rule_salt(rule.code for rule in active)
+        )
+
+    reports: "dict[str, FileReport]" = {}
+    to_analyze: "list[str]" = []
+    for path in checked:
+        if path in read_errors:
+            reports[path] = FileReport(path=path, error=read_errors[path])
             continue
-        reports.append(lint_source(source, path=path, rules=rules))
-    return LintResult(reports=tuple(reports))
+        if cache is not None:
+            hit = cache.lookup(path, digests[path], proj_digest)
+            if hit is not None:
+                reports[path] = hit
+                continue
+        to_analyze.append(path)
+
+    if to_analyze:
+        trees: "dict[str, ast.Module]" = {}
+        for path, source in sources.items():
+            try:
+                trees[path] = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                if path in to_analyze:
+                    reports[path] = _syntax_error_report(path, exc)
+                    if cache is not None:
+                        cache.store(reports[path], digests[path], proj_digest)
+        project = None
+        if needs_project:
+            from .flow.project import Project
+
+            project = Project.from_sources(sorted(trees.items()))
+        for path in to_analyze:
+            if path in reports:  # syntax error, already reported
+                continue
+            reports[path] = _check_file(
+                path, sources[path], trees[path], active, project
+            )
+            if cache is not None:
+                cache.store(reports[path], digests[path], proj_digest)
+
+    if cache is not None:
+        cache.save()
+    return LintResult(
+        reports=tuple(reports[path] for path in checked),
+        cache_hits=0 if cache is None else cache.hits,
+        cache_misses=0 if cache is None else cache.misses,
+    )

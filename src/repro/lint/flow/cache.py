@@ -1,0 +1,149 @@
+"""The content-hash incremental cache behind ``repro lint``.
+
+Full-repo whole-program analysis is cheap enough for CI but not free;
+pre-commit wants the warm path to cost almost nothing.  The cache maps
+every checked file to its findings, keyed by
+
+* the file's own content digest (blake2b over the source bytes), and
+* the **project digest** — a digest over every project file's
+  ``(path, digest)`` pair — because the flow rules' verdicts on one
+  file legitimately depend on code in others (a callee's return unit,
+  a class's lock discipline).
+
+A warm rerun with nothing changed hits on every file and skips rule
+execution *and* project construction entirely; touching any file's
+content invalidates that file's entry directly and every other file's
+entry through the project digest — conservative, sound, and exactly
+what the incremental tests pin.  Entries are additionally salted with
+the active rule set and :data:`ANALYSIS_VERSION`, so changing either
+the selection or the analyses themselves never serves stale findings.
+
+The cache lives in a gitignored ``.beeslint_cache/`` directory as one
+JSON document; a corrupt or foreign-schema file is treated as empty
+rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable
+
+from ..findings import FileReport, Finding
+
+#: Bump when any analysis' semantics change, so stale caches can never
+#: mask (or invent) findings across a beeslint upgrade.
+ANALYSIS_VERSION = 1
+
+#: On-disk document version.
+CACHE_SCHEMA = 1
+
+#: Default cache directory basename (created next to the lint root).
+CACHE_DIR_NAME = ".beeslint_cache"
+
+
+def file_digest(source: str) -> str:
+    """The content digest of one source file."""
+    return hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def project_digest(digests: "dict[str, str]") -> str:
+    """One digest over every project file's (path, digest) pair."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for path in sorted(digests):
+        hasher.update(path.replace(os.sep, "/").encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(digests[path].encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def rule_salt(rule_keys: "Iterable[str]") -> str:
+    """The cache salt of one active rule set."""
+    return f"v{ANALYSIS_VERSION}:" + ",".join(sorted(rule_keys))
+
+
+class LintCache:
+    """One load-mutate-save cycle over the cache document."""
+
+    def __init__(self, directory: str, salt: str) -> None:
+        self.directory = directory
+        self.salt = salt
+        self.path = os.path.join(directory, "cache.json")
+        self.hits = 0
+        self.misses = 0
+        self._entries: "dict[str, dict[str, object]]" = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA
+            or document.get("salt") != self.salt
+        ):
+            return
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    # -- lookup / store ------------------------------------------------------
+
+    def lookup(
+        self, path: str, digest: str, project: "str | None"
+    ) -> "FileReport | None":
+        """The cached report for *path*, or None on any key mismatch."""
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.get("file") != digest
+            or entry.get("project") != project
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = tuple(
+            Finding(
+                path=str(raw["path"]),
+                line=int(raw["line"]),  # type: ignore[call-overload]
+                col=int(raw["col"]),  # type: ignore[call-overload]
+                rule=str(raw["rule"]),
+                message=str(raw["message"]),
+            )
+            for raw in entry.get("findings", ())  # type: ignore[union-attr]
+        )
+        error = entry.get("error")
+        return FileReport(
+            path=path,
+            findings=findings,
+            error=None if error is None else str(error),
+        )
+
+    def store(
+        self, report: FileReport, digest: str, project: "str | None"
+    ) -> None:
+        """Record one freshly-computed report."""
+        self._entries[report.path] = {
+            "file": digest,
+            "project": project,
+            "findings": [finding.as_dict() for finding in report.findings],
+            "error": report.error,
+        }
+
+    def save(self) -> None:
+        """Write the document back (atomically, best-effort)."""
+        os.makedirs(self.directory, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "salt": self.salt,
+            "entries": self._entries,
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=None, sort_keys=True)
+        os.replace(tmp_path, self.path)

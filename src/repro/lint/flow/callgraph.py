@@ -1,0 +1,101 @@
+"""Call resolution and the interprocedural summary fixpoint.
+
+Resolution is deliberately conservative — a call the graph cannot pin
+to exactly one project function resolves to ``None`` and the analyses
+treat its result as unknown.  Three shapes are resolved:
+
+* ``f(...)`` — a module-level function of the caller's module, or an
+  imported name that lands on one in the project;
+* ``self.m(...)`` — a method of the caller's own class;
+* ``mod.f(...)`` — a function of an imported project module.
+
+Summaries are rule-owned values (a unit for BEES110, an ordering fact
+for BEES111) computed by :func:`fixpoint_summaries`: every function's
+summary is recomputed from its callees' until a full pass changes
+nothing.  The lattices are finite, compute functions are monotone, and
+the pass count is bounded, so termination is structural, not hopeful.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from .project import Project
+from .symbols import FunctionInfo
+
+
+class CallGraph:
+    """Resolved call edges over one :class:`~.project.Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> "FunctionInfo | None":
+        """The unique project function *call* targets, if determinable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, caller)
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name) and owner.id in ("self", "cls"):
+                if caller.class_info is not None:
+                    return caller.class_info.methods.get(func.attr)
+                return None
+            if isinstance(owner, ast.Name):
+                target = caller.module.imports.get(owner.id)
+                if target is not None:
+                    module = self.project.module_named(target)
+                    if module is not None:
+                        return module.functions.get(func.attr)
+        return None
+
+    def _resolve_name(
+        self, name: str, caller: FunctionInfo
+    ) -> "FunctionInfo | None":
+        local = caller.module.functions.get(name)
+        if local is not None:
+            return local
+        dotted = caller.module.imports.get(name)
+        if dotted is None:
+            return None
+        return self.project.function_named(dotted)
+
+    def callees(self, caller: FunctionInfo) -> "list[FunctionInfo]":
+        """Every resolved callee of *caller*, in call-site order."""
+        found = []
+        for node in ast.walk(caller.node):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call(node, caller)
+                if target is not None:
+                    found.append(target)
+        return found
+
+
+def fixpoint_summaries(
+    project: Project,
+    compute: "Callable[[FunctionInfo, dict[str, object]], object]",
+    max_passes: int = 12,
+) -> "dict[str, object]":
+    """function key -> summary, stable under *compute*.
+
+    *compute* receives the function and the current summary map (keyed
+    by :attr:`FunctionInfo.key`) and returns the function's summary; it
+    must be monotone over a finite lattice for the fixpoint to exist.
+    ``max_passes`` bounds the iteration regardless (each pass visits
+    every function once, and chains longer than the call-graph depth
+    cannot change anything).
+    """
+    summaries: "dict[str, object]" = {}
+    for _ in range(max_passes):
+        changed = False
+        for function in project.iter_functions():
+            value = compute(function, summaries)
+            if summaries.get(function.key) != value:
+                summaries[function.key] = value
+                changed = True
+        if not changed:
+            break
+    return summaries

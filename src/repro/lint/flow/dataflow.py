@@ -1,0 +1,129 @@
+"""A generic forward fixpoint dataflow framework over :mod:`.cfg` CFGs.
+
+Clients subclass :class:`ForwardAnalysis` with a finite-height lattice:
+states are plain ``dict[str, object]`` environments (variable name ->
+abstract value), joined pointwise with the client's
+:meth:`~ForwardAnalysis.join_values`, and pushed through one statement
+at a time by :meth:`~ForwardAnalysis.transfer`.  :func:`run_forward`
+iterates blocks in reverse postorder with a worklist until nothing
+changes, and *proves* it stopped: iteration is bounded by a budget
+derived from the graph size, and blowing the budget flags the result
+as non-converged instead of spinning — the hypothesis property suite
+pins that every generated function converges well inside it.
+
+Monotonicity is the client's contract (transfer must not shrink
+values); both BEES110's unit lattice (unknown < unit < conflict) and
+BEES111's order lattice (ordered < unordered) are two-level joins, so
+each variable can change at most twice and the worklist drains fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cfg import CFG, Block
+
+#: Environments: variable name -> abstract value.
+State = "dict[str, object]"
+
+
+class ForwardAnalysis:
+    """Client hooks for one forward dataflow problem."""
+
+    def entry_state(self, cfg: CFG) -> "State":
+        """The environment on entry to the function."""
+        return {}
+
+    def join_values(self, left: object, right: object) -> object:
+        """The lattice join of two abstract values."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, stmt: object, state: "State") -> "State":
+        """The environment after executing *stmt* in *state*.
+
+        Must treat *state* as read-only and return a new dict when
+        anything changes (returning *state* unchanged is fine).
+        """
+        raise NotImplementedError
+
+    # -- derived -------------------------------------------------------------
+
+    def join(self, states: "list[State]") -> "State":
+        """Pointwise join; a name missing from a state joins as absent.
+
+        Absent means "no information on this path" — the join keeps the
+        other side's value, matching a bottom element without storing
+        one for every variable.
+        """
+        if not states:
+            return {}
+        merged = dict(states[0])
+        for state in states[1:]:
+            for name, value in state.items():
+                if name in merged and merged[name] != value:
+                    merged[name] = self.join_values(merged[name], value)
+                else:
+                    merged.setdefault(name, value)
+        return merged
+
+
+@dataclass
+class FixpointResult:
+    """The converged (or budget-stopped) solution of one analysis."""
+
+    #: block id -> environment on block entry.
+    in_states: "dict[int, State]"
+    #: block id -> environment on block exit.
+    out_states: "dict[int, State]"
+    #: Worklist pops performed before quiescence.
+    iterations: int
+    #: False only if the iteration budget was exhausted (a lattice or
+    #: monotonicity bug in the client — never expected in production).
+    converged: bool
+
+
+def run_forward(
+    cfg: CFG,
+    analysis: ForwardAnalysis,
+    max_visits_per_block: int = 64,
+) -> FixpointResult:
+    """Iterate *analysis* over *cfg* to a fixpoint."""
+    order = cfg.reverse_postorder()
+    position = {block_id: index for index, block_id in enumerate(order)}
+    in_states: "dict[int, State]" = {}
+    out_states: "dict[int, State]" = {}
+    budget = max_visits_per_block * max(1, len(cfg.blocks))
+    iterations = 0
+    pending = set(order)
+    while pending:
+        if iterations >= budget:
+            return FixpointResult(
+                in_states=in_states,
+                out_states=out_states,
+                iterations=iterations,
+                converged=False,
+            )
+        block_id = min(pending, key=lambda b: position.get(b, len(order)))
+        pending.discard(block_id)
+        iterations += 1
+        block = cfg.blocks[block_id]
+        preds = [p for p in block.predecessors if p in out_states]
+        if block_id == cfg.entry:
+            state = analysis.join(
+                [analysis.entry_state(cfg)] + [out_states[p] for p in preds]
+            )
+        else:
+            state = analysis.join([out_states[p] for p in preds])
+        in_states[block_id] = state
+        for stmt in block.statements:
+            state = analysis.transfer(block, stmt, state)
+        if out_states.get(block_id) != state:
+            out_states[block_id] = state
+            for succ in block.successors:
+                pending.add(succ)
+    return FixpointResult(
+        in_states=in_states,
+        out_states=out_states,
+        iterations=iterations,
+        converged=True,
+    )

@@ -1,0 +1,159 @@
+"""The project-wide symbol table the interprocedural passes stand on.
+
+One :class:`ModuleInfo` per parsed file: its dotted module name
+(derived from the package layout on disk — the nearest ancestor
+without an ``__init__.py`` is the import root), module-level functions,
+classes with their methods, and an import map resolving every local
+name to the dotted target it binds (``from ..features.base import
+FeatureSet`` in ``repro/index/sharded.py`` binds ``FeatureSet`` to
+``repro.features.base.FeatureSet``).  That map is what lets the call
+graph follow a value across module boundaries without ever importing
+the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    #: ``Class.method`` for methods, the bare name otherwise.
+    qualname: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    module: "ModuleInfo"
+    class_info: "ClassInfo | None" = None
+
+    @property
+    def key(self) -> str:
+        """The project-unique handle (``module:qualname``)."""
+        return f"{self.module.name}:{self.qualname}"
+
+    def parameter_names(self) -> "list[str]":
+        """Positional + keyword parameter names, ``self`` included."""
+        args = self.node.args
+        names = [arg.arg for arg in args.posonlyargs + args.args]
+        names.extend(arg.arg for arg in args.kwonlyargs)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly-defined methods."""
+
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    #: Base-class expressions, unparsed (``Rule``, ``abc.ABC``).
+    bases: "tuple[str, ...]" = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file in the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    functions: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    classes: "dict[str, ClassInfo]" = field(default_factory=dict)
+    #: local binding -> dotted target ("repro.index.index.rank_votes",
+    #: or a bare module like "hashlib" for plain imports).
+    imports: "dict[str, str]" = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package a relative import resolves against."""
+        if os.path.basename(self.path) == "__init__.py":
+            return self.name
+        head, _, _ = self.name.rpartition(".")
+        return head
+
+
+def module_name_for_path(path: str) -> str:
+    """The dotted module name of *path* from the package layout.
+
+    Walks up while the directory holds an ``__init__.py``; a file
+    outside any package keeps its bare stem (how single-source test
+    fixtures appear).
+    """
+    normalized = os.path.normpath(os.path.abspath(path))
+    directory, filename = os.path.split(normalized)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, tail = os.path.split(directory)
+        parts.insert(0, tail)
+    return ".".join(parts) if parts else stem
+
+
+def _collect_imports(tree: ast.Module, package: str) -> "dict[str, str]":
+    imports: "dict[str, str]" = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".", 1)[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = package.split(".") if package else []
+                # level=1 is the current package; each extra level
+                # climbs one more.
+                if node.level - 1:
+                    anchor = anchor[: -(node.level - 1)] or []
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def module_from_source(
+    path: str, tree: ast.Module, name: "str | None" = None
+) -> ModuleInfo:
+    """Build the symbol table of one parsed file."""
+    module = ModuleInfo(
+        name=name if name is not None else module_name_for_path(path),
+        path=path,
+        tree=tree,
+    )
+    module.imports = _collect_imports(tree, module.package)
+    for node in tree.body:
+        if isinstance(node, _FunctionNode):
+            info = FunctionInfo(
+                name=node.name, qualname=node.name, node=node, module=module
+            )
+            module.functions[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            class_info = ClassInfo(
+                name=node.name,
+                node=node,
+                module=module,
+                bases=tuple(ast.unparse(base) for base in node.bases),
+            )
+            for item in node.body:
+                if isinstance(item, _FunctionNode):
+                    method = FunctionInfo(
+                        name=item.name,
+                        qualname=f"{node.name}.{item.name}",
+                        node=item,
+                        module=module,
+                        class_info=class_info,
+                    )
+                    class_info.methods[item.name] = method
+            module.classes[node.name] = class_info
+    return module

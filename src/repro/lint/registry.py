@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 from .findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from .flow.project import Project
 
 
 @dataclass
@@ -26,7 +26,10 @@ class FileContext:
 
     ``parents`` maps every AST node to its parent so rules can reason
     about *where* an expression sits (e.g. "is this Name a bare call
-    argument?") without re-walking the tree themselves.
+    argument?") without re-walking the tree themselves.  ``project``
+    is the whole-program context (symbol tables, call graph, shared
+    summaries) — present whenever any active rule declares
+    ``requires_project`` and always covering at least this file.
     """
 
     path: str
@@ -34,6 +37,7 @@ class FileContext:
     tree: ast.Module
     lines: "tuple[str, ...]" = field(default=())
     parents: "dict[ast.AST, ast.AST]" = field(default_factory=dict)
+    project: "Project | None" = None
 
     @property
     def is_benchmark_module(self) -> bool:
@@ -65,6 +69,10 @@ class Rule:
     code: str = ""
     #: One-line description shown by ``repro lint --list-rules``.
     summary: str = ""
+    #: True for whole-program rules: the engine then builds a
+    #: :class:`~repro.lint.flow.project.Project` over the run and hands
+    #: it to every file via ``ctx.project``.
+    requires_project: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file."""

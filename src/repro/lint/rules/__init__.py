@@ -6,15 +6,30 @@ coupling between the engine and the rules.
 
 from __future__ import annotations
 
-from . import battery, constants, floateq, journal, obs, rng, timing, units
+from . import (
+    battery,
+    constants,
+    floateq,
+    journal,
+    lockflow,
+    nondet,
+    obs,
+    rng,
+    timing,
+    units,
+    unitflow,
+)
 
 __all__ = [
     "battery",
     "constants",
     "floateq",
     "journal",
+    "lockflow",
+    "nondet",
     "obs",
     "rng",
     "timing",
     "units",
+    "unitflow",
 ]

@@ -1,0 +1,372 @@
+"""BEES111 ``nondet-order`` — unordered iteration must not reach
+deterministic surfaces.
+
+Journal replay reproduces fingerprints *byte*-identically only because
+every payload, every ranked vote, and every float accumulation happens
+in a deterministic order.  Python ``set``s (and views over them) are
+the classic leak: ``PYTHONHASHSEED`` scrambles their iteration order
+between processes, so a set-derived list inside a journal payload
+replays differently on another machine even though the run was
+"correct".  BEES102–108 cannot see this — the hazard is a *value*
+property, not a syntax shape.
+
+The analysis tracks an UNORDERED taint through each function's CFG:
+
+* **Sources** — set literals/comprehensions, ``set()``/``frozenset()``
+  calls, set operators, ``.keys()/.values()/.items()`` over a tainted
+  value, and calls to project functions whose summary says they return
+  an unordered value.
+* **Propagation** — ``list()``/``tuple()``/``iter()``/``reversed()``/
+  ``enumerate()``/comprehensions over a tainted iterable keep the
+  taint (materialising a set does not order it); appends and
+  float-looking accumulation *inside a loop over a tainted iterable*
+  taint the accumulator (iteration order becomes element order).
+* **Sanitizers** — ``sorted()`` (and ``min``/``max``/``len``/``any``/
+  ``all``/``in``, whose results are order-independent).
+
+Sinks, flagged when a tainted value arrives:
+
+* journal payloads (any argument of an ``.emit(...)`` call);
+* fingerprints (arguments to ``*fingerprint*`` callees);
+* ranked decisions (arguments to ``rank_votes``);
+* float accumulation order (``sum()`` over a tainted iterable of
+  float-suffixed values).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..flow.callgraph import CallGraph, fixpoint_summaries
+from ..flow.cfg import CFG, Block, build_module_cfg, evaluated_nodes
+from ..flow.dataflow import ForwardAnalysis, run_forward
+from ..flow.symbols import FunctionInfo
+from ..registry import FileContext, Rule, register
+
+#: The abstract value for set-derived data.
+UNORDERED = "unordered"
+
+#: Callables producing unordered values outright.
+_SET_MAKERS = frozenset({"set", "frozenset"})
+
+#: Callables whose result keeps the (non-)order of their argument.
+_ORDER_KEEPERS = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+#: Callables whose result is order-independent — sanitizers.
+_SANITIZERS = frozenset({"sorted", "min", "max", "len", "any", "all"})
+
+#: Dict/set view methods: unordered iff the receiver is.
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Set methods returning a set whatever the receiver.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Unit suffixes whose values are floats — the accumulation-order
+#: hazard (int sums commute exactly; float sums do not).
+_FLOAT_SUFFIXES = ("_joules", "_seconds")
+
+
+def _call_name(call: ast.Call) -> "str | None":
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _looks_float(node: ast.AST) -> bool:
+    """Could *node* evaluate to a float (suffix or literal evidence)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and name.endswith(_FLOAT_SUFFIXES):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+    return False
+
+
+class _TaintEval:
+    """Expression -> ordered/unordered against one environment."""
+
+    def __init__(
+        self,
+        env: "dict[str, object]",
+        resolver: "CallGraph | None",
+        caller: "FunctionInfo | None",
+        summaries: "dict[str, object]",
+    ) -> None:
+        self.env = env
+        self.resolver = resolver
+        self.caller = caller
+        self.summaries = summaries
+
+    def tainted(self, node: "ast.AST | None") -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) == UNORDERED
+        if isinstance(node, ast.Starred):
+            return self.tainted(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.tainted(node.body) or self.tainted(node.orelse)
+        if isinstance(node, ast.BinOp):
+            # Set operators propagate; on non-sets they're arithmetic
+            # and arithmetic on scalars carries no order.
+            if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor)):
+                return self.tainted(node.left) or self.tainted(node.right)
+            if isinstance(node.op, ast.Sub):
+                return self.tainted(node.left) or self.tainted(node.right)
+            return False
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return any(
+                self.tainted(generator.iter) for generator in node.generators
+            )
+        if isinstance(node, ast.Call):
+            return self._call_tainted(node)
+        return False
+
+    def _call_tainted(self, call: ast.Call) -> bool:
+        name = _call_name(call)
+        if name in _SET_MAKERS or name in _SET_METHODS:
+            return True
+        if name in _SANITIZERS:
+            return False
+        if name in _ORDER_KEEPERS:
+            return bool(call.args) and self.tainted(call.args[0])
+        if name in _VIEW_METHODS and isinstance(call.func, ast.Attribute):
+            return self.tainted(call.func.value)
+        if name == "join" and call.args:
+            return self.tainted(call.args[0])
+        if self.resolver is not None and self.caller is not None:
+            target = self.resolver.resolve_call(call, self.caller)
+            if target is not None:
+                return self.summaries.get(target.key) == UNORDERED
+        return False
+
+
+class _TaintAnalysis(ForwardAnalysis):
+    def __init__(self, evaluator_factory) -> None:
+        self._factory = evaluator_factory
+
+    def entry_state(self, cfg: CFG) -> "dict[str, object]":
+        return {}
+
+    def join_values(self, left: object, right: object) -> object:
+        return UNORDERED if UNORDERED in (left, right) else left
+
+    def transfer(
+        self, block: Block, stmt: object, state: "dict[str, object]"
+    ) -> "dict[str, object]":
+        evaluator = self._factory(state)
+        out = state
+        if isinstance(stmt, ast.Assign):
+            tainted = evaluator.tainted(stmt.value)
+            out = dict(state)
+            for target in stmt.targets:
+                _bind(out, target, tainted)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            out = dict(state)
+            _bind(out, stmt.target, evaluator.tainted(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                out = dict(state)
+                already = state.get(stmt.target.id) == UNORDERED
+                grows = evaluator.tainted(stmt.value) or (
+                    _in_tainted_loop(block, evaluator)
+                    and _looks_float(stmt.value)
+                )
+                _bind(out, stmt.target, already or grows)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # The loop variable itself is a plain element — its *order*
+            # is what is nondeterministic, which matters only when the
+            # element lands in an order-sensitive accumulation (below).
+            if isinstance(stmt.target, ast.Name):
+                out = dict(state)
+                _bind(out, stmt.target, False)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            # ordered.append(x) inside a loop over a tainted iterable
+            # makes the list order nondeterministic.
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("append", "extend", "insert", "add")
+                and isinstance(call.func.value, ast.Name)
+                and _in_tainted_loop(block, evaluator)
+            ):
+                out = dict(state)
+                out[call.func.value.id] = UNORDERED
+        return out
+
+
+def _in_tainted_loop(block: Block, evaluator: _TaintEval) -> bool:
+    """Is *block* inside a loop iterating an unordered value?"""
+    for loop in block.loops:
+        if isinstance(loop, (ast.For, ast.AsyncFor)) and evaluator.tainted(
+            loop.iter
+        ):
+            return True
+    return False
+
+
+def _bind(env: "dict[str, object]", target: ast.expr, tainted: bool) -> None:
+    if isinstance(target, ast.Name):
+        if tainted:
+            env[target.id] = UNORDERED
+        else:
+            env.pop(target.id, None)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind(env, element, False)
+
+
+def _linear_summary(
+    function: FunctionInfo,
+    resolver: CallGraph,
+    summaries: "dict[str, object]",
+) -> "object":
+    """Does *function* return an unordered value? (source-order pass)"""
+    env: "dict[str, object]" = {}
+    evaluator = _TaintEval(env, resolver, function, summaries)
+    verdict: object = None
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign):
+            tainted = evaluator.tainted(node.value)
+            for target in node.targets:
+                _bind(env, target, tainted)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if evaluator.tainted(node.value):
+                verdict = UNORDERED
+    return verdict
+
+
+@register
+class NondetOrderRule(Rule):
+    """Set-iteration order stays out of journals and fingerprints."""
+
+    name = "nondet-order"
+    code = "BEES111"
+    summary = (
+        "set-derived (hash-ordered) values never reach journal "
+        "payloads, fingerprints, rank_votes, or float accumulation "
+        "without sorted()"
+    )
+    requires_project = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        resolver = project.artifact("callgraph", lambda: CallGraph(project))
+        assert isinstance(resolver, CallGraph)
+        summaries = project.artifact(
+            "nondet.summaries",
+            lambda: fixpoint_summaries(
+                project,
+                lambda function, current: _linear_summary(
+                    function, resolver, current
+                ),
+            ),
+        )
+        assert isinstance(summaries, dict)
+        module = project.module_at(ctx.path)
+        if module is None:
+            return
+        scopes: "list[tuple[FunctionInfo | None, CFG]]" = [
+            (None, build_module_cfg(ctx.tree))
+        ]
+        for function in module.functions.values():
+            scopes.append((function, project.cfg_of(function)))
+        for class_info in module.classes.values():
+            for method in class_info.methods.values():
+                scopes.append((method, project.cfg_of(method)))
+        for function, cfg in scopes:
+            yield from self._check_scope(ctx, function, cfg, resolver, summaries)
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        function: "FunctionInfo | None",
+        cfg: CFG,
+        resolver: CallGraph,
+        summaries: "dict[str, object]",
+    ) -> Iterator[Finding]:
+        def factory(state: "dict[str, object]") -> _TaintEval:
+            return _TaintEval(state, resolver, function, summaries)
+
+        analysis = _TaintAnalysis(factory)
+        solution = run_forward(cfg, analysis)
+        for block_id in sorted(cfg.blocks):
+            block = cfg.blocks[block_id]
+            state = dict(solution.in_states.get(block_id, {}))
+            for stmt in block.statements:
+                evaluator = factory(state)
+                yield from self._check_stmt(ctx, stmt, evaluator)
+                state = analysis.transfer(block, stmt, state)
+
+    def _check_stmt(
+        self, ctx: FileContext, stmt: ast.stmt, evaluator: _TaintEval
+    ) -> Iterator[Finding]:
+        for node in evaluated_nodes(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "emit" and isinstance(node.func, ast.Attribute):
+                for arg in list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]:
+                    if evaluator.tainted(arg):
+                        yield self.make(
+                            ctx,
+                            node,
+                            "a set-derived (hash-ordered) value reaches a "
+                            "journal payload; wrap it in sorted() so "
+                            "replay and cross-run diffs stay "
+                            "byte-identical",
+                        )
+                        break
+            elif name == "rank_votes":
+                for arg in node.args:
+                    if evaluator.tainted(arg):
+                        yield self.make(
+                            ctx,
+                            node,
+                            "a set-derived (hash-ordered) value feeds "
+                            "rank_votes; decisions must rank "
+                            "deterministically ordered inputs",
+                        )
+                        break
+            elif name is not None and "fingerprint" in name.lower():
+                for arg in list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]:
+                    if evaluator.tainted(arg):
+                        yield self.make(
+                            ctx,
+                            node,
+                            "a set-derived (hash-ordered) value flows into "
+                            f"{name}(); fingerprints must digest a "
+                            "deterministic order",
+                        )
+                        break
+            elif name == "sum" and node.args:
+                arg = node.args[0]
+                if evaluator.tainted(arg) and _looks_float(arg):
+                    yield self.make(
+                        ctx,
+                        node,
+                        "float accumulation over a set-derived "
+                        "(hash-ordered) iterable: addition order is "
+                        "nondeterministic; sort first",
+                    )

@@ -15,12 +15,18 @@ directive is only honoured inside real comments, never in strings.
 from __future__ import annotations
 
 import io
+import re
 import tokenize
 from dataclasses import dataclass, field
 
 from .findings import Finding
 
 _DIRECTIVE = "beeslint:"
+
+#: What a rule key may look like: a slug (``lock-discipline``) or a
+#: code (``BEES109``).  Anything else in the rule list is treated as
+#: free-form justification text and skipped.
+_RULE_KEY = re.compile(r"^(?:[a-z][a-z0-9]*(?:-[a-z0-9]+)*|BEES[0-9]+)$")
 
 
 @dataclass(frozen=True)
@@ -64,12 +70,18 @@ def _parse_directive(comment: str) -> "tuple[str, frozenset[str]] | None":
         return None
     if not sep:
         return scope, frozenset({"*"})
-    # Anything after the first whitespace of an entry is free-form
-    # justification: ``disable=paper-constants (coincidental bound)``.
+    # Each comma-separated entry names one rule; anything after the
+    # first whitespace of an entry is free-form justification:
+    # ``disable=paper-constants (coincidental bound), unit-suffix``.
+    # An entry that does not look like a slug or BEESnnn code is
+    # dropped, and a directive with ``=`` but no valid key suppresses
+    # *nothing* — a typo must never widen into a wildcard.
     rules = frozenset(
-        part.split()[0] for part in raw_rules.split(",") if part.strip()
+        entry.split()[0]
+        for entry in raw_rules.split(",")
+        if entry.strip() and _RULE_KEY.match(entry.split()[0])
     )
-    return scope, (rules or frozenset({"*"}))
+    return scope, rules
 
 
 def parse_suppressions(source: str) -> SuppressionTable:

@@ -78,7 +78,7 @@ class Metric:
             )
         return tuple(str(labels[name]) for name in self.labelnames)
 
-    def _key(self, labels: dict) -> "tuple | None":
+    def _key_locked(self, labels: dict) -> "tuple | None":
         """The series key for *labels*, or ``None`` when the update must
         be dropped: the key is new and the metric already holds
         ``max_label_sets`` series (the cardinality guard).
@@ -148,7 +148,7 @@ class Counter(Metric):
                 f"{self.name}: counters only go up, got {amount}"
             )
         with self._lock:
-            key = self._key(labels)
+            key = self._key_locked(labels)
             if key is None:
                 return
             self._series[key] = self._series.get(key, 0.0) + amount
@@ -161,14 +161,14 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels: object) -> None:
         with self._lock:
-            key = self._key(labels)
+            key = self._key_locked(labels)
             if key is None:
                 return
             self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         with self._lock:
-            key = self._key(labels)
+            key = self._key_locked(labels)
             if key is None:
                 return
             self._series[key] = self._series.get(key, 0.0) + amount
@@ -257,7 +257,7 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: object) -> None:
         with self._lock:
-            key = self._key(labels)
+            key = self._key_locked(labels)
             if key is None:
                 return
             series = self._series.get(key)

@@ -226,7 +226,10 @@ class Tracer:
         """The calling thread's active-span stack."""
         stack = self._stacks.spans
         ident = threading.get_ident()
-        if self._stacks_by_ident.get(ident) is not stack:
+        if (
+            self._stacks_by_ident.get(ident)  # beeslint: disable=lock-discipline (benign one-slice racy read; a stale miss only repeats the publish below)
+            is not stack
+        ):
             # First touch from this thread (or the ident was recycled
             # from a dead thread): publish the stack for the profiler.
             with self._lock:
@@ -299,7 +302,7 @@ class Tracer:
         (atomic under the GIL) and may be one span stale — fine for a
         statistical profiler.
         """
-        stack = self._stacks_by_ident.get(ident)
+        stack = self._stacks_by_ident.get(ident)  # beeslint: disable=lock-discipline (documented benign race: one-slice GIL-atomic snapshot from the profiler thread)
         if not stack:
             return ()
         return tuple(span.name for span in stack[:])

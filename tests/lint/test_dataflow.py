@@ -1,0 +1,123 @@
+"""Forward fixpoint framework tests: joins, loops, budgets.
+
+The framework promises three things to its clients (BEES110/111): path
+merges go through the client's value join, loop back-edges re-feed the
+header until quiescence, and a non-monotone client trips the budget
+flag instead of hanging the linter.
+"""
+
+import ast
+
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.dataflow import ForwardAnalysis, run_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    return build_cfg(tree.body[0])
+
+
+class ConstAnalysis(ForwardAnalysis):
+    """Tiny constant propagation: name -> int constant or 'top'."""
+
+    def join_values(self, left, right):
+        return left if left == right else "top"
+
+    def transfer(self, block, stmt, state):
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            new = dict(state)
+            value = stmt.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, int
+            ):
+                new[stmt.targets[0].id] = value.value
+            elif isinstance(value, ast.Name):
+                new[stmt.targets[0].id] = state.get(value.id, "top")
+            else:
+                new[stmt.targets[0].id] = "top"
+            return new
+        return state
+
+
+class TestForward:
+    def test_straight_line_propagation(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = a\n")
+        result = run_forward(cfg, ConstAnalysis())
+        assert result.converged
+        exit_state = result.in_states[cfg.exit]
+        assert exit_state["a"] == 1
+        assert exit_state["b"] == 1
+
+    def test_branch_join_widens_to_top(self):
+        cfg = cfg_of(
+            "def f(cond):\n"
+            "    if cond:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    b = a\n"
+        )
+        result = run_forward(cfg, ConstAnalysis())
+        assert result.converged
+        assert result.in_states[cfg.exit]["b"] == "top"
+
+    def test_branch_join_keeps_agreeing_values(self):
+        cfg = cfg_of(
+            "def f(cond):\n"
+            "    if cond:\n"
+            "        a = 7\n"
+            "    else:\n"
+            "        a = 7\n"
+        )
+        result = run_forward(cfg, ConstAnalysis())
+        assert result.in_states[cfg.exit]["a"] == 7
+
+    def test_one_sided_branch_joins_with_absence(self):
+        # A name bound on only one path keeps its value at the merge —
+        # absence is bottom, not conflict.
+        cfg = cfg_of(
+            "def f(cond):\n"
+            "    if cond:\n"
+            "        a = 3\n"
+            "    b = 0\n"
+        )
+        result = run_forward(cfg, ConstAnalysis())
+        assert result.in_states[cfg.exit]["a"] == 3
+
+    def test_loop_reassignment_reaches_fixpoint(self):
+        cfg = cfg_of(
+            "def f(n):\n"
+            "    a = 1\n"
+            "    while n:\n"
+            "        a = 2\n"
+            "    b = a\n"
+        )
+        result = run_forward(cfg, ConstAnalysis())
+        assert result.converged
+        # The loop may run zero or more times: 1 join 2 -> top.
+        assert result.in_states[cfg.exit]["b"] == "top"
+
+    def test_entry_state_seeds_the_analysis(self):
+        class Seeded(ConstAnalysis):
+            def entry_state(self, cfg):
+                return {"param": 42}
+
+        cfg = cfg_of("def f(param):\n    a = param\n")
+        result = run_forward(cfg, Seeded())
+        assert result.in_states[cfg.exit]["a"] == 42
+
+    def test_non_monotone_client_trips_budget_not_hang(self):
+        class Diverging(ForwardAnalysis):
+            def join_values(self, left, right):
+                return max(left, right)
+
+            def transfer(self, block, stmt, state):
+                # An infinite-height lattice: the loop keeps counting.
+                return {"visits": state.get("visits", 0) + 1}
+
+        cfg = cfg_of("def f(n):\n    while n:\n        n = step(n)\n")
+        result = run_forward(cfg, Diverging(), max_visits_per_block=4)
+        assert not result.converged
+        assert result.iterations == 4 * len(cfg.blocks)

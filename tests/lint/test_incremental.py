@@ -1,0 +1,183 @@
+"""Incremental cache + ``--changed`` scoping.
+
+The contract: a warm rerun serves every unchanged file from the
+content-hash cache (no re-analysis — observable through the hit/miss
+counters and through findings surviving verbatim), editing a file
+invalidates exactly that file for file-local rules, any edit
+invalidates everything for whole-program rules (the project digest
+covers the interprocedural inputs), and changing the active rule set
+never serves stale results (the salt).
+"""
+
+import os
+import subprocess
+
+from repro.lint import (
+    CACHE_DIR_NAME,
+    changed_python_files,
+    lint_paths,
+    resolve_rules,
+)
+
+DIRTY = (
+    "import threading\n"
+    "class Box:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "    def put(self, v):\n"
+    "        with self._lock:\n"
+    "            self._value = v\n"
+    "    def peek(self):\n"
+    "        return self._value\n"
+)
+
+CLEAN = "def double(n):\n    return n + n\n"
+
+
+def write_tree(tmp_path, files):
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return str(tmp_path)
+
+
+def run(root, cache_root, select=("lock-discipline",)):
+    return lint_paths(
+        [root],
+        rules=resolve_rules(select=list(select)),
+        cache_dir=os.path.join(cache_root, CACHE_DIR_NAME),
+    )
+
+
+class TestCache:
+    def test_warm_run_is_all_hits_with_identical_findings(self, tmp_path):
+        root = write_tree(
+            tmp_path / "proj", {"dirty.py": DIRTY, "clean.py": CLEAN}
+        )
+        cold = run(root, str(tmp_path))
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 2
+        assert len(cold.findings) == 1
+        warm = run(root, str(tmp_path))
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 0
+        assert warm.findings == cold.findings
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        root = write_tree(
+            tmp_path / "proj", {"dirty.py": DIRTY, "clean.py": CLEAN}
+        )
+        run(root, str(tmp_path))
+        (tmp_path / "proj" / "clean.py").write_text(
+            "def triple(n):\n    return n + n + n\n"
+        )
+        rerun = run(root, str(tmp_path))
+        assert rerun.cache_hits == 1
+        assert rerun.cache_misses == 1
+        assert len(rerun.findings) == 1  # dirty.py served from cache
+
+    def test_fixing_the_finding_clears_it_on_rerun(self, tmp_path):
+        root = write_tree(tmp_path / "proj", {"dirty.py": DIRTY})
+        assert len(run(root, str(tmp_path)).findings) == 1
+        fixed = DIRTY.replace(
+            "        return self._value\n",
+            "        with self._lock:\n            return self._value\n",
+        )
+        (tmp_path / "proj" / "dirty.py").write_text(fixed)
+        assert run(root, str(tmp_path)).findings == ()
+
+    def test_rule_set_change_never_serves_stale_results(self, tmp_path):
+        root = write_tree(tmp_path / "proj", {"dirty.py": DIRTY})
+        run(root, str(tmp_path), select=("lock-discipline",))
+        other = run(root, str(tmp_path), select=("unit-flow",))
+        assert other.cache_hits == 0  # different salt, no crosstalk
+        assert other.findings == ()
+
+    def test_project_rules_invalidate_on_any_edit(self, tmp_path):
+        # unit-flow summaries cross file boundaries, so editing *any*
+        # file must re-analyze every file (the project digest).
+        root = write_tree(
+            tmp_path / "proj",
+            {
+                "helper.py": (
+                    "def measure(payload):\n"
+                    "    sent_bytes = len(payload)\n"
+                    "    return sent_bytes\n"
+                ),
+                "user.py": (
+                    "from helper import measure\n"
+                    "def drain(payload, battery_joules):\n"
+                    "    return measure(payload) + battery_joules\n"
+                ),
+            },
+        )
+        cold = run(root, str(tmp_path), select=("unit-flow",))
+        assert len(cold.findings) == 1
+        (tmp_path / "proj" / "helper.py").write_text(
+            "def measure(payload):\n"
+            "    spent_joules = 0.5 * len(payload)\n"
+            "    return spent_joules\n"
+        )
+        rerun = run(root, str(tmp_path), select=("unit-flow",))
+        assert rerun.cache_hits == 0  # project digest changed
+        assert rerun.findings == ()  # joules + joules is now fine
+
+    def test_file_local_rules_ignore_sibling_edits(self, tmp_path):
+        # lock-discipline is file-local, so a sibling edit must NOT
+        # invalidate an untouched file's entry.
+        root = write_tree(
+            tmp_path / "proj", {"dirty.py": DIRTY, "clean.py": CLEAN}
+        )
+        run(root, str(tmp_path))
+        (tmp_path / "proj" / "clean.py").write_text("x = 1\n")
+        rerun = run(root, str(tmp_path))
+        assert rerun.cache_hits == 1
+
+    def test_cache_file_is_inside_the_named_directory(self, tmp_path):
+        root = write_tree(tmp_path / "proj", {"clean.py": CLEAN})
+        run(root, str(tmp_path))
+        assert (tmp_path / CACHE_DIR_NAME / "cache.json").is_file()
+
+    def test_uncached_runs_report_zero_counters(self, tmp_path):
+        root = write_tree(tmp_path / "proj", {"clean.py": CLEAN})
+        result = lint_paths(
+            [root], rules=resolve_rules(select=["lock-discipline"])
+        )
+        assert result.cache_hits == 0
+        assert result.cache_misses == 0
+
+
+class TestChanged:
+    def git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                **os.environ,
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+            },
+        )
+
+    def test_only_files_differing_from_head_are_listed(self, tmp_path):
+        root = write_tree(
+            tmp_path, {"a.py": CLEAN, "b.py": CLEAN, "note.txt": "hi\n"}
+        )
+        self.git(root, "init", "-q")
+        self.git(root, "add", ".")
+        self.git(root, "commit", "-q", "-m", "seed")
+        (tmp_path / "b.py").write_text("x = 2\n")  # modified
+        (tmp_path / "c.py").write_text("y = 3\n")  # untracked
+        here = os.getcwd()
+        os.chdir(root)
+        try:
+            changed = changed_python_files(["."])
+        finally:
+            os.chdir(here)
+        names = sorted(os.path.basename(path) for path in changed)
+        assert names == ["b.py", "c.py"]

@@ -1,0 +1,158 @@
+"""BEES111 ``nondet-order``: hash-ordered values stay out of journals.
+
+The acceptance shape: a set materialised with ``list()`` and carried
+through locals into a ``journal.emit(...)`` payload is flagged, while
+the same flow through ``sorted()`` is clean — replay only stays
+byte-identical when every payload has a deterministic order.
+"""
+
+from repro.lint import lint_source, resolve_rules
+
+RULE = "nondet-order"
+
+
+def findings_for(source, path="pkg/module.py"):
+    report = lint_source(source, path=path, rules=resolve_rules(select=[RULE]))
+    assert report.error is None, report.error
+    return report.findings
+
+
+class TestJournalSink:
+    def test_set_through_list_into_emit_is_flagged(self):
+        source = (
+            "def record(journal, image_ids):\n"
+            "    ids = set(image_ids)\n"
+            "    payload = list(ids)\n"
+            "    journal.emit('uploads', ids=payload)\n"
+        )
+        findings = findings_for(source)
+        assert len(findings) == 1
+        assert "journal payload" in findings[0].message
+        assert "sorted()" in findings[0].message
+
+    def test_sorted_sanitizes_the_flow(self):
+        source = (
+            "def record(journal, image_ids):\n"
+            "    ids = set(image_ids)\n"
+            "    payload = sorted(ids)\n"
+            "    journal.emit('uploads', ids=payload)\n"
+        )
+        assert not findings_for(source)
+
+    def test_set_literal_positional_arg(self):
+        source = (
+            "def record(journal):\n"
+            "    journal.emit('seen', {'a', 'b'})\n"
+        )
+        assert len(findings_for(source)) == 1
+
+    def test_dict_views_taint_only_over_tainted_receivers(self):
+        clean = (
+            "def record(journal, table):\n"
+            "    journal.emit('sizes', names=list(table.keys()))\n"
+        )
+        assert not findings_for(clean)
+
+    def test_comprehension_over_a_set_keeps_the_taint(self):
+        source = (
+            "def record(journal, image_ids):\n"
+            "    ids = {i for i in image_ids}\n"
+            "    sizes = [len(i) for i in ids]\n"
+            "    journal.emit('sizes', sizes=sizes)\n"
+        )
+        assert len(findings_for(source)) == 1
+
+    def test_accumulation_inside_a_set_loop_taints_the_list(self):
+        source = (
+            "def record(journal, devices):\n"
+            "    order = []\n"
+            "    for device in set(devices):\n"
+            "        order.append(device)\n"
+            "    journal.emit('order', order=order)\n"
+        )
+        assert len(findings_for(source)) == 1
+
+    def test_loop_over_ordered_input_is_clean(self):
+        source = (
+            "def record(journal, devices):\n"
+            "    order = []\n"
+            "    for device in devices:\n"
+            "        order.append(device)\n"
+            "    journal.emit('order', order=order)\n"
+        )
+        assert not findings_for(source)
+
+
+class TestOtherSinks:
+    def test_rank_votes_with_set_derived_input(self):
+        source = (
+            "def decide(candidates):\n"
+            "    pool = set(candidates)\n"
+            "    return rank_votes(list(pool))\n"
+        )
+        findings = findings_for(source)
+        assert len(findings) == 1
+        assert "rank_votes" in findings[0].message
+
+    def test_fingerprint_callee_with_set_derived_input(self):
+        source = (
+            "def seal(entries):\n"
+            "    keys = set(entries)\n"
+            "    return run_fingerprint(list(keys))\n"
+        )
+        findings = findings_for(source)
+        assert len(findings) == 1
+        assert "fingerprint" in findings[0].message.lower()
+
+    def test_float_sum_over_set_derived_iterable(self):
+        source = (
+            "def total(costs):\n"
+            "    spent_joules = set(costs)\n"
+            "    return sum(spent_joules)\n"
+        )
+        findings = findings_for(source)
+        assert len(findings) == 1
+        assert "accumulation" in findings[0].message
+
+    def test_int_sum_over_a_set_is_clean(self):
+        # Integer addition commutes exactly; no order hazard.
+        source = (
+            "def total(counts):\n"
+            "    seen = set(counts)\n"
+            "    return sum(seen)\n"
+        )
+        assert not findings_for(source)
+
+
+class TestInterprocedural:
+    def test_summary_carries_taint_across_functions(self):
+        source = (
+            "def unique_ids(image_ids):\n"
+            "    return set(image_ids)\n"
+            "\n"
+            "def record(journal, image_ids):\n"
+            "    ids = list(unique_ids(image_ids))\n"
+            "    journal.emit('uploads', ids=ids)\n"
+        )
+        findings = findings_for(source)
+        assert len(findings) == 1
+
+    def test_sorting_helper_output_is_clean(self):
+        source = (
+            "def unique_ids(image_ids):\n"
+            "    return set(image_ids)\n"
+            "\n"
+            "def record(journal, image_ids):\n"
+            "    ids = sorted(unique_ids(image_ids))\n"
+            "    journal.emit('uploads', ids=ids)\n"
+        )
+        assert not findings_for(source)
+
+    def test_inline_suppression(self):
+        source = (
+            "def record(journal, image_ids):\n"
+            "    ids = list(set(image_ids))\n"
+            "    journal.emit('uploads', ids=ids)  "
+            "# beeslint: disable=nondet-order (payload is re-sorted downstream)\n"
+        )
+        assert not findings_for(source)
