@@ -1,11 +1,16 @@
-"""Extension — behaviour under network outages.
+"""Extension — behaviour under network outages and chunk loss.
 
 The paper's motivation is damaged infrastructure, but its evaluation
-uses a steadily-fluctuating link.  This bench injects Gilbert-model
-outage bursts (the uplink collapses to a trickle for stretches of
-transfers) and sweeps outage severity: as the network degrades, every
-avoided upload is worth more, so BEES' delay advantage over Direct
-Upload *grows* with severity.
+uses a steadily-fluctuating link.  Two sweeps:
+
+* **outage** — Gilbert-model outage bursts (the uplink collapses to a
+  trickle for stretches of transfers), sweeping outage severity: as
+  the network degrades, every avoided upload is worth more, so BEES'
+  delay advantage over Direct Upload *grows* with severity;
+* **loss** — chunk drops + bit errors on a
+  :class:`~repro.network.LossyChannel`, comparing the two chunked
+  recovery strategies (per-chunk ARQ vs k-replica majority voting) on
+  delivery coverage, delay, and wire bytes as the loss rate climbs.
 """
 
 from __future__ import annotations
@@ -13,8 +18,11 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.baselines import DirectUpload
 from repro.core.client import BeesScheme
+from repro.errors import NetworkError
 from repro.network.link import Uplink
+from repro.network.lossy import LossyChannel
 from repro.network.outage import OutageChannel
+from repro.network.transfer import ChunkedTransport
 from repro.sim.device import Smartphone
 from repro.sim.session import build_server
 
@@ -23,15 +31,35 @@ from common import BATCH_SIZE, IN_BATCH_SIMILAR, disaster_batch, merge_params, r
 OUTAGE_LEVELS = (0.0, 0.1, 0.25)
 REDUNDANCY = 0.5
 
+#: Chunk-drop rates swept by the loss comparison.
+LOSS_LEVELS = (0.0, 0.05, 0.15)
+#: Bit-error rate paired with every non-zero drop rate.
+LOSS_BER = 2e-6
+#: Payloads per (level, strategy) cell — one "image" each.
+LOSS_TRANSFERS = 12
+LOSS_PAYLOAD_BYTES = 50_000
+LOSS_CHUNK_BYTES = 4_096
+
+#: The recovery strategies the loss sweep compares.
+LOSS_STRATEGIES = (
+    ("arq", {"strategy": "arq"}),
+    ("replica-3", {"strategy": "replica", "replicas": 3}),
+    ("replica-5", {"strategy": "replica", "replicas": 5}),
+)
+
 PARAMS = {
     "n_images": BATCH_SIZE,
     "n_inbatch_similar": IN_BATCH_SIMILAR,
     "outage_levels": list(OUTAGE_LEVELS),
+    "loss_levels": list(LOSS_LEVELS),
+    "loss_transfers": LOSS_TRANSFERS,
 }
 QUICK_PARAMS = {
     "n_images": 12,
     "n_inbatch_similar": 2,
     "outage_levels": [0.0, 0.25],
+    "loss_levels": [0.0, 0.15],
+    "loss_transfers": 6,
 }
 
 
@@ -43,13 +71,19 @@ def run(params: "dict | None" = None) -> dict:
         n_images=p["n_images"],
         n_inbatch_similar=p["n_inbatch_similar"],
     )
+    loss = run_loss_sweep(
+        loss_levels=p["loss_levels"], n_transfers=p["loss_transfers"]
+    )
     return {
         "outage": {
             str(outage): {
                 name: report_summary(report) for name, report in reports.items()
             }
             for outage, reports in results.items()
-        }
+        },
+        "loss": {
+            str(level): cells for level, cells in loss.items()
+        },
     }
 
 
@@ -78,6 +112,53 @@ def run_outage_sweep(
             report = scheme.process_batch(device, build_server(scheme, partners), batch)
             per_scheme[scheme.name] = report
         results[outage] = per_scheme
+    return results
+
+
+def run_loss_sweep(
+    loss_levels=LOSS_LEVELS, n_transfers: int = LOSS_TRANSFERS
+):
+    """ARQ vs k-replica voting across chunk-loss severities.
+
+    Per (loss level, strategy) cell: *n_transfers* image-sized payloads
+    through one lossy chunked uplink.  ``coverage`` counts transfers
+    delivered *intact* (ARQ failures past the retry budget and replica
+    residual corruption both lose coverage); delay and wire bytes show
+    what each strategy pays for that coverage.
+    """
+    results = {}
+    for level in loss_levels:
+        cells = {}
+        for name, transport_kwargs in LOSS_STRATEGIES:
+            uplink = Uplink(
+                channel=LossyChannel(
+                    seed=13,
+                    chunk_drop_rate=level,
+                    bit_error_rate=LOSS_BER if level > 0 else 0.0,
+                ),
+                transport=ChunkedTransport(
+                    chunk_bytes=LOSS_CHUNK_BYTES, **transport_kwargs
+                ),
+            )
+            delivered = 0
+            seconds = 0.0
+            for _ in range(n_transfers):
+                try:
+                    result = uplink.transfer(LOSS_PAYLOAD_BYTES)
+                except NetworkError:
+                    continue  # retry budget exhausted: coverage loss
+                delivered += 1
+                seconds += result.seconds
+            intact = delivered - uplink.corrupt_transfers
+            cells[name] = {
+                "coverage": intact / n_transfers,
+                "mean_seconds": seconds / delivered if delivered else None,
+                "wire_bytes": uplink.sent_bytes,
+                "retransmits": uplink.retransmits,
+                "vote_corrections": uplink.vote_corrections,
+                "residual_corrupt": uplink.residual_corrupt_chunks,
+            }
+        results[level] = cells
     return results
 
 
@@ -135,3 +216,61 @@ def test_ext_outage(benchmark, emit):
     worst = ordered[-1]
     assert worst["Direct Upload"].halted
     assert not worst["BEES"].halted
+
+
+def test_ext_outage_loss(benchmark, emit):
+    results = benchmark.pedantic(run_loss_sweep, rounds=1, iterations=1)
+    rows = []
+    for level, cells in results.items():
+        for name, cell in cells.items():
+            rows.append(
+                [
+                    f"{level:.2f}",
+                    name,
+                    f"{cell['coverage']:.2f}",
+                    (
+                        f"{cell['mean_seconds']:.1f} s"
+                        if cell["mean_seconds"] is not None
+                        else "—"
+                    ),
+                    f"{cell['wire_bytes'] / 1_000:.0f} kB",
+                    str(cell["retransmits"]),
+                    str(cell["residual_corrupt"]),
+                ]
+            )
+    emit(
+        "Extension — chunk-loss recovery: ARQ vs k-replica voting "
+        f"({LOSS_TRANSFERS} x {LOSS_PAYLOAD_BYTES // 1000} kB payloads)",
+        format_table(
+            [
+                "drop rate",
+                "strategy",
+                "coverage",
+                "mean delay",
+                "wire",
+                "retransmits",
+                "residual",
+            ],
+            rows,
+        ),
+    )
+    clean = results[LOSS_LEVELS[0]]
+    worst = results[LOSS_LEVELS[-1]]
+    payload_total = LOSS_TRANSFERS * LOSS_PAYLOAD_BYTES
+    # Zero loss: every strategy covers everything; ARQ costs exactly the
+    # payload while k replicas cost exactly k x.
+    for name, cell in clean.items():
+        assert cell["coverage"] == 1.0
+        assert cell["retransmits"] == 0
+    assert clean["arq"]["wire_bytes"] == payload_total
+    assert clean["replica-3"]["wire_bytes"] == 3 * payload_total
+    assert clean["replica-5"]["wire_bytes"] == 5 * payload_total
+    # Under loss, ARQ buys full intact coverage with retransmissions
+    # (loss-proportional bytes); replicas pay a fixed k x regardless.
+    assert worst["arq"]["coverage"] == 1.0
+    assert worst["arq"]["retransmits"] > 0
+    assert worst["arq"]["wire_bytes"] > payload_total
+    assert worst["arq"]["wire_bytes"] < 2 * payload_total
+    assert worst["replica-5"]["coverage"] >= worst["replica-3"]["coverage"]
+    # ARQ delay grows with the loss rate (backoffs + resends).
+    assert worst["arq"]["mean_seconds"] > clean["arq"]["mean_seconds"]

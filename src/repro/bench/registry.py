@@ -64,6 +64,8 @@ CASE_SPECS: "tuple[tuple[str, str, str, str], ...]" = (
      "Extension", "sharded concurrent fleet vs. sequential reference"),
     ("kernels_microbench", "bench_kernels",
      "Extension", "repro.kernels speedups vs. frozen pre-kernel hot paths"),
+    ("majority_vote", "bench_majority_vote",
+     "Extension", "bit-plane replica voting kernel vs. per-byte reference"),
 )
 
 

@@ -36,7 +36,7 @@ import sys
 from . import bench as bench_module
 from . import obs as obs_module
 from . import __version__
-from .errors import BenchError, SimulationError
+from .errors import BenchError, NetworkError, SimulationError
 from .analysis.charts import bar_chart, sparkline
 from .analysis.reporting import format_bytes, format_table
 from .core.policies import eac_policy, eau_policy, edr_policy
@@ -257,9 +257,38 @@ def _journal_context(path: "str | None"):
     return obs_module.journal_to(path)
 
 
+def _degraded_net(args: argparse.Namespace):
+    """The ``DegradedNetConfig`` the fleet flags describe, or ``None``."""
+    from .network import DegradedNetConfig  # lazy: keeps startup lean
+
+    degraded_flags = (
+        args.ber, args.chunk_drop, args.chunk_bytes, args.replicas,
+        args.contact_period, args.contact_up,
+    )
+    if all(flag is None for flag in degraded_flags):
+        return None
+    keywords: "dict[str, object]" = {
+        "bit_error_rate": args.ber if args.ber is not None else 0.0,
+        "chunk_drop_rate": args.chunk_drop if args.chunk_drop is not None else 0.0,
+        "strategy": args.transport,
+        "contact_period_seconds": args.contact_period,
+        "contact_up_seconds": args.contact_up,
+    }
+    if args.chunk_bytes is not None:
+        keywords["chunk_bytes"] = args.chunk_bytes
+    if args.replicas is not None:
+        keywords["replicas"] = args.replicas
+    try:
+        return DegradedNetConfig(**keywords)  # type: ignore[arg-type]
+    except NetworkError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def cmd_fleet_run(args: argparse.Namespace) -> int:
     """Run the concurrent multi-device fleet simulation."""
     from .fleet import FleetRunner, assert_equivalent  # lazy: keeps startup lean
+
+    net = _degraded_net(args)
 
     def build(mode: str, n_shards: int) -> FleetRunner:
         try:
@@ -272,6 +301,7 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                 scheme=args.scheme,
                 mode=mode,
                 workers=args.workers,
+                net=net,
             )
         except SimulationError as exc:
             raise SystemExit(str(exc)) from None
@@ -832,6 +862,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal", metavar="PATH", default=None,
         help="record the decision journal (JSONL) to PATH; with "
         "--verify the reference run is journaled to PATH.ref",
+    )
+    degraded = fleet_run.add_argument_group(
+        "degraded network",
+        "give every device a lossy chunked uplink "
+        "(any of these flags enables it)",
+    )
+    degraded.add_argument(
+        "--ber", type=float, default=None, metavar="RATE",
+        help="per-bit error rate on the uplink (e.g. 1e-6)",
+    )
+    degraded.add_argument(
+        "--chunk-drop", type=float, default=None, metavar="RATE",
+        help="per-chunk drop rate on the uplink",
+    )
+    degraded.add_argument(
+        "--transport", choices=["arq", "replica"], default="arq",
+        help="chunk recovery strategy (default: arq)",
+    )
+    degraded.add_argument(
+        "--chunk-bytes", type=int, default=None,
+        help="chunk size in bytes (default: 16384)",
+    )
+    degraded.add_argument(
+        "--replicas", type=int, default=None,
+        help="replicas per chunk for --transport replica (default: 3)",
+    )
+    degraded.add_argument(
+        "--contact-period", type=float, default=None, metavar="SECONDS",
+        help="contact-window cycle length (satellite-pass schedule)",
+    )
+    degraded.add_argument(
+        "--contact-up", type=float, default=None, metavar="SECONDS",
+        help="connected span at the start of each contact cycle",
     )
     _add_obs_flags(fleet_run)
     fleet_run.set_defaults(handler=cmd_fleet_run)

@@ -27,10 +27,19 @@ from ..obs.journal import get_journal
 
 @dataclass(frozen=True)
 class CarriedImage:
-    """An image in flight: payload + its features (for content drops)."""
+    """An image in flight: payload + its features (for content drops).
+
+    ``intact`` marks whether this *copy* survived its relay hops
+    uncorrupted; lossy contacts (:class:`repro.network.lossy.
+    ContactLoss`) clear it.  Epidemic routing naturally spreads several
+    copies of the same image, so the gateway treats those copies as
+    replicas and reconciles per image id — one intact copy repairs the
+    delivery.
+    """
 
     image: Image
     features: FeatureSet
+    intact: bool = True
 
     @property
     def image_id(self) -> str:

@@ -7,15 +7,24 @@ they carry into the server side.  Combined with the buffer policies of
 :mod:`repro.dtn.node` this reproduces the environment PhotoNet and CARE
 were designed for, and lets the CARE-vs-FIFO information-delivery
 comparison be measured (``benchmarks/bench_ext_dtn_care.py``).
+
+Contacts may be *lossy* (:class:`repro.network.lossy.ContactLoss`): a
+forwarded copy can vanish mid-contact or arrive bit-damaged, which
+clears its :attr:`~repro.dtn.node.CarriedImage.intact` flag.  Epidemic
+spread makes every image a natural k-replica scheme, so the gateway
+reconciles per image id — an image is delivered intact if *any* of its
+copies arrived intact — mirroring the uplink's replica-voting recovery
+(:mod:`repro.network.transfer`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..errors import SimulationError
+from ..network.lossy import ContactLoss
 from ..obs.journal import get_journal
 from ..obs.runtime import get_obs
 from .node import CarriedImage, DropPolicy, DtnNode
@@ -30,6 +39,8 @@ class DeliveryReport:
     transmissions: int
     drops: int
     rejections: int
+    corrupt_ids: tuple = ()
+    repaired: int = 0
 
     @property
     def n_delivered(self) -> int:
@@ -39,6 +50,26 @@ class DeliveryReport:
     def n_unique_groups(self) -> int:
         """Distinct scenes delivered — the information metric."""
         return len(set(self.delivered_groups))
+
+    @property
+    def n_intact(self) -> int:
+        """Delivered images with at least one uncorrupted copy."""
+        return len(self.delivered_ids) - len(self.corrupt_ids)
+
+    @property
+    def n_intact_groups(self) -> int:
+        """Distinct scenes with at least one intact delivery —
+        the information metric a damaged network actually yields."""
+        corrupt = set(self.corrupt_ids)
+        return len(
+            {
+                group
+                for image_id, group in zip(
+                    self.delivered_ids, self.delivered_groups
+                )
+                if image_id not in corrupt
+            }
+        )
 
 
 @dataclass
@@ -52,9 +83,11 @@ class EpidemicSimulation:
     contacts_per_round: int = 2
     gateway_probability: float = 0.15
     seed: int = 0
+    loss: "ContactLoss | None" = None
     nodes: "list[DtnNode]" = field(init=False)
     delivered: "list[CarriedImage]" = field(default_factory=list, init=False)
     transmissions: int = field(default=0, init=False)
+    dropped_transmissions: int = field(default=0, init=False)
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -88,9 +121,19 @@ class EpidemicSimulation:
     # -- dynamics ---------------------------------------------------------------
 
     def _exchange(self, sender: DtnNode, receiver: DtnNode) -> None:
-        """One-way epidemic transfer under the contact bandwidth."""
+        """One-way epidemic transfer under the contact bandwidth.
+
+        With lossy contacts each forwarded copy draws a fate from the
+        simulation's generator: a *drop* consumes contact bandwidth but
+        never reaches the receiver; a *corruption* arrives with its
+        ``intact`` flag cleared.  With ``loss=None`` (or all-zero
+        rates) no draw happens, so loss-free dynamics — and journal
+        payloads — are untouched.
+        """
         sent = 0
         forwarded: "list[str]" = []
+        lost: "list[str]" = []
+        corrupted: "list[str]" = []
         for carried in list(sender.buffer):
             if sent >= self.contact_bandwidth:
                 break
@@ -98,19 +141,32 @@ class EpidemicSimulation:
                 continue
             self.transmissions += 1
             sent += 1
+            fate = "ok" if self.loss is None else self.loss.fate(self._rng)
+            if fate == "drop":
+                self.dropped_transmissions += 1
+                lost.append(carried.image_id)
+                continue
+            if fate == "corrupt":
+                corrupted.append(carried.image_id)
+                carried = replace(carried, intact=False)
             forwarded.append(carried.image_id)
             receiver.offer(carried)
         obs = get_obs()
         if obs.enabled and sent:
             obs.dtn_transmissions.inc(sent, kind="relay")
+            if lost:
+                obs.dtn_transmissions.inc(len(lost), kind="lost")
         journal = get_journal()
-        if journal.enabled and forwarded:
-            journal.emit(
-                "dtn.forward",
-                sender=sender.node_id,
-                receiver=receiver.node_id,
-                image_ids=forwarded,
-            )
+        if journal.enabled and (forwarded or lost):
+            data: "dict[str, object]" = {
+                "sender": sender.node_id,
+                "receiver": receiver.node_id,
+                "image_ids": forwarded,
+            }
+            if self.loss is not None:
+                data["lost"] = lost
+                data["corrupted"] = corrupted
+            journal.emit("dtn.forward", **data)
 
     def step(self) -> None:
         """One round: a few pairwise contacts + possible gateway visits."""
@@ -147,8 +203,27 @@ class EpidemicSimulation:
             span.set_attribute("delivered", len(self.delivered))
             span.set_attribute("transmissions", self.transmissions)
         unique: dict[str, CarriedImage] = {}
+        intact_by_id: dict[str, bool] = {}
+        saw_corrupt: dict[str, bool] = {}
         for carried in self.delivered:
             unique.setdefault(carried.image_id, carried)
+            intact_by_id[carried.image_id] = (
+                intact_by_id.get(carried.image_id, False) or carried.intact
+            )
+            saw_corrupt[carried.image_id] = (
+                saw_corrupt.get(carried.image_id, False) or not carried.intact
+            )
+        # Gateway-side reconciliation: epidemic copies are replicas, so
+        # one intact arrival repairs the image; ids with no intact copy
+        # stay corrupt (counted, not hidden).
+        corrupt_ids = tuple(
+            image_id for image_id in unique if not intact_by_id[image_id]
+        )
+        repaired = sum(
+            1
+            for image_id in unique
+            if intact_by_id[image_id] and saw_corrupt[image_id]
+        )
         return DeliveryReport(
             delivered_ids=tuple(unique),
             delivered_groups=tuple(
@@ -157,4 +232,6 @@ class EpidemicSimulation:
             transmissions=self.transmissions,
             drops=sum(node.drops for node in self.nodes),
             rejections=sum(node.rejections for node in self.nodes),
+            corrupt_ids=corrupt_ids,
+            repaired=repaired,
         )

@@ -42,7 +42,7 @@ from ..energy import Battery
 from ..errors import SimulationError
 from ..index import FeatureIndex, ShardedFeatureIndex
 from ..kernels.cache import get_match_cache
-from ..network import FluctuatingChannel, Uplink
+from ..network import DegradedNetConfig, FluctuatingChannel, Uplink
 from ..obs import get_obs
 from ..obs.journal import get_journal
 from ..schemes import make_scheme
@@ -73,6 +73,11 @@ class FleetRunner:
     workers: "int | None" = None
     #: Starting battery fraction (below 1.0 exercises the halted path).
     capacity_fraction: float = 1.0
+    #: Degraded-network profile: when set, every device gets a
+    #: :class:`~repro.network.LossyChannel` plus a chunked transport
+    #: (same per-device seeds as the clean path, so zero-loss degraded
+    #: runs are byte- and joule-identical to ``net=None``).
+    net: "DegradedNetConfig | None" = None
     workload: "FleetWorkload | None" = None
     _schemes: "list[SharingScheme]" = field(init=False, repr=False)
 
@@ -104,14 +109,15 @@ class FleetRunner:
     def _build_devices(self) -> "list[Smartphone]":
         devices = []
         for number in range(self.n_devices):
-            device = Smartphone(
-                name=f"dev-{number:02d}",
-                uplink=Uplink(
-                    channel=FluctuatingChannel(
-                        seed=self.seed * _CHANNEL_SEED_STRIDE + number
-                    )
-                ),
-            )
+            channel_seed = self.seed * _CHANNEL_SEED_STRIDE + number
+            if self.net is None:
+                uplink = Uplink(channel=FluctuatingChannel(seed=channel_seed))
+            else:
+                uplink = Uplink(
+                    channel=self.net.build_channel(seed=channel_seed),
+                    transport=self.net.build_transport(),
+                )
+            device = Smartphone(name=f"dev-{number:02d}", uplink=uplink)
             device.battery = Battery(
                 capacity_joules=device.profile.battery_capacity_joules
                 * self.capacity_fraction
@@ -156,6 +162,7 @@ class FleetRunner:
                 batch_size=self.batch_size,
                 seed=self.seed,
                 devices=[device.name for device in devices],
+                net=None if self.net is None else self.net.describe(),
             )
         cache_stats_start = get_match_cache().stats()
         t0 = time.perf_counter()

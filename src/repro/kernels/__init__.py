@@ -7,6 +7,9 @@ out in:
   (``np.bitwise_count`` or a SWAR fallback);
 * :mod:`~repro.kernels.voting` — deduplicated LSH bucket storage with
   ``bincount`` vote aggregation;
+* :mod:`~repro.kernels.majority` — the bit-plane byte-wise majority
+  vote behind k-replica forward redundancy
+  (:mod:`repro.network.transfer`);
 * :mod:`~repro.kernels.cache` — the LRU match-count cache keyed by
   content fingerprints;
 * :mod:`~repro.kernels.batch` — the batched all-pairs SSMM similarity
@@ -35,6 +38,7 @@ from .hamming import (
     pack_rows_u64,
     popcount_u64,
 )
+from .majority import majority_vote_bytes, majority_vote_stats
 from .voting import BucketStore
 
 __all__ = [
@@ -47,6 +51,8 @@ __all__ = [
     "get_match_cache",
     "hamming_distance_matrix",
     "hamming_distance_matrix_u64",
+    "majority_vote_bytes",
+    "majority_vote_stats",
     "match_key",
     "pack_rows_u64",
     "popcount_u64",

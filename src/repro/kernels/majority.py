@@ -1,0 +1,83 @@
+"""The byte-wise majority-vote kernel.
+
+Forward redundancy sends ``k`` replicas of every chunk over a corrupting
+channel and reconstructs by voting at each byte position — exactly the
+noisy-vs-fixed reconstruction of satellite downlink pipelines, and the
+degraded-network transfer strategy of :mod:`repro.network.transfer`.
+
+The vote is **per bit within each byte position**: bit ``b`` of output
+byte ``i`` is set iff a *strict* majority of the replicas have it set
+(a tie, possible only for even ``k``, clears the bit).  This recovers
+the exact payload whenever, at every byte position, strictly fewer than
+``ceil(k / 2)`` replicas are corrupted — the property the transfer
+suite pins — and it degrades gracefully when corruption is heavier:
+each bit is decided independently, so a position no replica got fully
+right can still come out mostly right.
+
+The implementation is a numpy **bit-plane** reduction: the replica
+stack is one ``(k, n)`` uint8 matrix, and for each of the 8 bit planes
+one vectorised shift/mask/sum decides all ``n`` positions at once —
+eight passes over the stack instead of ``8 * k * n`` Python-level bit
+probes.  ``tests/kernels/test_majority.py`` proves it byte-identical to
+the pure-Python per-byte reference on every tested input, and the
+``majority_vote`` bench case gates the speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NetworkError
+
+
+def _replica_stack(replicas: "Sequence[bytes]") -> "np.ndarray":
+    """The ``(k, n)`` uint8 stack, validating shape agreement."""
+    if not replicas:
+        raise NetworkError("majority vote needs at least one replica")
+    n_bytes = len(replicas[0])
+    for number, replica in enumerate(replicas):
+        if len(replica) != n_bytes:
+            raise NetworkError(
+                "majority vote needs equal-length replicas: replica "
+                f"{number} has {len(replica)} byte(s), expected {n_bytes}"
+            )
+    joined = b"".join(bytes(replica) for replica in replicas)
+    return np.frombuffer(joined, dtype=np.uint8).reshape(len(replicas), n_bytes)
+
+
+def majority_vote_bytes(replicas: "Sequence[bytes]") -> bytes:
+    """Reconstruct one payload from *replicas* by bit-plane majority.
+
+    Replicas must agree in length (chunk replicas always do); a single
+    replica is returned as-is.  Ties at even ``k`` clear the bit.
+    """
+    if len(replicas) == 1:
+        return bytes(replicas[0])
+    stack = _replica_stack(replicas)
+    k = stack.shape[0]
+    if stack.shape[1] == 0:
+        return b""
+    winner = np.zeros(stack.shape[1], dtype=np.uint8)
+    one = np.uint8(1)
+    for bit in range(8):
+        ones = ((stack >> np.uint8(bit)) & one).sum(axis=0, dtype=np.int64)
+        winner |= ((2 * ones > k).astype(np.uint8) << np.uint8(bit))
+    return winner.tobytes()
+
+
+def majority_vote_stats(replicas: "Sequence[bytes]") -> "tuple[bytes, int]":
+    """:func:`majority_vote_bytes` plus the disputed-position count.
+
+    Returns ``(winner, disputed)`` where *disputed* is the number of
+    byte positions at which at least one replica disagrees with the
+    voted winner — the "vote corrections" the transfer layer reports.
+    """
+    winner = majority_vote_bytes(replicas)
+    if len(replicas) == 1 or len(winner) == 0:
+        return winner, 0
+    stack = _replica_stack(replicas)
+    voted = np.frombuffer(winner, dtype=np.uint8)
+    disputed = int((stack != voted[None, :]).any(axis=0).sum())
+    return winner, disputed

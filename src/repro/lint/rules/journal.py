@@ -28,10 +28,12 @@ from ..findings import Finding
 from ..registry import FileContext, Rule, iter_nodes, register
 
 #: Basenames of the modules whose functions make journaled decisions.
-_TARGET_BASENAMES = frozenset({"ard.py", "aiu.py", "policies.py", "routing.py"})
+_TARGET_BASENAMES = frozenset(
+    {"ard.py", "aiu.py", "policies.py", "routing.py", "transfer.py"}
+)
 
 #: Return-annotation type names that mark a function as a decision site.
-_DECISION_TYPES = ("CbrdDecision", "AiuResult", "DeliveryReport")
+_DECISION_TYPES = ("CbrdDecision", "AiuResult", "DeliveryReport", "ChunkedOutcome")
 
 #: Function names that are decision sites regardless of annotation
 #: (the DTN dynamics: forwarding and gateway delivery).
@@ -100,8 +102,8 @@ class MissingJournalEventRule(Rule):
     code = "BEES108"
     summary = (
         "decision sites in core/ard.py, core/aiu.py, core/policies.py, "
-        "and dtn/routing.py must emit (or transitively reach) a "
-        "decision-journal event"
+        "dtn/routing.py, and network/transfer.py must emit (or "
+        "transitively reach) a decision-journal event"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -1,14 +1,47 @@
-"""Network substrate: fluctuating low-bandwidth uplink emulation."""
+"""Network substrate: fluctuating low-bandwidth uplink emulation.
+
+Layers, from kindest to cruellest: :class:`FluctuatingChannel` (scarce
+but reliable goodput), :class:`OutageChannel` (random Gilbert outage
+bursts), :class:`LossyChannel` (bit flips + chunk drops), and
+:class:`ContactSchedule` (hard intermittent contact windows).  The
+:class:`ChunkedTransport` on the :class:`Uplink` recovers from the
+lossy layers by per-chunk ARQ or k-replica majority voting.
+"""
 
 from .channel import DEFAULT_MEDIAN_BPS, KBPS, FluctuatingChannel
 from .link import TransferResult, Uplink
-from .outage import OutageChannel
+from .lossy import CONTACT_FATES, ChunkFate, ContactLoss, LossyChannel, corrupt_bytes
+from .outage import ContactSchedule, OutageChannel
+from .transfer import (
+    DEFAULT_CHUNK_BYTES,
+    STRATEGIES,
+    ChunkedOutcome,
+    ChunkedTransport,
+    DegradedNetConfig,
+    pattern_payload,
+    reassemble,
+    split_payload,
+)
 
 __all__ = [
+    "CONTACT_FATES",
+    "DEFAULT_CHUNK_BYTES",
     "DEFAULT_MEDIAN_BPS",
     "KBPS",
+    "STRATEGIES",
+    "ChunkFate",
+    "ChunkedOutcome",
+    "ChunkedTransport",
+    "ContactLoss",
+    "ContactSchedule",
+    "DegradedNetConfig",
     "FluctuatingChannel",
+    "LossyChannel",
     "OutageChannel",
     "TransferResult",
     "Uplink",
+    "corrupt_bytes",
+    "pattern_payload",
+    "reassemble",
+    "split_payload",
 ]

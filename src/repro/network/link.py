@@ -4,6 +4,16 @@ Every transfer pays a fixed protocol latency plus the serialisation time
 of its payload at the sampled goodput.  The link also keeps cumulative
 byte counters — the "bandwidth overhead" metric of Figure 10 is simply
 the total bytes a scheme pushed through its uplink.
+
+With a :class:`~repro.network.transfer.ChunkedTransport` attached the
+uplink sends chunk by chunk and recovers from drops and bit corruption
+(ARQ retransmits or replica voting); ``sent_bytes`` then counts every
+byte that actually hit the air — retransmissions and replicas included —
+not just the payload, because the bandwidth-overhead figures must charge
+recovery traffic to the scheme that caused it.  A chunked transfer at
+zero loss is bit-identical in seconds (hence joules) to the
+whole-payload path; ``tests/network/test_transfer_differential.py``
+keeps that true.
 """
 
 from __future__ import annotations
@@ -13,15 +23,32 @@ from dataclasses import dataclass, field
 from ..errors import NetworkError
 from ..obs.runtime import get_obs
 from .channel import FluctuatingChannel
+from .transfer import ChunkedTransport, pattern_payload
 
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Outcome of one uplink transfer."""
+    """Outcome of one uplink transfer.
+
+    ``payload_bytes`` is what the caller asked to deliver;
+    ``wire_bytes`` is what actually went on the air (equal on the
+    whole-payload path, larger under chunked recovery).
+    """
 
     payload_bytes: int
     seconds: float
     goodput_bps: float
+    wire_bytes: int = -1
+    chunks: int = 1
+    retransmits: int = 0
+    dropped_chunks: int = 0
+    vote_corrections: int = 0
+    residual_corrupt_chunks: int = 0
+    wait_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            object.__setattr__(self, "wire_bytes", self.payload_bytes)
 
 
 @dataclass
@@ -30,8 +57,14 @@ class Uplink:
 
     channel: FluctuatingChannel = field(default_factory=FluctuatingChannel)
     latency_seconds: float = 0.1
+    transport: "ChunkedTransport | None" = None
     sent_bytes: int = field(default=0, init=False)
     transfer_count: int = field(default=0, init=False)
+    clock_seconds: float = field(default=0.0, init=False)
+    retransmits: int = field(default=0, init=False)
+    vote_corrections: int = field(default=0, init=False)
+    residual_corrupt_chunks: int = field(default=0, init=False)
+    corrupt_transfers: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.latency_seconds < 0:
@@ -42,19 +75,66 @@ class Uplink:
         if payload_bytes < 0:
             raise NetworkError(f"payload must be >= 0 bytes, got {payload_bytes}")
         goodput = self.channel.sample_goodput_bps()
-        seconds = self.latency_seconds + payload_bytes * 8.0 / goodput
-        self.sent_bytes += payload_bytes
+        if self.transport is None:
+            seconds = self.latency_seconds + payload_bytes * 8.0 / goodput
+            result = TransferResult(
+                payload_bytes=payload_bytes, seconds=seconds, goodput_bps=goodput
+            )
+        else:
+            outcome = self.transport.send(
+                self.channel,
+                pattern_payload(payload_bytes),
+                goodput_bps=goodput,
+                latency_seconds=self.latency_seconds,
+                clock_seconds=self.clock_seconds,
+            )
+            if outcome.data != pattern_payload(payload_bytes):
+                # Residual corruption survived voting: delivered, counted,
+                # never silently ignored.
+                self.corrupt_transfers += 1
+            result = TransferResult(
+                payload_bytes=payload_bytes,
+                seconds=outcome.seconds,
+                goodput_bps=goodput,
+                wire_bytes=outcome.wire_bytes,
+                chunks=outcome.n_chunks,
+                retransmits=outcome.retransmits,
+                dropped_chunks=outcome.dropped_chunks,
+                vote_corrections=outcome.vote_corrections,
+                residual_corrupt_chunks=outcome.residual_corrupt_chunks,
+                wait_seconds=outcome.wait_seconds,
+            )
+        # Charge the wire, not the payload: recovery bytes (retransmits,
+        # replicas) are real bandwidth the overhead figures must see.
+        self.sent_bytes += result.wire_bytes
         self.transfer_count += 1
+        self.clock_seconds += result.seconds
+        self.retransmits += result.retransmits
+        self.vote_corrections += result.vote_corrections
+        self.residual_corrupt_chunks += result.residual_corrupt_chunks
         obs = get_obs()
         if obs.enabled:
             obs.link_transfers.inc()
-            obs.link_bytes.inc(payload_bytes)
-            obs.link_transfer_seconds.observe(seconds)
-        return TransferResult(
-            payload_bytes=payload_bytes, seconds=seconds, goodput_bps=goodput
-        )
+            obs.link_bytes.inc(result.wire_bytes)
+            obs.link_transfer_seconds.observe(result.seconds)
+            if self.transport is not None:
+                obs.link_chunks.inc(result.chunks)
+                if result.retransmits:
+                    obs.link_retransmits.inc(result.retransmits)
+                if result.dropped_chunks:
+                    obs.link_chunk_drops.inc(result.dropped_chunks)
+                if result.vote_corrections:
+                    obs.link_vote_corrections.inc(result.vote_corrections)
+                if result.residual_corrupt_chunks:
+                    obs.link_residual_corrupt.inc(result.residual_corrupt_chunks)
+        return result
 
     def reset_counters(self) -> None:
-        """Zero the cumulative byte/transfer counters."""
+        """Zero the cumulative byte/transfer counters (clock included)."""
         self.sent_bytes = 0
         self.transfer_count = 0
+        self.clock_seconds = 0.0
+        self.retransmits = 0
+        self.vote_corrections = 0
+        self.residual_corrupt_chunks = 0
+        self.corrupt_transfers = 0

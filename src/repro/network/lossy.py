@@ -1,0 +1,141 @@
+"""Corrupting channels — the degraded-network substrate.
+
+The base :class:`~repro.network.channel.FluctuatingChannel` models
+*scarce but reliable* bandwidth: every byte pushed arrives.  Disasters
+are worse — bits flip in flight and whole chunks vanish — which is the
+regime CARE ("Content Aware Redundancy Elimination for Disaster
+Communications on Damaged Networks") targets and the degraded-network
+transfer layer (:mod:`repro.network.transfer`) recovers from.
+
+:class:`LossyChannel` layers a seeded per-bit error rate and a per-chunk
+drop rate on the fluctuating goodput.  Fates are drawn from the same
+generator that samples goodput, and — deliberately — **no random draw
+happens when both rates are zero**, so a zero-loss ``LossyChannel``
+consumes exactly the same RNG stream as a plain
+``FluctuatingChannel`` and the zero-loss differential suite can demand
+byte-identical behaviour.
+
+:class:`ContactLoss` is the DTN analogue: per-transmission drop and
+corruption probabilities applied to epidemic relay contacts
+(:mod:`repro.dtn.routing`), where the epidemic copies themselves are
+the replicas that gateway-side reconciliation votes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NetworkError
+from .channel import FluctuatingChannel
+
+#: A transmission fate drawn by :meth:`ContactLoss.fate`.
+CONTACT_FATES = ("ok", "drop", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChunkFate:
+    """What the channel did to one chunk transmission.
+
+    ``flip_bits`` holds the corrupted bit positions (bit ``8 * i + b``
+    is bit ``b``, LSB-first, of byte ``i``); it is empty for an intact
+    or dropped chunk.
+    """
+
+    dropped: bool = False
+    flip_bits: "tuple[int, ...]" = ()
+
+    @property
+    def corrupted(self) -> bool:
+        return bool(self.flip_bits)
+
+
+#: The fate of every chunk on a healthy channel.
+INTACT_FATE = ChunkFate()
+
+
+def corrupt_bytes(data: bytes, flip_bits: "tuple[int, ...]") -> bytes:
+    """*data* with the given bit positions flipped (LSB-first per byte)."""
+    if not flip_bits:
+        return data
+    corrupted = bytearray(data)
+    for position in flip_bits:
+        corrupted[position >> 3] ^= 1 << (position & 7)
+    return bytes(corrupted)
+
+
+@dataclass
+class LossyChannel(FluctuatingChannel):
+    """A fluctuating channel that corrupts bits and drops chunks.
+
+    Both impairments are per *chunk transmission* (the unit the chunked
+    transport sends), drawn from the channel's seeded generator: a
+    chunk is first dropped with ``chunk_drop_rate``; a surviving chunk
+    has each bit flipped independently with ``bit_error_rate``
+    (sampled as a binomial flip count plus uniform positions — the
+    exact same distribution at a fraction of the draws).
+    """
+
+    bit_error_rate: float = 0.0
+    chunk_drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise NetworkError(
+                f"bit_error_rate must be in [0, 1), got {self.bit_error_rate}"
+            )
+        if not 0.0 <= self.chunk_drop_rate < 1.0:
+            raise NetworkError(
+                f"chunk_drop_rate must be in [0, 1), got {self.chunk_drop_rate}"
+            )
+
+    def chunk_fate(self, chunk_index: int, attempt: int, n_bytes: int) -> ChunkFate:
+        """Draw the fate of one chunk transmission.
+
+        ``chunk_index`` and ``attempt`` are unused by the random model
+        but are the hook deterministic fault plans key their scripted
+        fates on (``tests/network/faults.py`` overrides this method).
+        """
+        del chunk_index, attempt  # the random model is memoryless
+        if self.chunk_drop_rate > 0.0 and self._rng.random() < self.chunk_drop_rate:
+            return ChunkFate(dropped=True)
+        if self.bit_error_rate > 0.0 and n_bytes > 0:
+            n_bits = 8 * n_bytes
+            n_flips = int(self._rng.binomial(n_bits, self.bit_error_rate))
+            if n_flips:
+                positions = self._rng.choice(n_bits, size=n_flips, replace=False)
+                return ChunkFate(
+                    flip_bits=tuple(int(p) for p in np.sort(positions))
+                )
+        return INTACT_FATE
+
+
+@dataclass
+class ContactLoss:
+    """Per-transmission loss for DTN relay contacts.
+
+    Draws come from the *simulation's* generator (passed in), so one
+    seed still drives the whole contact process; with both rates zero
+    no draw happens and the loss-free dynamics are untouched.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise NetworkError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if not 0.0 <= self.corrupt_rate < 1.0:
+            raise NetworkError(
+                f"corrupt_rate must be in [0, 1), got {self.corrupt_rate}"
+            )
+
+    def fate(self, rng: "np.random.Generator") -> str:
+        """``"ok"``, ``"drop"``, or ``"corrupt"`` for one transmission."""
+        if self.drop_rate > 0.0 and rng.random() < self.drop_rate:
+            return "drop"
+        if self.corrupt_rate > 0.0 and rng.random() < self.corrupt_rate:
+            return "corrupt"
+        return "ok"

@@ -23,6 +23,58 @@ from .channel import FluctuatingChannel
 OUTAGE_TRICKLE_BPS = 2_000.0
 
 
+@dataclass(frozen=True)
+class ContactSchedule:
+    """Deterministic intermittent contact windows (satellite passes).
+
+    The link repeats a ``period_seconds`` cycle that starts with
+    ``up_seconds`` of connectivity and is down for the remainder —
+    the shape of a ground station seeing a LEO satellite once per
+    orbit, or a relay van driving through coverage on a fixed route.
+    Unlike :class:`OutageChannel` (random Gilbert bursts, goodput
+    collapses but transfers proceed), a schedule is a *hard* gate in
+    simulated time: the chunked transport
+    (:class:`repro.network.transfer.ChunkedTransport`) stalls every
+    chunk that misses a window until the next one opens, so a payload
+    longer than a window is delivered across several passes.
+    """
+
+    period_seconds: float
+    up_seconds: float
+    offset_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise NetworkError(
+                f"period_seconds must be positive, got {self.period_seconds}"
+            )
+        if not 0.0 < self.up_seconds <= self.period_seconds:
+            raise NetworkError(
+                "up_seconds must be in (0, period_seconds], got "
+                f"{self.up_seconds} of {self.period_seconds}"
+            )
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the link is up."""
+        return self.up_seconds / self.period_seconds
+
+    def phase_seconds(self, at_seconds: float) -> float:
+        """Position inside the current cycle (0 = window opening)."""
+        return (at_seconds - self.offset_seconds) % self.period_seconds
+
+    def is_up(self, at_seconds: float) -> bool:
+        """Whether the link is inside a contact window at *at_seconds*."""
+        return self.phase_seconds(at_seconds) < self.up_seconds
+
+    def next_up_seconds(self, at_seconds: float) -> float:
+        """Earliest time >= *at_seconds* with the link up."""
+        phase = self.phase_seconds(at_seconds)
+        if phase < self.up_seconds:
+            return at_seconds
+        return at_seconds + (self.period_seconds - phase)
+
+
 @dataclass
 class OutageChannel(FluctuatingChannel):
     """A fluctuating channel that suffers seeded outage bursts.

@@ -1,0 +1,447 @@
+"""The chunked, corruption-aware transfer layer.
+
+BEES' evaluation assumes a lossy-but-*reliable* low-bandwidth uplink
+(Section IV-A's 0–512 Kbps emulation): every byte pushed arrives.  The
+situation-awareness setting is disasters, where links flip bits, drop
+chunks, and come and go on contact windows.  This module makes the
+uplink survive that regime: payloads split into fixed-size chunks sent
+over a :class:`~repro.network.lossy.LossyChannel`, with two recovery
+strategies —
+
+``arq``
+    Per-chunk checksum + retransmit: a chunk whose CRC fails (or that
+    was dropped outright) is resent after an exponential backoff in
+    *simulated* time, up to ``max_retries`` retransmissions; exhausting
+    the budget raises :class:`~repro.errors.NetworkError`.  Delivery is
+    always intact, at the price of loss-dependent extra bytes and delay.
+
+``replica``
+    Forward redundancy: every chunk is sent ``replicas`` times
+    back-to-back (no return channel needed) and the receiver
+    reconstructs by byte-wise majority vote
+    (:func:`repro.kernels.majority.majority_vote_bytes`).  Bytes cost
+    is a fixed ``k``×; residual corruption is possible (counted, never
+    silently ignored) when a byte position is corrupted in half or
+    more of the surviving replicas.
+
+Timing keeps the simulation's per-transfer discipline: goodput is
+sampled **once per payload** (see :mod:`repro.network.channel` for the
+rationale) and the total is one closed formula —
+``latency + waits + turnarounds + backoffs + wire_bytes * 8 / goodput``
+— so a zero-loss chunked transfer is *bit-identical* in seconds (and
+therefore joules) to the whole-payload path it replaced, which
+``tests/network/test_transfer_differential.py`` pins.  Chunk headers
+and acks ride in the simulation's control plane and cost nothing, the
+same idealisation the whole-payload path already made.
+
+Every chunk attempt lands in the decision journal (``chunk.send`` /
+``chunk.ack`` / ``chunk.vote``) so replay and cross-run diffs cover the
+degraded path too.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import NetworkError
+from ..kernels.majority import majority_vote_stats
+from ..obs.journal import get_journal
+from .channel import DEFAULT_MEDIAN_BPS, FluctuatingChannel
+from .lossy import INTACT_FATE, ChunkFate, LossyChannel, corrupt_bytes
+from .outage import ContactSchedule
+
+#: Default chunk size: small enough that a retransmission is cheap next
+#: to a whole image, large enough that per-chunk bookkeeping is noise.
+DEFAULT_CHUNK_BYTES = 16 * 1024
+
+#: Default retransmission budget per chunk (ARQ).
+DEFAULT_MAX_RETRIES = 8
+
+#: Default replica count per chunk (forward redundancy).
+DEFAULT_REPLICAS = 3
+
+#: Default resend rounds when *every* replica of a chunk was dropped.
+DEFAULT_MAX_REPLICA_ROUNDS = 3
+
+#: First ARQ backoff; doubles per retry (exponential, simulated time).
+DEFAULT_BACKOFF_BASE_SECONDS = 0.05
+
+#: Recovery strategies accepted by :class:`ChunkedTransport`.
+STRATEGIES = ("arq", "replica")
+
+#: The repeating byte pattern synthesised payloads are made of.
+_PATTERN = np.arange(256, dtype=np.uint8)
+
+
+def pattern_payload(n_bytes: int) -> bytes:
+    """A deterministic pseudo-payload of *n_bytes* (no RNG consumed).
+
+    The simulation tracks payload *sizes*, not contents; the chunked
+    path needs real bytes to corrupt, checksum, and vote over, so the
+    uplink synthesises this repeating pattern.  Recovery correctness is
+    content-independent (corruption positions are random), and using no
+    generator keeps the channel's RNG stream identical to the
+    whole-payload path.
+    """
+    if n_bytes < 0:
+        raise NetworkError(f"payload must be >= 0 bytes, got {n_bytes}")
+    if n_bytes == 0:
+        return b""
+    repeats = -(-n_bytes // _PATTERN.size)
+    return np.tile(_PATTERN, repeats)[:n_bytes].tobytes()
+
+
+def split_payload(payload: bytes, chunk_bytes: int) -> "list[bytes]":
+    """*payload* as consecutive chunks of at most *chunk_bytes*."""
+    if chunk_bytes < 1:
+        raise NetworkError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    return [
+        payload[start : start + chunk_bytes]
+        for start in range(0, len(payload), chunk_bytes)
+    ]
+
+
+def reassemble(pieces: "Mapping[int, bytes]") -> bytes:
+    """Join chunks by index — invariant to arrival order.
+
+    Indices must be exactly ``0..len(pieces) - 1``; a gap means a chunk
+    never arrived and reassembly must not silently shift the payload.
+    """
+    for index in range(len(pieces)):
+        if index not in pieces:
+            raise NetworkError(
+                f"cannot reassemble: chunk {index} missing "
+                f"({len(pieces)} piece(s) held)"
+            )
+    return b"".join(pieces[index] for index in range(len(pieces)))
+
+
+@dataclass(frozen=True)
+class ChunkedOutcome:
+    """What one chunked payload transfer did, end to end."""
+
+    data: bytes
+    seconds: float
+    wire_bytes: int
+    n_chunks: int
+    retransmits: int
+    dropped_chunks: int
+    corrupted_chunks: int
+    vote_corrections: int
+    residual_corrupt_chunks: int
+    wait_seconds: float
+
+
+@dataclass
+class _Tally:
+    """Mutable bookkeeping shared by the per-chunk send loops."""
+
+    clock_seconds: float
+    goodput_bps: float
+    wire_bytes: int = 0
+    retransmits: int = 0
+    dropped_chunks: int = 0
+    corrupted_chunks: int = 0
+    vote_corrections: int = 0
+    residual_corrupt_chunks: int = 0
+    wait_seconds: float = 0.0
+    extra_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChunkedTransport:
+    """Chunking + recovery policy for one uplink.
+
+    Stateless across transfers (all per-payload bookkeeping lives in
+    the call), so one instance may serve many devices — the fleet still
+    builds one per device for symmetry with channels.
+    """
+
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    strategy: str = "arq"
+    max_retries: int = DEFAULT_MAX_RETRIES
+    replicas: int = DEFAULT_REPLICAS
+    max_replica_rounds: int = DEFAULT_MAX_REPLICA_ROUNDS
+    backoff_base_seconds: float = DEFAULT_BACKOFF_BASE_SECONDS
+    schedule: "ContactSchedule | None" = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes < 1:
+            raise NetworkError(f"chunk_bytes must be >= 1, got {self.chunk_bytes}")
+        if self.strategy not in STRATEGIES:
+            raise NetworkError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.max_retries < 0:
+            raise NetworkError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.replicas < 1:
+            raise NetworkError(f"replicas must be >= 1, got {self.replicas}")
+        if self.max_replica_rounds < 1:
+            raise NetworkError(
+                f"max_replica_rounds must be >= 1, got {self.max_replica_rounds}"
+            )
+        if self.backoff_base_seconds < 0:
+            raise NetworkError(
+                f"backoff_base_seconds must be >= 0, got {self.backoff_base_seconds}"
+            )
+
+    # -- sending ------------------------------------------------------------
+
+    def send(
+        self,
+        channel: FluctuatingChannel,
+        payload: bytes,
+        goodput_bps: float,
+        latency_seconds: float,
+        clock_seconds: float = 0.0,
+    ) -> ChunkedOutcome:
+        """Deliver *payload* chunk by chunk; returns the reassembly.
+
+        *goodput_bps* is the transfer's single goodput sample (drawn by
+        the uplink); *clock_seconds* is the device's simulated clock at
+        transfer start, which positions contact windows.
+        """
+        if goodput_bps <= 0:
+            raise NetworkError(f"goodput must be positive, got {goodput_bps}")
+        chunks = split_payload(payload, self.chunk_bytes)
+        tally = _Tally(
+            clock_seconds=clock_seconds + latency_seconds,
+            goodput_bps=goodput_bps,
+        )
+        received: "dict[int, bytes]" = {}
+        for index, chunk in enumerate(chunks):
+            if self.strategy == "arq":
+                received[index] = self._send_arq(channel, index, chunk, tally)
+            else:
+                received[index] = self._send_replica(channel, index, chunk, tally)
+        # One closed formula, not a per-chunk accumulation: with no
+        # waits/turnarounds this is bit-identical to the whole-payload
+        # path's ``latency + bytes * 8 / goodput`` (the zero-loss
+        # differential suite depends on that).
+        seconds = (
+            latency_seconds
+            + tally.wait_seconds
+            + tally.extra_seconds
+            + tally.wire_bytes * 8.0 / goodput_bps
+        )
+        return ChunkedOutcome(
+            data=reassemble(received),
+            seconds=seconds,
+            wire_bytes=tally.wire_bytes,
+            n_chunks=len(chunks),
+            retransmits=tally.retransmits,
+            dropped_chunks=tally.dropped_chunks,
+            corrupted_chunks=tally.corrupted_chunks,
+            vote_corrections=tally.vote_corrections,
+            residual_corrupt_chunks=tally.residual_corrupt_chunks,
+            wait_seconds=tally.wait_seconds,
+        )
+
+    # -- shared mechanics ----------------------------------------------------
+
+    def _transmit(
+        self,
+        channel: FluctuatingChannel,
+        index: int,
+        attempt: int,
+        chunk: bytes,
+        tally: _Tally,
+    ) -> ChunkFate:
+        """Put one chunk copy on the air; returns its fate."""
+        if self.schedule is not None and not self.schedule.is_up(
+            tally.clock_seconds
+        ):
+            opens = self.schedule.next_up_seconds(tally.clock_seconds)
+            tally.wait_seconds += opens - tally.clock_seconds
+            tally.clock_seconds = opens
+        tally.wire_bytes += len(chunk)
+        tally.clock_seconds += len(chunk) * 8.0 / tally.goodput_bps
+        if isinstance(channel, LossyChannel):
+            fate = channel.chunk_fate(index, attempt, len(chunk))
+        else:
+            fate = INTACT_FATE
+        if fate.dropped:
+            tally.dropped_chunks += 1
+        elif fate.corrupted:
+            tally.corrupted_chunks += 1
+        return fate
+
+    # -- ARQ -----------------------------------------------------------------
+
+    def _send_arq(
+        self,
+        channel: FluctuatingChannel,
+        index: int,
+        chunk: bytes,
+        tally: _Tally,
+    ) -> bytes:
+        expected_crc = zlib.crc32(chunk)
+        journal = get_journal()
+        attempt = 0
+        while True:
+            attempt += 1
+            fate = self._transmit(channel, index, attempt, chunk, tally)
+            arrived = (
+                None
+                if fate.dropped
+                else corrupt_bytes(chunk, fate.flip_bits)
+            )
+            ok = arrived is not None and zlib.crc32(arrived) == expected_crc
+            if journal.enabled:
+                journal.emit(
+                    "chunk.send",
+                    chunk=index,
+                    attempt=attempt,
+                    chunk_bytes=len(chunk),
+                    dropped=fate.dropped,
+                    corrupted=fate.corrupted,
+                )
+            if ok:
+                if journal.enabled:
+                    journal.emit("chunk.ack", chunk=index, attempts=attempt)
+                assert arrived is not None
+                return arrived
+            if attempt > self.max_retries:
+                raise NetworkError(
+                    f"chunk {index}: checksum still failing after "
+                    f"{self.max_retries} retransmission(s)"
+                )
+            tally.retransmits += 1
+            turnaround = (
+                self.backoff_base_seconds * (2.0 ** (attempt - 1))
+            )
+            tally.extra_seconds += turnaround
+            tally.clock_seconds += turnaround
+
+    # -- forward redundancy --------------------------------------------------
+
+    def _send_replica(
+        self,
+        channel: FluctuatingChannel,
+        index: int,
+        chunk: bytes,
+        tally: _Tally,
+    ) -> bytes:
+        expected_crc = zlib.crc32(chunk)
+        journal = get_journal()
+        received: "list[bytes]" = []
+        rounds = 0
+        while not received:
+            rounds += 1
+            for replica in range(self.replicas):
+                attempt = (rounds - 1) * self.replicas + replica + 1
+                fate = self._transmit(channel, index, attempt, chunk, tally)
+                if journal.enabled:
+                    journal.emit(
+                        "chunk.send",
+                        chunk=index,
+                        attempt=rounds,
+                        replica=replica,
+                        chunk_bytes=len(chunk),
+                        dropped=fate.dropped,
+                        corrupted=fate.corrupted,
+                    )
+                if not fate.dropped:
+                    received.append(corrupt_bytes(chunk, fate.flip_bits))
+            if not received:
+                if rounds >= self.max_replica_rounds:
+                    raise NetworkError(
+                        f"chunk {index}: every replica dropped in "
+                        f"{rounds} round(s)"
+                    )
+                # A fresh replica round needs a sender timeout + restart.
+                tally.extra_seconds += self.backoff_base_seconds * (2.0 ** (rounds - 1))
+                tally.clock_seconds += self.backoff_base_seconds * (2.0 ** (rounds - 1))
+                tally.retransmits += self.replicas
+        voted, disputed = majority_vote_stats(received)
+        ok = zlib.crc32(voted) == expected_crc
+        tally.vote_corrections += disputed
+        if not ok:
+            tally.residual_corrupt_chunks += 1
+        if journal.enabled:
+            journal.emit(
+                "chunk.vote",
+                chunk=index,
+                received=len(received),
+                corrections=disputed,
+                ok=ok,
+            )
+        return voted
+
+
+@dataclass(frozen=True)
+class DegradedNetConfig:
+    """One bundle of degraded-network knobs for a whole fleet.
+
+    ``build_channel`` / ``build_transport`` produce the per-device
+    channel and transport; :meth:`describe` is what the fleet journals
+    in its ``fleet.run.start`` event.
+    """
+
+    bit_error_rate: float = 0.0
+    chunk_drop_rate: float = 0.0
+    strategy: str = "arq"
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    replicas: int = DEFAULT_REPLICAS
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base_seconds: float = DEFAULT_BACKOFF_BASE_SECONDS
+    median_bps: float = DEFAULT_MEDIAN_BPS
+    contact_period_seconds: "float | None" = None
+    contact_up_seconds: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.contact_period_seconds is None) != (
+            self.contact_up_seconds is None
+        ):
+            raise NetworkError(
+                "contact_period_seconds and contact_up_seconds must be "
+                "given together"
+            )
+        # Channel/transport validation happens in the builders; build
+        # both eagerly so a bad config fails at construction, not at
+        # the first transfer three rounds into a fleet run.
+        self.build_channel(seed=0)
+        self.build_transport()
+
+    def schedule(self) -> "ContactSchedule | None":
+        if self.contact_period_seconds is None or self.contact_up_seconds is None:
+            return None
+        return ContactSchedule(
+            period_seconds=self.contact_period_seconds,
+            up_seconds=self.contact_up_seconds,
+        )
+
+    def build_channel(self, seed: int) -> LossyChannel:
+        return LossyChannel(
+            median_bps=self.median_bps,
+            seed=seed,
+            bit_error_rate=self.bit_error_rate,
+            chunk_drop_rate=self.chunk_drop_rate,
+        )
+
+    def build_transport(self) -> ChunkedTransport:
+        return ChunkedTransport(
+            chunk_bytes=self.chunk_bytes,
+            strategy=self.strategy,
+            max_retries=self.max_retries,
+            replicas=self.replicas,
+            backoff_base_seconds=self.backoff_base_seconds,
+            schedule=self.schedule(),
+        )
+
+    def describe(self) -> "dict[str, object]":
+        """The journal-friendly summary of this configuration."""
+        return {
+            "bit_error_rate": self.bit_error_rate,
+            "chunk_drop_rate": self.chunk_drop_rate,
+            "strategy": self.strategy,
+            "chunk_bytes": self.chunk_bytes,
+            "replicas": self.replicas,
+            "max_retries": self.max_retries,
+            "contact_period_seconds": self.contact_period_seconds,
+            "contact_up_seconds": self.contact_up_seconds,
+        }

@@ -27,7 +27,12 @@ Standard metrics (all labelled where it matters):
 * ``bees_index_size`` / ``bees_index_query_latency_seconds`` gauges and
   ``bees_index_queries_total`` for the server-side feature index;
 * ``bees_link_transfers_total`` / ``bees_link_bytes_total`` and a
-  ``bees_link_transfer_seconds`` histogram on the uplink;
+  ``bees_link_transfer_seconds`` histogram on the uplink, plus the
+  degraded-network set — ``bees_link_chunks_total``,
+  ``bees_link_retransmits_total``, ``bees_link_chunk_drops_total``,
+  ``bees_link_vote_corrections_total`` and
+  ``bees_link_residual_corrupt_total`` — recorded when a chunked
+  transport is attached (:mod:`repro.network.transfer`);
 * ``bees_dtn_transmissions_total{kind}`` / ``bees_dtn_delivered_total``
   for the epidemic DTN;
 * ``bees_fleet_rounds_total`` / ``bees_fleet_queue_depth`` and the
@@ -135,6 +140,26 @@ class Observability:
             "bees_link_transfer_seconds",
             "Simulated seconds per uplink transfer",
             buckets=LINK_BUCKETS,
+        )
+        self.link_chunks = registry.counter(
+            "bees_link_chunks_total",
+            "Chunks sent by the chunked uplink transport",
+        )
+        self.link_retransmits = registry.counter(
+            "bees_link_retransmits_total",
+            "Chunk retransmissions (ARQ retries and replica re-rounds)",
+        )
+        self.link_chunk_drops = registry.counter(
+            "bees_link_chunk_drops_total",
+            "Chunk transmissions dropped by the lossy channel",
+        )
+        self.link_vote_corrections = registry.counter(
+            "bees_link_vote_corrections_total",
+            "Byte positions repaired by replica majority voting",
+        )
+        self.link_residual_corrupt = registry.counter(
+            "bees_link_residual_corrupt_total",
+            "Chunks still failing their checksum after replica voting",
         )
         self.dtn_transmissions = registry.counter(
             "bees_dtn_transmissions_total",

@@ -9,7 +9,7 @@ from repro.errors import BenchError
 class TestCaseIds:
     def test_one_case_per_bench_module(self):
         ids = case_ids()
-        assert len(ids) == 18
+        assert len(ids) == 19
         assert len(set(ids)) == len(ids)
 
     def test_modules_are_unique(self):

@@ -1,0 +1,148 @@
+"""Tests for lossy DTN contacts and gateway-side reconciliation."""
+
+import pytest
+
+from repro.dtn.node import CarriedImage, FifoDropPolicy
+from repro.dtn.routing import EpidemicSimulation
+from repro.errors import NetworkError
+from repro.features.orb import OrbExtractor
+from repro.imaging.synth import SceneGenerator
+from repro.network import ContactLoss
+
+from ..network.faults import PlannedContactLoss
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """10 carried images over 10 distinct scenes."""
+    generator = SceneGenerator(height=72, width=96)
+    extractor = OrbExtractor()
+    return [
+        CarriedImage(
+            image=(
+                image := generator.view(
+                    scene + 700, 0, image_id=f"l{scene}", group_id=f"g{scene}"
+                )
+            ),
+            features=extractor.extract(image),
+        )
+        for scene in range(10)
+    ]
+
+
+def _sim(loss=None, seed=3, capacity=12):
+    return EpidemicSimulation(
+        n_nodes=4,
+        buffer_capacity=capacity,
+        policy_factory=FifoDropPolicy,
+        contact_bandwidth=2,
+        contacts_per_round=2,
+        gateway_probability=0.2,
+        seed=seed,
+        loss=loss,
+    )
+
+
+def _inject_and_run(sim, workload, rounds=40):
+    for index, item in enumerate(workload):
+        sim.inject(index % sim.n_nodes, item)
+    return sim.run(rounds)
+
+
+class TestContactLossValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"drop_rate": 1.0}, {"drop_rate": -0.1}, {"corrupt_rate": 1.0}],
+    )
+    def test_rejects_bad_rates(self, kwargs):
+        with pytest.raises(NetworkError):
+            ContactLoss(**kwargs)
+
+
+class TestZeroLossIdentity:
+    def test_zero_rate_loss_changes_nothing(self, workload):
+        # ContactLoss(0, 0) draws nothing from the RNG, so the contact
+        # process — and every delivery — is identical to loss=None.
+        baseline = _inject_and_run(_sim(loss=None), workload)
+        lossy = _inject_and_run(_sim(loss=ContactLoss()), workload)
+        assert lossy.delivered_ids == baseline.delivered_ids
+        assert lossy.transmissions == baseline.transmissions
+        assert lossy.corrupt_ids == ()
+        assert lossy.repaired == 0
+        assert lossy.n_intact == lossy.n_delivered
+        assert lossy.n_intact_groups == lossy.n_unique_groups
+
+
+class TestLossyContacts:
+    def test_drops_reduce_or_delay_delivery(self, workload):
+        baseline = _inject_and_run(_sim(loss=None), workload)
+        heavy = _inject_and_run(_sim(loss=ContactLoss(drop_rate=0.6)), workload)
+        assert heavy.n_delivered <= baseline.n_delivered
+        assert _sim_dropped(heavy) >= 0
+
+    def test_dropped_transmissions_counted(self, workload):
+        sim = _sim(loss=ContactLoss(drop_rate=0.5))
+        _inject_and_run(sim, workload)
+        assert sim.dropped_transmissions > 0
+        assert sim.transmissions >= sim.dropped_transmissions
+
+    def test_determinism_with_loss(self, workload):
+        reports = [
+            _inject_and_run(_sim(loss=ContactLoss(drop_rate=0.3,
+                                                  corrupt_rate=0.2), seed=9),
+                            workload)
+            for _ in range(2)
+        ]
+        assert reports[0].delivered_ids == reports[1].delivered_ids
+        assert reports[0].corrupt_ids == reports[1].corrupt_ids
+        assert reports[0].repaired == reports[1].repaired
+
+
+def _sim_dropped(report):
+    return report.transmissions - report.n_delivered
+
+
+class TestGatewayReconciliation:
+    def test_corrupt_only_copies_flagged(self, workload):
+        # Script: every forwarded copy is corrupted; injected originals
+        # are intact, so an image is corrupt at the gateway only if no
+        # node delivered its original.
+        loss = PlannedContactLoss(script=("corrupt",) * 500)
+        sim = _sim(loss=loss)
+        report = _inject_and_run(sim, workload)
+        for image_id in report.corrupt_ids:
+            assert image_id in report.delivered_ids
+        assert report.n_intact == report.n_delivered - len(report.corrupt_ids)
+
+    def test_intact_copy_repairs_image(self, workload):
+        # First transmission corrupts, everything later is clean: any
+        # image whose corrupt copy reaches the gateway alongside a clean
+        # epidemic copy counts as repaired, never as corrupt.
+        loss = PlannedContactLoss(script=("corrupt",))
+        sim = _sim(loss=loss)
+        report = _inject_and_run(sim, workload)
+        assert loss.consumed > 1
+        # The single corrupt copy either was repaired by a clean copy or
+        # is the only copy that arrived (then it is flagged corrupt).
+        assert report.repaired + len(report.corrupt_ids) <= 1
+
+    def test_intact_properties_consistent(self, workload):
+        loss = ContactLoss(drop_rate=0.2, corrupt_rate=0.3)
+        report = _inject_and_run(_sim(loss=loss, seed=11), workload)
+        assert 0 <= report.n_intact <= report.n_delivered
+        assert report.n_intact_groups <= report.n_unique_groups
+        assert set(report.corrupt_ids) <= set(report.delivered_ids)
+
+
+class TestCarriedImageIntact:
+    def test_default_is_intact(self, workload):
+        assert workload[0].intact is True
+
+    def test_buffers_dedup_by_id_regardless_of_intact(self, workload):
+        from dataclasses import replace
+
+        from repro.dtn.node import DtnNode
+
+        node = DtnNode(node_id="n", capacity=4)
+        assert node.offer(workload[0])
+        assert not node.offer(replace(workload[0], intact=False))

@@ -13,7 +13,9 @@ input.  They intentionally share no code with ``repro.kernels``:
 * :func:`reference_similarity_matrix` — the per-pair Jaccard loop,
   re-casting both descriptor matrices on every pair, no caching;
 * :func:`reference_partition_components` — union-find with a
-  per-vertex Python ``find`` loop for root resolution.
+  per-vertex Python ``find`` loop for root resolution;
+* :func:`reference_majority_vote` — the per-byte, per-bit Python
+  majority-vote loop the bit-plane kernel replaces.
 
 ``mutual_matches`` and ``l2_distance_matrix`` are imported from
 production: the kernel layer did not change them, and reusing them
@@ -145,6 +147,36 @@ def reference_partition_components(weights, cut_threshold):
     roots = np.array([find(i) for i in range(n)])
     _, labels = np.unique(roots, return_inverse=True)
     return labels
+
+
+def reference_majority_vote(replicas):
+    """The per-byte pure-Python majority vote, bit by bit.
+
+    Same semantics as :func:`repro.kernels.majority.majority_vote_bytes`
+    — bit ``b`` of output byte ``i`` is set iff a strict majority of
+    replicas set it (ties clear) — evaluated with Python loops over
+    every byte and bit, no numpy.
+    """
+    if not replicas:
+        raise ValueError("majority vote needs at least one replica")
+    k = len(replicas)
+    n_bytes = len(replicas[0])
+    for replica in replicas:
+        if len(replica) != n_bytes:
+            raise ValueError("majority vote needs equal-length replicas")
+    if k == 1:
+        return bytes(replicas[0])
+    voted = bytearray(n_bytes)
+    for i in range(n_bytes):
+        byte = 0
+        for bit in range(8):
+            ones = 0
+            for replica in replicas:
+                ones += (replica[i] >> bit) & 1
+            if 2 * ones > k:
+                byte |= 1 << bit
+        voted[i] = byte
+    return bytes(voted)
 
 
 def synthetic_feature_sets(kind, n_sets, n_descriptors, seed):

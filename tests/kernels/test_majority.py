@@ -1,0 +1,92 @@
+"""Differential tests: bit-plane majority vote vs the Python reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.kernels import majority_vote_bytes, majority_vote_stats
+
+from .reference import reference_majority_vote
+
+
+def _random_replicas(rng, k, n_bytes):
+    return [rng.integers(0, 256, n_bytes).astype(np.uint8).tobytes() for _ in range(k)]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("n_bytes", [0, 1, 7, 64, 1000])
+    def test_matches_reference_on_random_replicas(self, k, n_bytes):
+        rng = np.random.default_rng(k * 1_000 + n_bytes)
+        replicas = _random_replicas(rng, k, n_bytes)
+        assert majority_vote_bytes(replicas) == reference_majority_vote(replicas)
+
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_reference_property(self, k, n_bytes, seed):
+        rng = np.random.default_rng(seed)
+        replicas = _random_replicas(rng, k, n_bytes)
+        assert majority_vote_bytes(replicas) == reference_majority_vote(replicas)
+
+    def test_even_k_tie_clears_the_bit(self):
+        # k=2, disagreement at bit 0: strict majority fails, bit -> 0.
+        replicas = [b"\x01", b"\x00"]
+        assert majority_vote_bytes(replicas) == b"\x00"
+        assert reference_majority_vote(replicas) == b"\x00"
+
+    def test_even_k_agreement_survives(self):
+        replicas = [b"\xff", b"\xff", b"\xf0", b"\xff"]
+        assert majority_vote_bytes(replicas) == b"\xff"
+        assert reference_majority_vote(replicas) == b"\xff"
+
+
+class TestSemantics:
+    def test_single_replica_is_identity(self):
+        assert majority_vote_bytes([b"\xa5\x5a"]) == b"\xa5\x5a"
+
+    def test_empty_payload(self):
+        assert majority_vote_bytes([b"", b"", b""]) == b""
+
+    def test_no_replicas_rejected(self):
+        with pytest.raises(NetworkError):
+            majority_vote_bytes([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(NetworkError):
+            majority_vote_bytes([b"ab", b"abc"])
+
+    def test_minority_corruption_outvoted(self):
+        clean = bytes(range(64))
+        bad = bytearray(clean)
+        bad[10] ^= 0xFF
+        assert majority_vote_bytes([clean, bytes(bad), clean]) == clean
+
+    def test_accepts_bytearray_replicas(self):
+        clean = bytearray(b"\x12\x34")
+        assert majority_vote_bytes([clean, clean, clean]) == b"\x12\x34"
+
+
+class TestStats:
+    def test_no_disputes_on_agreement(self):
+        voted, disputed = majority_vote_stats([b"abc"] * 3)
+        assert voted == b"abc"
+        assert disputed == 0
+
+    def test_counts_disputed_positions(self):
+        clean = bytes(range(32))
+        bad = bytearray(clean)
+        bad[3] ^= 0x01
+        bad[17] ^= 0x80
+        voted, disputed = majority_vote_stats([clean, bytes(bad), clean])
+        assert voted == clean
+        assert disputed == 2
+
+    def test_single_replica_reports_zero(self):
+        voted, disputed = majority_vote_stats([b"xyz"])
+        assert voted == b"xyz"
+        assert disputed == 0

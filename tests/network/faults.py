@@ -1,0 +1,108 @@
+"""Deterministic fault-injection fixtures for the degraded-network suites.
+
+A :class:`FaultPlan` scripts *exactly* which chunk transmissions fail and
+how, replacing the seeded randomness of
+:class:`repro.network.LossyChannel` with a table keyed on
+``(chunk_index, attempt)`` — the hook ``LossyChannel.chunk_fate``
+documents.  The same plan object drives uplink tests
+(:class:`PlannedLossyChannel`), DTN tests (:class:`PlannedContactLoss`
+scripts contact fates positionally), and fleet tests, so one fault
+scenario exercises every layer identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network import ChunkFate, ContactLoss, FluctuatingChannel, LossyChannel
+
+#: The intact fate (mirrors ``repro.network.lossy.INTACT_FATE``).
+OK = ChunkFate()
+
+
+def drop() -> ChunkFate:
+    """A scripted chunk drop."""
+    return ChunkFate(dropped=True)
+
+
+def flip(*bits: int) -> ChunkFate:
+    """A scripted corruption flipping the given bit positions."""
+    return ChunkFate(flip_bits=tuple(sorted(bits)))
+
+
+@dataclass
+class FaultPlan:
+    """A script of chunk fates keyed on ``(chunk_index, attempt)``.
+
+    Unscripted transmissions succeed.  ``consumed`` records the order in
+    which fates were drawn so tests can assert the transport actually
+    exercised the planned failures.
+    """
+
+    fates: "dict[tuple[int, int], ChunkFate]" = field(default_factory=dict)
+    consumed: "list[tuple[int, int]]" = field(default_factory=list)
+
+    def fate_for(self, chunk_index: int, attempt: int) -> ChunkFate:
+        self.consumed.append((chunk_index, attempt))
+        return self.fates.get((chunk_index, attempt), OK)
+
+    def channel(self, bps: float = 80_000.0, seed: int = 0) -> "PlannedLossyChannel":
+        """A spread-free lossy channel driven by this plan."""
+        return PlannedLossyChannel(
+            plan=self, median_bps=bps, relative_spread=0.0, seed=seed
+        )
+
+
+@dataclass
+class PlannedLossyChannel(LossyChannel):
+    """A :class:`LossyChannel` whose chunk fates follow a script.
+
+    Goodput still fluctuates from the channel seed (set
+    ``relative_spread=0.0`` for fixed-rate tests); only the loss
+    process is deterministic, and it consumes no RNG draws at all.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+
+    def chunk_fate(self, chunk_index: int, attempt: int, n_bytes: int) -> ChunkFate:
+        del n_bytes
+        return self.plan.fate_for(chunk_index, attempt)
+
+
+@dataclass
+class PlannedContactLoss(ContactLoss):
+    """A :class:`ContactLoss` whose fates follow a positional script.
+
+    The *n*-th lossy contact transmission draws the *n*-th entry of
+    ``script`` (``"ok"`` / ``"drop"`` / ``"corrupt"``); the script
+    repeats nothing — transmissions past its end succeed.  No RNG draws
+    are consumed, so scripted runs share the contact process of an
+    unscripted run with the same simulation seed.
+    """
+
+    script: "tuple[str, ...]" = ()
+    consumed: int = field(default=0, init=False)
+
+    def fate(self, rng: "np.random.Generator") -> str:
+        del rng
+        position = self.consumed
+        self.consumed += 1
+        if position < len(self.script):
+            return self.script[position]
+        return "ok"
+
+
+def steady_channel(
+    bps: float = 80_000.0, seed: int = 0, **lossy_kwargs: float
+) -> LossyChannel:
+    """A spread-free lossy channel: goodput is exactly *bps*."""
+    return LossyChannel(
+        median_bps=bps, relative_spread=0.0, seed=seed, **lossy_kwargs
+    )
+
+
+def steady_reference(bps: float = 80_000.0, seed: int = 0) -> FluctuatingChannel:
+    """The spread-free clean channel matching :func:`steady_channel`."""
+    return FluctuatingChannel(median_bps=bps, relative_spread=0.0, seed=seed)

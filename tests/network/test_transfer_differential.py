@@ -1,0 +1,101 @@
+"""Zero-loss differential: chunked transfer == whole-payload transfer.
+
+The chunked transport must be a pure superset of the whole-payload
+path: with both loss rates at zero and no contact schedule, splitting a
+payload into chunks is bookkeeping, not physics — same single goodput
+sample, same seconds (one closed formula, so *bit*-identical, not just
+within tolerance), same byte counters, and therefore the same joules
+out of the battery.  Anything else would mean turning on the degraded
+machinery silently re-prices every clean experiment in the repo.
+"""
+
+import pytest
+
+from repro.energy import EnergyCostModel
+from repro.network import (
+    ChunkedTransport,
+    FluctuatingChannel,
+    LossyChannel,
+    Uplink,
+)
+from repro.sim.device import Smartphone
+
+SEEDS = (0, 1, 7, 42)
+CHUNK_SIZES = (1_024, 16_384, 100_000)
+PAYLOADS = (0, 1, 999, 16_384, 50_000, 123_457)
+
+
+def _pair(seed, chunk_bytes, strategy="arq", replicas=1):
+    clean = Uplink(channel=FluctuatingChannel(seed=seed))
+    chunked = Uplink(
+        channel=LossyChannel(seed=seed),
+        transport=ChunkedTransport(
+            chunk_bytes=chunk_bytes, strategy=strategy, replicas=replicas
+        ),
+    )
+    return clean, chunked
+
+
+class TestUplinkIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("chunk_bytes", CHUNK_SIZES)
+    def test_arq_seconds_and_bytes_identical(self, seed, chunk_bytes):
+        clean, chunked = _pair(seed, chunk_bytes)
+        for payload_bytes in PAYLOADS:
+            a = clean.transfer(payload_bytes)
+            b = chunked.transfer(payload_bytes)
+            assert b.seconds == a.seconds  # bit-identical, no tolerance
+            assert b.goodput_bps == a.goodput_bps
+            assert b.wire_bytes == a.payload_bytes
+        assert chunked.sent_bytes == clean.sent_bytes
+        assert chunked.transfer_count == clean.transfer_count
+        assert chunked.retransmits == 0
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_single_replica_identical(self, seed):
+        # replica voting with k=1 is ARQ-shaped: same bytes, same time.
+        clean, chunked = _pair(seed, 16_384, strategy="replica", replicas=1)
+        for payload_bytes in PAYLOADS:
+            a = clean.transfer(payload_bytes)
+            b = chunked.transfer(payload_bytes)
+            assert b.seconds == a.seconds
+            assert b.wire_bytes == a.payload_bytes
+        assert chunked.sent_bytes == clean.sent_bytes
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rng_stream_identical(self, seed):
+        # A zero-loss LossyChannel must consume no extra RNG draws, so
+        # the goodput sequence matches the plain channel's exactly.
+        clean = FluctuatingChannel(seed=seed)
+        lossy = LossyChannel(seed=seed)
+        chunked = Uplink(
+            channel=lossy, transport=ChunkedTransport(chunk_bytes=1_024)
+        )
+        for payload_bytes in PAYLOADS:
+            expected = clean.sample_goodput_bps()
+            assert chunked.transfer(payload_bytes).goodput_bps == expected
+
+
+class TestDeviceEnergyIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("chunk_bytes", CHUNK_SIZES)
+    def test_joules_identical(self, seed, chunk_bytes):
+        clean, chunked = _pair(seed, chunk_bytes)
+        phone_a = Smartphone(name="clean", uplink=clean)
+        phone_b = Smartphone(name="chunked", uplink=chunked)
+        for payload_bytes in PAYLOADS:
+            assert phone_a.upload(payload_bytes, "image_upload") is not None
+            assert phone_b.upload(payload_bytes, "image_upload") is not None
+        # Same seconds -> same radio joules, bit for bit.
+        assert (
+            phone_b.battery.remaining_joules == phone_a.battery.remaining_joules
+        )
+        assert phone_b.meter.total_joules == phone_a.meter.total_joules
+
+    def test_transfer_cost_is_pure_in_seconds(self):
+        # The energy identity reduces to the seconds identity because
+        # radio cost is a function of seconds alone.
+        model = EnergyCostModel()
+        assert (
+            model.transfer_cost(1.25).joules == model.transfer_cost(1.25).joules
+        )

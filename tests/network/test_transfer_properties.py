@@ -1,0 +1,158 @@
+"""Property-based tests for the degraded-network transfer layer.
+
+Three invariants the recovery machinery promises:
+
+* k-replica majority voting recovers the exact payload whenever every
+  byte position is corrupted in strictly fewer than ``ceil(k / 2)``
+  replicas;
+* chunk reassembly is invariant to the arrival-order permutation;
+* ARQ always terminates — delivery within the retry bound, or a
+  :class:`~repro.errors.NetworkError`, never a hang or a silent
+  truncation.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.kernels import majority_vote_bytes
+from repro.network import ChunkedTransport, Uplink, pattern_payload, reassemble
+
+from .faults import FaultPlan, drop
+
+MAX_RETRIES = 4
+
+
+@st.composite
+def outvoted_corruptions(draw):
+    """A payload plus replicas corrupted below the voting threshold.
+
+    Every byte position is corrupted (arbitrarily, not just bit flips)
+    in strictly fewer than ``ceil(k / 2)`` of the ``k`` replicas — the
+    regime in which voting must recover the payload exactly.
+    """
+    payload = bytes(
+        draw(st.lists(st.integers(0, 255), min_size=1, max_size=48))
+    )
+    k = draw(st.integers(min_value=3, max_value=7))
+    threshold = math.ceil(k / 2)
+    replicas = [bytearray(payload) for _ in range(k)]
+    for position in range(len(payload)):
+        n_corrupt = draw(st.integers(min_value=0, max_value=threshold - 1))
+        victims = draw(
+            st.permutations(range(k)).map(lambda order: order[:n_corrupt])
+        )
+        for victim in victims:
+            replicas[victim][position] = draw(st.integers(0, 255))
+    return payload, [bytes(replica) for replica in replicas]
+
+
+class TestVoteRecovery:
+    @settings(max_examples=60)
+    @given(outvoted_corruptions())
+    def test_minority_corruption_recovers_exact_payload(self, case):
+        payload, replicas = case
+        assert majority_vote_bytes(replicas) == payload
+
+    @settings(max_examples=30)
+    @given(
+        st.binary(min_size=0, max_size=64),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_identical_replicas_are_a_fixed_point(self, payload, k):
+        assert majority_vote_bytes([payload] * k) == payload
+
+
+class TestReassembly:
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=1, max_value=700),
+        st.randoms(use_true_random=False),
+    )
+    def test_arrival_order_never_matters(self, n_bytes, chunk_bytes, rng):
+        payload = pattern_payload(n_bytes)
+        chunks = list(enumerate(
+            payload[start : start + chunk_bytes]
+            for start in range(0, len(payload), chunk_bytes)
+        ))
+        rng.shuffle(chunks)
+        assert reassemble(dict(chunks)) == payload
+
+
+class TestArqTermination:
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=4_000),
+        st.dictionaries(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=1, max_value=MAX_RETRIES + 1),
+            ),
+            st.just(True),
+            max_size=12,
+        ),
+    )
+    def test_delivers_or_raises_within_retry_bound(self, n_bytes, dropped):
+        plan = FaultPlan(fates={key: drop() for key in dropped})
+        uplink = Uplink(
+            channel=plan.channel(),
+            transport=ChunkedTransport(
+                chunk_bytes=1024, strategy="arq", max_retries=MAX_RETRIES
+            ),
+        )
+        try:
+            result = uplink.transfer(n_bytes)
+        except NetworkError:
+            # Termination by giving up: some chunk must actually have
+            # burned its whole budget.
+            exhausted = {
+                chunk
+                for chunk in range(4)
+                if all(
+                    (chunk, attempt) in plan.fates
+                    for attempt in range(1, MAX_RETRIES + 2)
+                )
+            }
+            assert exhausted
+        else:
+            assert result.payload_bytes == n_bytes
+            assert result.wire_bytes >= n_bytes
+        # Either way the transport never exceeded the per-chunk bound.
+        for chunk in range(4):
+            attempts = [c for c in plan.consumed if c[0] == chunk]
+            assert len(attempts) <= 1 + MAX_RETRIES
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=MAX_RETRIES))
+    def test_budget_is_exact(self, n_failures):
+        plan = FaultPlan(
+            fates={(0, attempt): drop() for attempt in range(1, n_failures + 1)}
+        )
+        uplink = Uplink(
+            channel=plan.channel(),
+            transport=ChunkedTransport(
+                chunk_bytes=1024, strategy="arq", max_retries=MAX_RETRIES
+            ),
+        )
+        result = uplink.transfer(512)
+        assert result.retransmits == n_failures
+        assert result.wire_bytes == 512 * (1 + n_failures)
+
+    def test_one_failure_past_budget_raises(self):
+        plan = FaultPlan(
+            fates={
+                (0, attempt): drop()
+                for attempt in range(1, MAX_RETRIES + 2)
+            }
+        )
+        uplink = Uplink(
+            channel=plan.channel(),
+            transport=ChunkedTransport(
+                chunk_bytes=1024, strategy="arq", max_retries=MAX_RETRIES
+            ),
+        )
+        with pytest.raises(NetworkError):
+            uplink.transfer(512)
