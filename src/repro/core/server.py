@@ -16,7 +16,13 @@ from typing import Optional
 from ..errors import SimulationError
 from ..features.base import FeatureSet
 from ..imaging.image import Image
-from ..index import FeatureIndex, ImageStore, QueryResult, ShardedFeatureIndex
+from ..index import (
+    FeatureIndex,
+    ImageStore,
+    ProcessShardedIndex,
+    QueryResult,
+    ShardedFeatureIndex,
+)
 from ..obs.journal import get_journal
 from ..obs.runtime import get_obs
 
@@ -25,13 +31,16 @@ from ..obs.runtime import get_obs
 class BeesServer:
     """Cloud endpoint: feature index + image store.
 
-    The index may be the plain :class:`FeatureIndex` or the sharded,
-    thread-safe :class:`ShardedFeatureIndex` — both answer queries
-    byte-identically over the same stored images, so schemes never need
-    to know which one is behind the server.
+    The index may be the plain :class:`FeatureIndex`, the sharded,
+    thread-safe :class:`ShardedFeatureIndex`, or the process-parallel
+    :class:`ProcessShardedIndex` — all answer queries byte-identically
+    over the same stored images, so schemes never need to know which
+    one is behind the server.
     """
 
-    index: "FeatureIndex | ShardedFeatureIndex" = field(default_factory=FeatureIndex)
+    index: "FeatureIndex | ShardedFeatureIndex | ProcessShardedIndex" = field(
+        default_factory=FeatureIndex
+    )
     store: ImageStore = field(default_factory=ImageStore)
     #: Bytes of the per-image query response (the verdict is tiny).
     query_response_bytes: int = 64
@@ -87,7 +96,7 @@ class BeesServer:
     def _index_query_batch(
         self, feature_sets: "list[FeatureSet]"
     ) -> "list[QueryResult]":
-        if isinstance(self.index, ShardedFeatureIndex):
+        if isinstance(self.index, (ShardedFeatureIndex, ProcessShardedIndex)):
             return self.index.query_batch(feature_sets)
         return [self.index.query(features) for features in feature_sets]
 

@@ -58,50 +58,70 @@ def serialize_features(features: FeatureSet) -> bytes:
     return b"".join(parts)
 
 
+def deserialize_features_view(payload: "bytes | memoryview | np.ndarray") -> FeatureSet:
+    """Decode the wire format **without copying the descriptor matrix**.
+
+    The returned feature set's ``descriptors`` are a view into
+    *payload*'s buffer, so a payload resident in a shared-memory arena
+    (:mod:`repro.kernels.arena`) or an mmap-ed segment is scored by the
+    Hamming/L2 kernels in place.  The caller owns the buffer's
+    lifetime: the view must not outlive it.  Keypoint coordinates are
+    still widened to float64 (tiny, and the similarity kernels never
+    read them).
+    """
+    return _deserialize(np.frombuffer(payload, dtype=np.uint8), copy=False)
+
+
 def deserialize_features(payload: bytes) -> FeatureSet:
     """Decode the wire format back into a :class:`FeatureSet`."""
-    if len(payload) < _HEADER.size:
+    return _deserialize(payload, copy=True)
+
+
+def _deserialize(payload: "bytes | np.ndarray", copy: bool) -> FeatureSet:
+    buffer = memoryview(payload)
+    total = buffer.nbytes
+    if total < _HEADER.size:
         raise FeatureError("feature payload truncated (header)")
-    magic, kind_code, id_len = _HEADER.unpack_from(payload, 0)
+    magic, kind_code, id_len = _HEADER.unpack_from(buffer, 0)
     if magic != MAGIC:
         raise FeatureError(f"bad magic {magic!r}")
     kind = _KIND_NAMES.get(kind_code)
     if kind is None:
         raise FeatureError(f"unknown feature kind code {kind_code}")
     offset = _HEADER.size
-    image_id = payload[offset : offset + id_len].decode("utf-8")
+    image_id = bytes(buffer[offset : offset + id_len]).decode("utf-8")
     offset += id_len
-    if len(payload) < offset + _COUNTS.size:
+    if total < offset + _COUNTS.size:
         raise FeatureError("feature payload truncated (counts)")
-    n, width, pixels = _COUNTS.unpack_from(payload, offset)
+    n, width, pixels = _COUNTS.unpack_from(buffer, offset)
     offset += _COUNTS.size
 
     coords_bytes = 4 * n
     item = 1 if kind == "orb" else 4
     expected = offset + 2 * coords_bytes + n * width * item
-    if len(payload) != expected:
+    if total != expected:
         raise FeatureError(
-            f"feature payload length {len(payload)} != expected {expected}"
+            f"feature payload length {total} != expected {expected}"
         )
-    xs = np.frombuffer(payload, dtype=np.float32, count=n, offset=offset).astype(
+    xs = np.frombuffer(buffer, dtype=np.float32, count=n, offset=offset).astype(
         np.float64
     )
     offset += coords_bytes
-    ys = np.frombuffer(payload, dtype=np.float32, count=n, offset=offset).astype(
+    ys = np.frombuffer(buffer, dtype=np.float32, count=n, offset=offset).astype(
         np.float64
     )
     offset += coords_bytes
     if kind == "orb":
         descriptors = np.frombuffer(
-            payload, dtype=np.uint8, count=n * width, offset=offset
+            buffer, dtype=np.uint8, count=n * width, offset=offset
         ).reshape(n, width)
     else:
         descriptors = np.frombuffer(
-            payload, dtype=np.float32, count=n * width, offset=offset
+            buffer, dtype=np.float32, count=n * width, offset=offset
         ).reshape(n, width)
     return FeatureSet(
         kind=kind,
-        descriptors=descriptors.copy(),
+        descriptors=descriptors.copy() if copy else descriptors,
         xs=xs,
         ys=ys,
         pixels_processed=int(pixels),

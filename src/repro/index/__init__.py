@@ -4,6 +4,8 @@ from .dedup import DedupStore, content_defined_chunks, image_payload
 from .index import FeatureIndex, QueryResult, rank_votes, verify_candidates
 from .lsh import HammingLSH, float_sketch_planes, sketch_float_descriptors
 from .persistence import restore_index, snapshot_index
+from .procpool import ProcessShardedIndex, WorkerCrashedError
+from .segments import ShardSegmentStore
 from .sharded import ShardedFeatureIndex, shard_of
 from .store import ImageStore, StoredImage
 from .vocab import BagOfWordsIndex, VocabularyTree
@@ -14,10 +16,13 @@ __all__ = [
     "FeatureIndex",
     "HammingLSH",
     "ImageStore",
+    "ProcessShardedIndex",
     "QueryResult",
+    "ShardSegmentStore",
     "ShardedFeatureIndex",
     "StoredImage",
     "VocabularyTree",
+    "WorkerCrashedError",
     "content_defined_chunks",
     "image_payload",
     "rank_votes",

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import IndexError_
 from ..features.base import FeatureSet
 from ..features.similarity import jaccard_similarity
+from ..kernels.voting import GroupedKeys
 from .lsh import (
     FLOAT_SKETCH_BITS,
     HammingLSH,
@@ -158,6 +159,18 @@ class FeatureIndex:
         a single index would report.
         """
         votes = self._lsh.votes_from_keys(keys)
+        return {self._entries[ref].image_id: count for ref, count in votes.items()}
+
+    def vote_counts_from_grouped(self, grouped: "GroupedKeys") -> "dict[str, int]":
+        """LSH votes for keys already deduplicated per table.
+
+        Shard fan-out entry point: the coordinator groups a query's
+        keys once (:func:`~repro.kernels.voting.group_query_keys`) and
+        every shard — thread or worker process — gathers its buckets
+        from the shared grouped form instead of re-running the unique
+        pass.  Counts equal :meth:`vote_counts_from_keys` exactly.
+        """
+        votes = self._lsh.votes_from_grouped(grouped)
         return {self._entries[ref].image_id: count for ref, count in votes.items()}
 
     def vote_counts(self, features: FeatureSet) -> "dict[str, int]":

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import IndexError_
-from ..kernels.voting import BucketStore
+from ..kernels.voting import BucketStore, GroupedKeys
 
 DEFAULT_N_TABLES = 8
 DEFAULT_BITS_PER_KEY = 16
@@ -109,6 +109,17 @@ class HammingLSH:
         per-key Python loop.
         """
         return self._store.votes(keys)
+
+    def votes_from_grouped(self, grouped: "GroupedKeys") -> dict[int, int]:
+        """Vote counts for keys already deduplicated per table.
+
+        The sharded coordinator's fast path: it runs
+        :func:`~repro.kernels.voting.group_query_keys` **once** per
+        query and ships the grouped form to every shard, so no shard
+        repeats the per-table unique pass.  Counts are identical to
+        :meth:`votes_from_keys` on the ungrouped keys.
+        """
+        return self._store.votes_from_grouped(grouped)
 
 
 def float_sketch_planes(dim: int, n_bits: int = FLOAT_SKETCH_BITS, seed: int = 11) -> np.ndarray:

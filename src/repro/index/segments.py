@@ -1,0 +1,543 @@
+"""Immutable on-disk index segments: append → seal → compact.
+
+Disaster deployments restart servers mid-build; the process-parallel
+index (:mod:`repro.index.procpool`) therefore journals every indexed
+feature payload to an **append-only segment file** before the add is
+acknowledged.  Sealed segments are immutable and mmap-ed on load, so a
+restarted shard worker rebuilds its LSH tables by replaying payloads
+straight out of the page cache, and verifies the rebuild against the
+**content fingerprint chain** recorded at seal time — the same
+blake2b-over-payload-bytes discipline the kernel cache uses for
+descriptors (:func:`repro.kernels.cache.descriptor_fingerprint`).
+
+On-disk layout (little-endian), one directory per shard::
+
+    seg-<seq>.bseg := header record* [footer]
+
+    header   magic b"BSG1" | u8 version | u8 kind | u16 reserved
+             | u32 shard | u64 base_records | u32 crc32(header)
+    record   u32 length | u32 crc32(payload) | payload
+    footer   u32 0xFFFFFFFF (sentinel) | magic b"BSGF" | u64 n_records
+             | 16B segment chain | 16B cumulative chain | u32 crc32(footer)
+
+A file with a valid footer is **sealed**; a file without one is the
+**active tail**.  Recovery rules, in order of strictness:
+
+* every non-final segment must be sealed and internally consistent —
+  a corrupt interior is fatal (the data genuinely existed and is gone);
+* the final segment may be torn: the valid record prefix is kept, the
+  torn suffix (an append that never finished) is discarded;
+* ``base_records`` must chain contiguously across segments, and each
+  footer's cumulative fingerprint must extend the previous one.
+
+Compaction merges every sealed segment into one (payload order
+preserved, so all fingerprints are unchanged), writes it to a temp
+file, fsyncs, and atomically renames before deleting the inputs — a
+crash mid-compaction leaves either the old set or the new file, never
+less than the data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import IndexError_
+
+MAGIC = b"BSG1"
+FOOTER_MAGIC = b"BSGF"
+VERSION = 1
+#: Record-length sentinel introducing the footer (payloads are bounded
+#: far below 4 GiB by the u32 wire format).
+_SENTINEL = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<4sBBHIQI")
+_RECORD = struct.Struct("<II")
+_FOOTER = struct.Struct("<I4sQ16s16sI")
+
+_KIND_CODES = {"orb": 0, "sift": 1, "pca-sift": 2}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: Fingerprint width (matches the kernel cache's content digests).
+DIGEST_SIZE = 16
+
+#: Default size at which the pool rolls (seals) an active segment.
+DEFAULT_ROLL_BYTES = 8 << 20
+
+
+class FingerprintChain:
+    """A running blake2b over length-framed payloads, cloneable."""
+
+    def __init__(self, state: "hashlib._Hash | None" = None) -> None:
+        self._digest = (
+            hashlib.blake2b(digest_size=DIGEST_SIZE) if state is None else state
+        )
+
+    def update(self, payload: "bytes | memoryview") -> None:
+        payload = memoryview(payload)
+        self._digest.update(payload.nbytes.to_bytes(8, "little"))
+        self._digest.update(payload)
+
+    def value(self) -> bytes:
+        return self._digest.digest()
+
+    def hex(self) -> str:
+        return self._digest.hexdigest()
+
+    def clone(self) -> "FingerprintChain":
+        return FingerprintChain(self._digest.copy())
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _pack_header(kind: str, shard: int, base_records: int) -> bytes:
+    kind_code = _KIND_CODES.get(kind)
+    if kind_code is None:
+        raise IndexError_(f"cannot persist segments of kind {kind!r}")
+    body = _HEADER.pack(MAGIC, VERSION, kind_code, 0, shard, base_records, 0)
+    return body[:-4] + struct.pack("<I", _crc(body[:-4]))
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One discovered segment file, parsed and verified."""
+
+    path: pathlib.Path
+    kind: str
+    shard: int
+    base_records: int
+    n_records: int
+    sealed: bool
+    #: Chain over this segment's own records (sealed segments only).
+    segment_fingerprint: "bytes | None"
+    #: Chain over all records up to and including this segment.
+    cumulative_fingerprint: "bytes | None"
+    size_bytes: int
+
+
+class SegmentWriter:
+    """The active (unsealed) tail of one shard's segment sequence."""
+
+    def __init__(
+        self, path: pathlib.Path, kind: str, shard: int, base_records: int,
+        cumulative: FingerprintChain,
+    ) -> None:
+        self.path = path
+        self.kind = kind
+        self.shard = shard
+        self.base_records = base_records
+        self.n_records = 0
+        self._segment_chain = FingerprintChain()
+        self._cumulative = cumulative
+        self._file = open(path, "xb")
+        self._file.write(_pack_header(kind, shard, base_records))
+        self._file.flush()
+        self.size_bytes = _HEADER.size
+
+    def append(self, payload: "bytes | memoryview") -> None:
+        """Durably frame one payload (flushed before returning)."""
+        payload = memoryview(payload)
+        if payload.nbytes >= _SENTINEL:
+            raise IndexError_("payload too large for the segment wire format")
+        self._file.write(_RECORD.pack(payload.nbytes, _crc(bytes(payload))))
+        self._file.write(payload)
+        self._file.flush()
+        self._segment_chain.update(payload)
+        self._cumulative.update(payload)
+        self.n_records += 1
+        self.size_bytes += _RECORD.size + payload.nbytes
+
+    def seal(self) -> SegmentInfo:
+        """Write the footer, fsync, close; the file is now immutable."""
+        segment_fp = self._segment_chain.value()
+        cumulative_fp = self._cumulative.value()
+        body = _FOOTER.pack(
+            _SENTINEL, FOOTER_MAGIC, self.n_records, segment_fp, cumulative_fp, 0
+        )
+        self._file.write(body[:-4] + struct.pack("<I", _crc(body[:-4])))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        return SegmentInfo(
+            path=self.path,
+            kind=self.kind,
+            shard=self.shard,
+            base_records=self.base_records,
+            n_records=self.n_records,
+            sealed=True,
+            segment_fingerprint=segment_fp,
+            cumulative_fingerprint=cumulative_fp,
+            size_bytes=self.path.stat().st_size,
+        )
+
+    def abort(self) -> None:
+        """Close without sealing (the file stays a recoverable tail)."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+class Segment:
+    """A read-only, mmap-backed view of one segment file."""
+
+    def __init__(self, path: pathlib.Path, final: bool) -> None:
+        self.path = path
+        self._file = open(path, "rb")
+        size = os.fstat(self._file.fileno()).st_size
+        if size < _HEADER.size:
+            self._file.close()
+            raise IndexError_(f"{path.name}: truncated segment header")
+        self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        self._view = memoryview(self._map)
+        try:
+            self.info = self._parse(final)
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self, final: bool) -> SegmentInfo:
+        view = self._view
+        magic, version, kind_code, _, shard, base_records, header_crc = (
+            _HEADER.unpack_from(view, 0)
+        )
+        if magic != MAGIC:
+            raise IndexError_(f"{self.path.name}: bad segment magic {magic!r}")
+        if version != VERSION:
+            raise IndexError_(
+                f"{self.path.name}: unsupported segment version {version}"
+            )
+        kind = _KIND_NAMES.get(kind_code)
+        if kind is None:
+            raise IndexError_(f"{self.path.name}: unknown kind code {kind_code}")
+        if header_crc != _crc(bytes(view[: _HEADER.size - 4])):
+            raise IndexError_(f"{self.path.name}: segment header CRC mismatch")
+
+        offsets: "list[tuple[int, int]]" = []
+        chain = FingerprintChain()
+        offset = _HEADER.size
+        total = len(view)
+        sealed = False
+        segment_fp: "bytes | None" = None
+        cumulative_fp: "bytes | None" = None
+        while True:
+            if offset + 4 > total:
+                break  # torn mid record-length
+            (length,) = struct.unpack_from("<I", view, offset)
+            if length == _SENTINEL:
+                if offset + _FOOTER.size > total:
+                    break  # torn mid footer
+                _, fmagic, n_records, segment_fp, cumulative_fp, footer_crc = (
+                    _FOOTER.unpack_from(view, offset)
+                )
+                expected = _crc(bytes(view[offset : offset + _FOOTER.size - 4]))
+                if fmagic != FOOTER_MAGIC or footer_crc != expected:
+                    raise IndexError_(
+                        f"{self.path.name}: corrupt segment footer"
+                    )
+                if n_records != len(offsets):
+                    raise IndexError_(
+                        f"{self.path.name}: footer claims {n_records} records, "
+                        f"file holds {len(offsets)}"
+                    )
+                if segment_fp != chain.value():
+                    raise IndexError_(
+                        f"{self.path.name}: segment fingerprint mismatch "
+                        "(content does not match what was sealed)"
+                    )
+                sealed = True
+                break
+            if offset + _RECORD.size + length > total:
+                break  # torn mid payload
+            _, payload_crc = _RECORD.unpack_from(view, offset)
+            start = offset + _RECORD.size
+            payload = view[start : start + length]
+            if _crc(bytes(payload)) != payload_crc:
+                if final:
+                    break  # torn tail: keep the valid prefix
+                raise IndexError_(
+                    f"{self.path.name}: record {len(offsets)} CRC mismatch "
+                    "inside a non-final segment"
+                )
+            chain.update(payload)
+            offsets.append((start, length))
+            offset = start + length
+        if not sealed and not final:
+            raise IndexError_(
+                f"{self.path.name}: unsealed segment before the final one"
+            )
+        self._offsets = offsets
+        self._chain = chain
+        return SegmentInfo(
+            path=self.path,
+            kind=kind,
+            shard=shard,
+            base_records=base_records,
+            n_records=len(offsets),
+            sealed=sealed,
+            segment_fingerprint=segment_fp,
+            cumulative_fingerprint=cumulative_fp,
+            size_bytes=total,
+        )
+
+    def payloads(self) -> "Iterator[memoryview]":
+        """Every record payload, in append order, zero-copy from mmap."""
+        for start, length in self._offsets:
+            yield self._view[start : start + length]
+
+    def segment_chain(self) -> FingerprintChain:
+        """The verified chain over this segment's records."""
+        return self._chain.clone()
+
+    def close(self) -> None:
+        self._view.release()
+        try:
+            self._map.close()
+        except BufferError:  # a payload view still alive; freed with it
+            pass
+        self._file.close()
+
+    def __enter__(self) -> "Segment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _segment_paths(directory: pathlib.Path) -> "list[pathlib.Path]":
+    return sorted(directory.glob("seg-*.bseg"))
+
+
+class ShardSegmentStore:
+    """One shard's segment directory: append, seal, recover, compact."""
+
+    def __init__(
+        self,
+        directory: "pathlib.Path | str",
+        kind: str,
+        shard: int = 0,
+        roll_bytes: int = DEFAULT_ROLL_BYTES,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.kind = kind
+        self.shard = shard
+        self.roll_bytes = int(roll_bytes)
+        self.sealed: "list[SegmentInfo]" = []
+        self._writer: "SegmentWriter | None" = None
+        self._chain = FingerprintChain()
+        self.n_records = 0
+        self._next_seq = 0
+        self.compactions = 0
+        self.recovered_tail_records = 0
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> "list[bytes]":
+        """Load every durable payload; leaves the store ready to append.
+
+        Returns the payloads **in insertion order** (the caller replays
+        them into its index).  Verifies cross-segment contiguity and
+        the fingerprint chain.  A torn final segment is truncated to
+        its valid record prefix and atomically rewritten **in place**
+        as a sealed segment (write sibling ``.tmp``, fsync, rename), so
+        recovery itself is crash-safe: interrupted at any point, the
+        directory still recovers to the same record sequence.
+        """
+        for stale in self.directory.glob("*.bseg.tmp"):
+            stale.unlink()  # a rewrite that never reached its rename
+        paths = _segment_paths(self.directory)
+        payloads: "list[bytes]" = []
+        expected_base = 0
+        chain_before_tail = self._chain.clone()
+        torn_path: "pathlib.Path | None" = None
+        torn_payloads: "list[bytes]" = []
+        for position, path in enumerate(paths):
+            with Segment(path, final=position == len(paths) - 1) as segment:
+                info = segment.info
+                if info.kind != self.kind or info.shard != self.shard:
+                    raise IndexError_(
+                        f"{path.name}: segment belongs to shard "
+                        f"{info.shard}/{info.kind}, store is "
+                        f"{self.shard}/{self.kind}"
+                    )
+                if info.base_records != expected_base:
+                    raise IndexError_(
+                        f"{path.name}: base_records {info.base_records} "
+                        f"breaks the chain (expected {expected_base})"
+                    )
+                chain_before_tail = self._chain.clone()
+                segment_payloads = [bytes(p) for p in segment.payloads()]
+                for payload in segment_payloads:
+                    self._chain.update(payload)
+                if info.sealed:
+                    if info.cumulative_fingerprint != self._chain.value():
+                        raise IndexError_(
+                            f"{path.name}: cumulative fingerprint mismatch — "
+                            "segment chain does not extend its predecessors"
+                        )
+                    self.sealed.append(info)
+                else:
+                    torn_path = path
+                    torn_payloads = segment_payloads
+                payloads.extend(segment_payloads)
+                expected_base += info.n_records
+        self.n_records = expected_base
+        self._next_seq = (
+            max(
+                (int(path.stem.split("-")[1]) for path in paths),
+                default=-1,
+            )
+            + 1
+        )
+        if torn_path is not None:
+            self.recovered_tail_records = len(torn_payloads)
+            self._reseal_torn_tail(torn_path, torn_payloads, chain_before_tail)
+        return payloads
+
+    def _reseal_torn_tail(
+        self,
+        path: pathlib.Path,
+        tail_payloads: "list[bytes]",
+        chain_before: FingerprintChain,
+    ) -> None:
+        """Atomically replace a torn tail with its sealed valid prefix."""
+        tmp_path = path.with_name(path.name + ".tmp")
+        writer = SegmentWriter(
+            tmp_path,
+            self.kind,
+            self.shard,
+            self.n_records - len(tail_payloads),
+            chain_before,
+        )
+        for payload in tail_payloads:
+            writer.append(payload)
+        info = writer.seal()
+        os.replace(tmp_path, path)
+        self.sealed.append(
+            SegmentInfo(
+                path=path,
+                kind=info.kind,
+                shard=info.shard,
+                base_records=info.base_records,
+                n_records=info.n_records,
+                sealed=True,
+                segment_fingerprint=info.segment_fingerprint,
+                cumulative_fingerprint=info.cumulative_fingerprint,
+                size_bytes=path.stat().st_size,
+            )
+        )
+
+    # -- appends -------------------------------------------------------------
+
+    def _open_writer(
+        self,
+        base_records: "int | None" = None,
+        cumulative: "FingerprintChain | None" = None,
+    ) -> None:
+        path = self.directory / f"seg-{self._next_seq:08d}.bseg"
+        self._next_seq += 1
+        self._writer = SegmentWriter(
+            path,
+            self.kind,
+            self.shard,
+            self.n_records if base_records is None else base_records,
+            self._chain.clone() if cumulative is None else cumulative.clone(),
+        )
+
+    def append(self, payload: "bytes | memoryview") -> None:
+        """Durably append one payload (rolls the segment when large)."""
+        if self._writer is None:
+            self._open_writer()
+        assert self._writer is not None
+        self._writer.append(payload)
+        self._chain.update(payload)
+        self.n_records += 1
+        if self._writer.size_bytes >= self.roll_bytes:
+            self.seal_active()
+
+    def seal_active(self) -> "SegmentInfo | None":
+        """Seal the active segment, if any; returns its info."""
+        if self._writer is None or self._writer.n_records == 0:
+            return None
+        info = self._writer.seal()
+        self.sealed.append(info)
+        self._writer = None
+        return info
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> "SegmentInfo | None":
+        """Merge every sealed segment into one; fingerprints unchanged."""
+        self.seal_active()
+        if len(self.sealed) <= 1:
+            return self.sealed[0] if self.sealed else None
+        tmp_path = self.directory / f"seg-{self._next_seq:08d}.bseg.tmp"
+        final_path = self.directory / f"seg-{self._next_seq:08d}.bseg"
+        self._next_seq += 1
+        # Write the merged file under the temp name, then rename: a crash
+        # mid-merge leaves the sealed inputs untouched.
+        merged = SegmentWriter(
+            tmp_path, self.kind, self.shard, 0, FingerprintChain()
+        )
+        old = list(self.sealed)
+        for info in old:
+            with Segment(info.path, final=False) as segment:
+                for payload in segment.payloads():
+                    merged.append(payload)
+        merged_info = merged.seal()
+        os.replace(tmp_path, final_path)
+        for info in old:
+            info.path.unlink()
+        self.sealed = [
+            SegmentInfo(
+                path=final_path,
+                kind=merged_info.kind,
+                shard=merged_info.shard,
+                base_records=0,
+                n_records=merged_info.n_records,
+                sealed=True,
+                segment_fingerprint=merged_info.segment_fingerprint,
+                cumulative_fingerprint=merged_info.cumulative_fingerprint,
+                size_bytes=final_path.stat().st_size,
+            )
+        ]
+        self.compactions += 1
+        return self.sealed[0]
+
+    # -- introspection -------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Hex chain over every appended payload, in insertion order.
+
+        Invariant under seal and compact; equal across a clean build
+        and a rebuild-from-segments of the same adds — the recovery
+        check the process index's ``--verify`` path pins.
+        """
+        return self._chain.hex()
+
+    def stats(self) -> "dict[str, int]":
+        active_records = self._writer.n_records if self._writer else 0
+        return {
+            "n_records": self.n_records,
+            "n_sealed_segments": len(self.sealed),
+            "active_records": active_records,
+            "compactions": self.compactions,
+            "disk_bytes": sum(info.size_bytes for info in self.sealed)
+            + (self._writer.size_bytes if self._writer else 0),
+        }
+
+    def close(self) -> None:
+        """Seal the tail and release resources.  Idempotent."""
+        self.seal_active()
+        if self._writer is not None:  # empty active file
+            self._writer.abort()
+            self._writer.path.unlink(missing_ok=True)
+            self._writer = None

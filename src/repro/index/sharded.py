@@ -46,6 +46,7 @@ import numpy as np
 
 from ..errors import IndexError_
 from ..features.base import FeatureSet
+from ..kernels.voting import GroupedKeys, group_query_keys
 from ..obs import get_obs
 from ..obs.journal import get_journal
 from .index import FeatureIndex, QueryResult, rank_votes, verify_candidates
@@ -166,10 +167,17 @@ class ShardedFeatureIndex:
         return self._merged_votes_from_keys(keys)
 
     def _merged_votes_from_keys(self, keys: "np.ndarray") -> "dict[str, int]":
+        # Group (per-table unique+counts) once in the coordinator; each
+        # shard only gathers its own buckets from the shared form.  The
+        # historical shape paid the unique pass again inside every
+        # shard's vote_counts_from_keys call.
+        return self._merged_votes_from_grouped(group_query_keys(keys))
+
+    def _merged_votes_from_grouped(self, grouped: "GroupedKeys") -> "dict[str, int]":
         votes: "dict[str, int]" = {}
         for shard in self._shards:
             if len(shard):
-                votes.update(shard.vote_counts_from_keys(keys))
+                votes.update(shard.vote_counts_from_grouped(grouped))
         return votes
 
     def query_top(self, features: FeatureSet, k: int) -> "list[tuple[str, float]]":

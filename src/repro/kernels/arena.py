@@ -1,0 +1,278 @@
+"""Shared-memory byte arenas for cross-process descriptor storage.
+
+The process-parallel index (:mod:`repro.index.procpool`) moves each
+shard's LSH tables and descriptor data into a worker process.  Two data
+paths must not pay a pickle copy per request:
+
+* **stored descriptors** — a shard worker appends every indexed image's
+  serialized feature payload into its own arena; the worker's
+  :class:`~repro.features.base.FeatureSet` entries are numpy views into
+  those blocks, so LSH verification (:mod:`repro.kernels.hamming`)
+  reads the bit-packed descriptor rows zero-copy, and the coordinator
+  can :class:`attach <ArenaReader>` the same blocks to rebuild any
+  entry without a round-trip through the pipe;
+* **query staging** — the coordinator writes a batch's raw descriptor
+  rows into a request arena once and ships only ``(block, offset,
+  length)`` references; every worker reads the same bytes in place.
+
+An arena is an append-only bump allocator over
+:class:`multiprocessing.shared_memory.SharedMemory` blocks: allocation
+never moves existing data (references stay valid forever) and blocks
+are reference-shared, never copied.  Lifetime is managed explicitly by
+the owning side — attaches are unregistered from the interpreter's
+resource tracker so worker attach/detach cycles never trigger spurious
+unlinks or exit-time warnings, while created blocks stay tracked as a
+crash backstop; :meth:`SharedArena.close` (and the coordinator's
+shutdown sweep) is what returns the memory.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Default block size of a growing arena (4 MiB).  Payloads larger than
+#: a block get a dedicated block of their exact (aligned) size.
+DEFAULT_CHUNK_BYTES = 4 << 20
+
+#: Appends are aligned so numpy views of any standard dtype sit on a
+#: natural boundary.
+_ALIGN = 8
+
+
+class ArenaRef(NamedTuple):
+    """A stable, picklable reference to one arena allocation."""
+
+    block: str
+    offset: int
+    length: int
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Opt *shm* out of the resource tracker (lifetime is explicit).
+
+    Python 3.13 grows ``track=False``; on older interpreters the only
+    supported spelling is unregistering after the fact.  The tracker
+    daemon is shared by the coordinator and its spawned workers, so a
+    worker's attach/detach must never unregister the owner's block —
+    hence *every* handle opts out and :func:`_retrack` restores the
+    registration immediately before an unlink, keeping the daemon's
+    books balanced.
+    """
+    try:  # pragma: no cover - depends on interpreter version
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _retrack(shm: shared_memory.SharedMemory) -> None:
+    """Re-register *shm* right before unlinking it (see :func:`_untrack`)."""
+    try:  # pragma: no cover - depends on interpreter version
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing shared block without adopting its lifetime."""
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    return shm
+
+
+def unlink_block(name: str) -> bool:
+    """Best-effort unlink of a block by name (shutdown/crash sweeps)."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another sweep
+        return False
+    return True
+
+
+def as_matrix(view: np.ndarray, n_rows: int, row_width: int, dtype: str) -> np.ndarray:
+    """Reinterpret a uint8 arena slice as an ``(n_rows, row_width)`` matrix.
+
+    Zero-copy: the returned array shares the shared-memory buffer, so
+    the Hamming/L2 kernels read descriptor rows straight out of the
+    arena.
+    """
+    matrix = view.view(np.dtype(dtype))
+    if matrix.size != n_rows * row_width:
+        raise ConfigurationError(
+            f"arena slice holds {matrix.size} {dtype} elements, "
+            f"expected {n_rows}x{row_width}"
+        )
+    return matrix.reshape(n_rows, row_width)
+
+
+class SharedArena:
+    """An owning, append-only allocator over shared-memory blocks."""
+
+    def __init__(
+        self, name_prefix: str = "bees", chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    ) -> None:
+        if chunk_bytes < _ALIGN:
+            raise ConfigurationError(
+                f"chunk_bytes must be >= {_ALIGN}, got {chunk_bytes}"
+            )
+        self.name_prefix = name_prefix
+        self.chunk_bytes = int(chunk_bytes)
+        self._blocks: "dict[str, shared_memory.SharedMemory]" = {}
+        self._active: "shared_memory.SharedMemory | None" = None
+        self._cursor = 0
+        self.used_bytes = 0
+        self.allocated_bytes = 0
+        self._closed = False
+
+    # -- allocation ----------------------------------------------------------
+
+    def _new_block(self, size: int) -> shared_memory.SharedMemory:
+        name = f"{self.name_prefix}-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        _untrack(shm)
+        self._blocks[shm.name] = shm
+        self.allocated_bytes += size
+        return shm
+
+    def append(self, data: "bytes | bytearray | memoryview") -> ArenaRef:
+        """Copy *data* into the arena; returns its permanent reference."""
+        if self._closed:
+            raise ConfigurationError("arena is closed")
+        payload = memoryview(data)
+        length = payload.nbytes
+        aligned = max(_ALIGN, (length + _ALIGN - 1) & ~(_ALIGN - 1))
+        if aligned > self.chunk_bytes:
+            block = self._new_block(aligned)
+            block.buf[:length] = payload
+            self.used_bytes += length
+            return ArenaRef(block.name, 0, length)
+        if self._active is None or self._cursor + aligned > self._active.size:
+            self._active = self._new_block(self.chunk_bytes)
+            self._cursor = 0
+        offset = self._cursor
+        self._active.buf[offset : offset + length] = payload
+        self._cursor += aligned
+        self.used_bytes += length
+        return ArenaRef(self._active.name, offset, length)
+
+    # -- reading -------------------------------------------------------------
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """A zero-copy uint8 view of one allocation."""
+        try:
+            block = self._blocks[ref.block]
+        except KeyError:
+            raise ConfigurationError(
+                f"arena ref names unknown block {ref.block!r}"
+            ) from None
+        return np.frombuffer(
+            block.buf, dtype=np.uint8, count=ref.length, offset=ref.offset
+        )
+
+    def block_names(self) -> "list[str]":
+        """Names of every allocated block (for cross-process sweeps)."""
+        return list(self._blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self, unlink: bool = True) -> None:
+        """Release (and by default destroy) every block.  Idempotent.
+
+        Unlinking works even while views of the block are alive (the
+        mapping is freed when the last view dies), so an owner closing
+        its arena under live entries still returns the memory.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._active = None
+        for block in self._blocks.values():
+            if unlink:
+                try:
+                    _retrack(block)
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover - already swept
+                    pass
+            _close_block(block)
+        self._blocks.clear()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Blocks whose close was deferred because a caller still held a numpy
+#: view; keeping the handle referenced silences destructor noise and the
+#: mapping is released when the last view dies.
+_DEFERRED_CLOSES: "list[shared_memory.SharedMemory]" = []
+
+
+def _close_block(block: shared_memory.SharedMemory) -> None:
+    # Opportunistically retire earlier deferrals whose views have died.
+    retry = _DEFERRED_CLOSES[:]
+    _DEFERRED_CLOSES.clear()
+    for deferred in retry:
+        try:
+            deferred.close()
+        except BufferError:
+            _DEFERRED_CLOSES.append(deferred)
+    try:
+        block.close()
+    except BufferError:  # a view outlives the handle; unmap with it
+        _DEFERRED_CLOSES.append(block)
+
+
+class ArenaReader:
+    """A non-owning view cache over another process's arena blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: "dict[str, shared_memory.SharedMemory]" = {}
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """A zero-copy uint8 view of *ref* (attaching its block once)."""
+        block = self._blocks.get(ref.block)
+        if block is None:
+            block = attach_block(ref.block)
+            self._blocks[ref.block] = block
+        return np.frombuffer(
+            block.buf, dtype=np.uint8, count=ref.length, offset=ref.offset
+        )
+
+    def forget(self, names: "Iterator[str] | list[str]") -> None:
+        """Detach specific blocks (their owner is about to unlink them)."""
+        for name in list(names):
+            block = self._blocks.pop(name, None)
+            if block is not None:
+                _close_block(block)
+
+    def close(self) -> None:
+        """Detach every cached block (never unlinks).  Idempotent."""
+        for block in self._blocks.values():
+            _close_block(block)
+        self._blocks.clear()
+
+    def __enter__(self) -> "ArenaReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

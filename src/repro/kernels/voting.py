@@ -28,6 +28,28 @@ from ..errors import IndexError_
 #: bounded by n_descriptors * n_tables, far below this.
 _FLOAT64_EXACT_INT = 2**53
 
+#: One query's hash keys grouped per table: ``(unique_keys, counts)``
+#: pairs, one per LSH table, as produced by :func:`group_query_keys`.
+GroupedKeys = "list[tuple[np.ndarray, np.ndarray]]"
+
+
+def group_query_keys(keys: np.ndarray) -> "GroupedKeys":
+    """Deduplicate a query's ``(n_desc, n_tables)`` keys per table.
+
+    The per-table ``np.unique`` pass is a pure function of the query's
+    keys — it does not depend on any bucket store — so a sharded index
+    derives it **once** in the coordinator and ships the grouped form
+    to every shard (thread or process), instead of paying the unique
+    pass again per shard.  :meth:`BucketStore.votes` is exactly
+    ``votes_from_grouped(group_query_keys(keys))``.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 2:
+        raise IndexError_(f"expected 2-D (n_desc, n_tables) keys, got {keys.shape}")
+    return [
+        np.unique(table_keys, return_counts=True) for table_keys in keys.T
+    ]
+
 
 @dataclass
 class BucketStore:
@@ -83,10 +105,24 @@ class BucketStore:
             )
         if keys.shape[0] == 0 or self._max_ref < 0:
             return {}
+        return self.votes_from_grouped(group_query_keys(keys))
+
+    def votes_from_grouped(self, grouped: "GroupedKeys") -> "dict[int, int]":
+        """Vote counts for keys already grouped by :func:`group_query_keys`.
+
+        The sharded coordinator's entry point: the unique-key pass is
+        shared across shards, each shard only gathers its own buckets.
+        Counts are identical to :meth:`votes` on the ungrouped keys.
+        """
+        if len(grouped) != self.n_tables:
+            raise IndexError_(
+                f"expected {self.n_tables} grouped tables, got {len(grouped)}"
+            )
+        if self._max_ref < 0:
+            return {}
         hit_refs: "list[np.ndarray]" = []
         hit_weights: "list[np.ndarray]" = []
-        for table, table_keys in zip(self._tables, keys.T):
-            unique_keys, counts = np.unique(table_keys, return_counts=True)
+        for table, (unique_keys, counts) in zip(self._tables, grouped):
             for key, count in zip(unique_keys.tolist(), counts.tolist()):
                 bucket = table.get(key)
                 if bucket is None:

@@ -40,7 +40,14 @@ Standard metrics (all labelled where it matters):
   ``bees_index_shard_entries{shard}`` pair for the concurrent fleet
   runtime (:mod:`repro.fleet`);
 * ``bees_kernel_cache_events_total{event}`` (``hit|miss``) for the
-  kernel layer's match-count cache (:mod:`repro.kernels.cache`).
+  kernel layer's match-count cache (:mod:`repro.kernels.cache`);
+* the process-parallel index set (:mod:`repro.index.procpool`):
+  ``bees_index_ipc_seconds{op}`` worker round-trip latencies,
+  ``bees_index_worker_queue_depth{shard}``,
+  ``bees_index_segments{shard}`` /
+  ``bees_index_segment_compactions_total{shard}`` for the on-disk
+  segment stores, and ``bees_index_arena_bytes{shard}`` for
+  shared-memory arena occupancy.
 """
 
 from __future__ import annotations
@@ -61,6 +68,14 @@ PIPELINE_STAGES = ("afe", "feature_upload", "ssmm", "aiu", "image_upload")
 #: few KB at ~Mbps goodputs land well under a second; image uploads can
 #: take tens of seconds on a bad channel).
 LINK_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+#: Buckets for process-index worker round-trips (real wall-clock: pipe
+#: latency is tens of microseconds, a cold verify over a big shard can
+#: take tens of milliseconds).
+IPC_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0,
+)
 
 
 class Observability:
@@ -193,6 +208,33 @@ class Observability:
             "bees_kernel_cache_events_total",
             "Match-count cache lookups by outcome (event=hit|miss)",
             ("event",),
+        )
+        self.index_ipc_seconds = registry.histogram(
+            "bees_index_ipc_seconds",
+            "Wall-clock seconds per process-index worker round-trip "
+            "(op=add|vote|verify|control)",
+            ("op",),
+            buckets=IPC_BUCKETS,
+        )
+        self.index_worker_queue_depth = registry.gauge(
+            "bees_index_worker_queue_depth",
+            "Requests in flight to a process-index shard worker",
+            ("shard",),
+        )
+        self.index_segments = registry.gauge(
+            "bees_index_segments",
+            "Sealed on-disk segment files held per process-index shard",
+            ("shard",),
+        )
+        self.index_segment_compactions = registry.counter(
+            "bees_index_segment_compactions_total",
+            "Segment compaction passes completed per process-index shard",
+            ("shard",),
+        )
+        self.index_arena_bytes = registry.gauge(
+            "bees_index_arena_bytes",
+            "Shared-memory arena bytes allocated per process-index shard",
+            ("shard",),
         )
 
     # -- tracing -------------------------------------------------------------

@@ -1,0 +1,260 @@
+"""Tests for the process-parallel sharded index.
+
+Same exactness bar as :mod:`tests.index.test_sharded` — answers must be
+byte-identical to a single :class:`FeatureIndex` over the same images —
+plus the properties only a process pool has: durable segments, worker
+crash detection, rebuild-from-segments verified by content fingerprint,
+and zero-copy reads out of the shared arenas.
+
+Workers are spawned with the ``fork`` start method here: these tests
+create many short-lived pools and fork skips the per-worker interpreter
+boot that the production ``spawn`` default pays for safety.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.features.base import FeatureSet
+from repro.imaging.synth import SceneGenerator
+from repro.index import FeatureIndex, ProcessShardedIndex, WorkerCrashedError
+
+
+@pytest.fixture(scope="module")
+def corpus(orb):
+    """Twelve feature sets over four scenes (three views each)."""
+    generator = SceneGenerator(height=72, width=96)
+    feature_sets = []
+    for scene, view in itertools.product(range(4), range(3)):
+        image = generator.view(
+            scene, view, image_id=f"s{scene}-v{view}", group_id=f"s{scene}"
+        )
+        feature_sets.append(orb.extract(image))
+    return feature_sets
+
+
+def _fill(index, feature_sets):
+    for features in feature_sets:
+        index.add(features)
+    return index
+
+
+def _pool(**kwargs):
+    kwargs.setdefault("n_shards", 3)
+    kwargs.setdefault("mp_context", "fork")
+    return ProcessShardedIndex(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def filled_pool(corpus):
+    """One pool over the first nine corpus images, shared read-only."""
+    with _pool() as index:
+        _fill(index, corpus[:9])
+        yield index
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    return _fill(FeatureIndex(), corpus[:9])
+
+
+class TestEquivalence:
+    def test_query_matches_single_index(self, filled_pool, reference, corpus):
+        for query in corpus[9:]:
+            assert filled_pool.query(query) == reference.query(query)
+            assert filled_pool.query_top(query, 4) == reference.query_top(query, 4)
+
+    def test_query_batch_matches_sequential_queries(self, filled_pool, corpus):
+        queries = corpus[9:]
+        assert filled_pool.query_batch(queries) == [
+            filled_pool.query(q) for q in queries
+        ]
+
+    def test_empty_query_and_empty_index(self, corpus):
+        empty = FeatureSet(
+            kind="orb",
+            descriptors=np.zeros((0, 32), dtype=np.uint8),
+            xs=np.zeros(0),
+            ys=np.zeros(0),
+            pixels_processed=1,
+            image_id="empty-query",
+        )
+        with _pool(n_shards=2) as index:
+            assert not index.query(corpus[0]).found
+            _fill(index, corpus[:3])
+            assert index.query(empty) == _fill(FeatureIndex(), corpus[:3]).query(empty)
+
+    def test_features_round_trip_through_the_arena(self, filled_pool, corpus):
+        for features in corpus[:9]:
+            stored = filled_pool.features_of(features.image_id)
+            assert stored.image_id == features.image_id
+            assert stored.kind == features.kind
+            np.testing.assert_array_equal(stored.descriptors, features.descriptors)
+            # Wire format carries float32 coordinates (see serialize.py).
+            np.testing.assert_array_equal(
+                stored.xs, features.xs.astype(np.float32)
+            )
+            np.testing.assert_array_equal(
+                stored.ys, features.ys.astype(np.float32)
+            )
+
+
+class TestMutation:
+    def test_add_contains_len_shards(self, filled_pool, corpus):
+        assert len(filled_pool) == 9
+        assert sum(filled_pool.shard_sizes()) == 9
+        for features in corpus[:9]:
+            assert features.image_id in filled_pool
+        assert "missing" not in filled_pool
+        assert filled_pool.image_ids() == sorted(
+            f.image_id for f in corpus[:9]
+        )
+
+    def test_duplicate_id_rejected(self, filled_pool, corpus):
+        with pytest.raises(IndexError_, match="already indexed"):
+            filled_pool.add(corpus[0])
+
+    def test_missing_id_rejected(self, filled_pool):
+        features = FeatureSet(
+            kind="orb",
+            descriptors=np.zeros((0, 32), dtype=np.uint8),
+            xs=np.zeros(0),
+            ys=np.zeros(0),
+            pixels_processed=1,
+            image_id="",
+        )
+        with pytest.raises(IndexError_):
+            filled_pool.add(features)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(IndexError_):
+            ProcessShardedIndex(n_shards=0)
+
+
+class TestWorkerUnit:
+    """Drive one ``_ShardWorker`` in-process (no pipes, no fork)."""
+
+    def _config(self, tmp_path):
+        from repro.index.procpool import _WorkerConfig
+
+        return _WorkerConfig(
+            shard_no=0,
+            kind="orb",
+            verify_top_k=5,
+            n_tables=8,
+            bits_per_key=16,
+            seed=7,
+            segment_dir=str(tmp_path / "worker"),
+            roll_bytes=1 << 14,
+        )
+
+    def test_handle_ops_match_a_plain_index(self, corpus, tmp_path):
+        from repro.features.serialize import serialize_features
+        from repro.index import rank_votes
+        from repro.index.procpool import _ShardWorker
+        from repro.kernels.voting import group_query_keys
+
+        reference = _fill(FeatureIndex(), corpus[:6])
+        worker = _ShardWorker(self._config(tmp_path))
+        payloads = [bytes(serialize_features(f)) for f in corpus[:6]]
+        reply = worker.handle(("add", payloads))
+        assert [image_id for image_id, _ in reply["added"]] == [
+            f.image_id for f in corpus[:6]
+        ]
+        assert reply["stats"]["n_entries"] == 6
+
+        query = corpus[10]
+        grouped = group_query_keys(
+            reference.hash_keys(reference.packed_descriptors(query))
+        )
+        votes = worker.handle(("vote", [grouped]))[0]
+        assert votes  # perturbed views of indexed scenes collide
+        shortlist = rank_votes(votes, 5)
+        scored = worker.handle(
+            ("verify", [(bytes(serialize_features(query)), shortlist)])
+        )[0]
+        by_id = dict(scored)
+        for candidate_id in shortlist:
+            expected = reference.query_top(query, len(reference))
+            assert by_id[candidate_id] == dict(expected)[candidate_id]
+
+        worker.handle(("seal",))
+        fingerprint_before = worker.handle(("fingerprint",))
+        worker.handle(("compact",))
+        assert worker.handle(("fingerprint",)) == fingerprint_before
+        worker.close()
+
+    def test_rebuild_matches_clean_content_fingerprint(self, corpus, tmp_path):
+        from repro.features.serialize import serialize_features
+        from repro.index.procpool import _ShardWorker
+
+        config = self._config(tmp_path)
+        first = _ShardWorker(config)
+        first.handle(
+            ("add", [bytes(serialize_features(f)) for f in corpus[:6]])
+        )
+        clean = first.content_fingerprint()
+        first.close()
+        rebuilt = _ShardWorker(config)
+        assert [image_id for image_id, _ in rebuilt.recovered] == [
+            f.image_id for f in corpus[:6]
+        ]
+        assert rebuilt.content_fingerprint() == clean
+        rebuilt.close()
+
+
+class TestCrashRecovery:
+    def test_kill_rebuild_verify(self, corpus, tmp_path):
+        # Kill a worker mid-run: queries fail loudly, recover_workers()
+        # replays its segments, and the rebuilt pool is *provably* the
+        # same index — content fingerprints match a clean build and
+        # answers still equal the single-index reference.
+        reference = _fill(FeatureIndex(), corpus[:9])
+        with _pool(segment_dir=tmp_path / "segs") as index:
+            _fill(index, corpus[:9])
+            before = index.fingerprints()
+            victim = index._handles[1]
+            victim.process.terminate()
+            victim.process.join(timeout=10)
+            with pytest.raises(WorkerCrashedError):
+                index.query_batch(corpus[9:])
+            assert index.recover_workers() == [1]
+            assert index.fingerprints() == before
+            assert len(index) == 9
+            for query in corpus[9:]:
+                assert index.query(query) == reference.query(query)
+
+    def test_cold_restart_from_segments(self, corpus, tmp_path):
+        with _pool(segment_dir=tmp_path / "segs") as index:
+            _fill(index, corpus[:9])
+            expected = index.fingerprints()
+            ids = index.image_ids()
+        with _pool(segment_dir=tmp_path / "segs") as reborn:
+            assert reborn.image_ids() == ids
+            assert reborn.fingerprints() == expected
+            reference = _fill(FeatureIndex(), corpus[:9])
+            for query in corpus[9:]:
+                assert reborn.query(query) == reference.query(query)
+
+    def test_seal_and_compact_keep_fingerprints(self, corpus, tmp_path):
+        with _pool(segment_dir=tmp_path / "segs", roll_bytes=1 << 14) as index:
+            _fill(index, corpus[:9])
+            before = index.fingerprints()
+            index.seal()
+            index.compact()
+            assert index.fingerprints() == before
+
+    def test_in_memory_pool_restarts_empty(self, corpus):
+        # Without a segment_dir a killed shard is rebuilt empty — the
+        # coordinator must still converge instead of wedging.
+        with _pool(n_shards=2) as index:
+            _fill(index, corpus[:4])
+            lost_shard = index.shard_of(corpus[0].image_id)
+            index._handles[lost_shard].process.terminate()
+            index._handles[lost_shard].process.join(timeout=10)
+            rebuilt = index.recover_workers()
+            assert rebuilt == [lost_shard]
+            assert corpus[0].image_id not in index
+            assert len(index) == sum(index.shard_sizes())

@@ -1,0 +1,201 @@
+"""Tests for the append-only index segment store.
+
+The load-bearing properties: every acknowledged append survives a
+restart (recover returns the payloads in insertion order), the
+fingerprint chain is invariant under seal/roll/compact, a torn final
+segment recovers to its valid prefix, and interior corruption is loud.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.segments import (
+    FingerprintChain,
+    Segment,
+    ShardSegmentStore,
+)
+
+
+def _store(directory, **kwargs):
+    kwargs.setdefault("kind", "orb")
+    return ShardSegmentStore(directory, **kwargs)
+
+
+def _fill(store, payloads):
+    for payload in payloads:
+        store.append(payload)
+    return store
+
+
+PAYLOADS = [b"alpha", b"bravo-bravo", b"c", b"", b"delta" * 100]
+
+
+class TestRoundTrip:
+    def test_recover_returns_payloads_in_order(self, tmp_path):
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        writer.close()
+        reader = _store(tmp_path)
+        assert reader.recover() == PAYLOADS
+        assert reader.n_records == len(PAYLOADS)
+        assert reader.fingerprint() == writer.fingerprint()
+
+    def test_recover_includes_unsealed_tail(self, tmp_path):
+        # A crash (no close/seal) must still expose every flushed
+        # append: the tail segment has no footer but a valid prefix.
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        writer.seal_active()
+        writer.append(b"tail-1")
+        writer.append(b"tail-2")
+        del writer  # no close: the active segment stays unsealed
+        reader = _store(tmp_path)
+        assert reader.recover() == PAYLOADS + [b"tail-1", b"tail-2"]
+        assert reader.recovered_tail_records == 2
+
+    def test_rolls_active_segment_at_roll_bytes(self, tmp_path):
+        store = _fill(_store(tmp_path, roll_bytes=64), [b"x" * 40] * 4)
+        assert store.stats()["n_sealed_segments"] >= 2
+        store.close()
+        reader = _store(tmp_path, roll_bytes=64)
+        assert reader.recover() == [b"x" * 40] * 4
+
+    def test_appends_continue_the_chain_after_recovery(self, tmp_path):
+        # fingerprint(clean build of A+B) == fingerprint(build A,
+        # recover, append B) — the recovery invariant.
+        first, second = PAYLOADS[:3], PAYLOADS[3:]
+        interrupted = _fill(_store(tmp_path), first)
+        interrupted.close()
+        resumed = _store(tmp_path)
+        resumed.recover()
+        _fill(resumed, second)
+        with tempfile.TemporaryDirectory() as clean_dir:
+            clean = _fill(_store(Path(clean_dir)), first + second)
+            assert resumed.fingerprint() == clean.fingerprint()
+
+    @given(
+        payloads=st.lists(st.binary(max_size=200), max_size=20),
+        roll_bytes=st.integers(32, 4096),
+        compact_after=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, payloads, roll_bytes, compact_after):
+        # For any payload sequence and roll schedule: recover() is the
+        # identity on content, and the chain matches a plain
+        # FingerprintChain over the same bytes.
+        expected_chain = FingerprintChain()
+        for payload in payloads:
+            expected_chain.update(payload)
+        with tempfile.TemporaryDirectory() as directory:
+            writer = _fill(_store(Path(directory), roll_bytes=roll_bytes), payloads)
+            if compact_after:
+                writer.compact()
+            writer.close()
+            assert writer.fingerprint() == expected_chain.hex()
+            reader = _store(Path(directory), roll_bytes=roll_bytes)
+            assert reader.recover() == payloads
+            assert reader.fingerprint() == expected_chain.hex()
+
+
+class TestTornTail:
+    def _truncate(self, tmp_path, chop):
+        path = max(tmp_path.glob("seg-*.bseg"))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - chop])
+        return path
+
+    def test_torn_final_record_is_discarded(self, tmp_path):
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        del writer  # unsealed tail
+        self._truncate(tmp_path, 3)  # chop into the last payload
+        reader = _store(tmp_path)
+        recovered = reader.recover()
+        assert recovered == PAYLOADS[:-1]
+        assert reader.recovered_tail_records == len(PAYLOADS) - 1
+
+    def test_recovery_reseals_the_tail_in_place(self, tmp_path):
+        # Recovery rewrites the torn tail as a sealed segment, so a
+        # second recovery (crash during the first) sees only sealed
+        # files and the same record sequence.
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        del writer
+        self._truncate(tmp_path, 1)
+        first = _store(tmp_path)
+        recovered = first.recover()
+        for path in tmp_path.glob("seg-*.bseg"):
+            with Segment(path, final=True) as segment:
+                assert segment.info.sealed
+        second = _store(tmp_path)
+        assert second.recover() == recovered
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_stale_tmp_files_are_swept(self, tmp_path):
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        writer.close()
+        stale = tmp_path / "seg-99999999.bseg.tmp"
+        stale.write_bytes(b"half-written rewrite")
+        reader = _store(tmp_path)
+        assert reader.recover() == PAYLOADS
+        assert not stale.exists()
+
+
+class TestCorruption:
+    def test_interior_corruption_is_fatal(self, tmp_path):
+        # A corrupt *sealed* segment means acknowledged data is gone —
+        # recovery must refuse, not silently skip.
+        writer = _fill(_store(tmp_path, roll_bytes=32), [b"y" * 40] * 3)
+        writer.close()
+        first = min(tmp_path.glob("seg-*.bseg"))
+        data = bytearray(first.read_bytes())
+        data[-10] ^= 0xFF
+        first.write_bytes(bytes(data))
+        with pytest.raises(IndexError_):
+            _store(tmp_path, roll_bytes=32).recover()
+
+    def test_missing_segment_breaks_the_chain(self, tmp_path):
+        writer = _fill(_store(tmp_path, roll_bytes=32), [b"z" * 40] * 3)
+        writer.close()
+        min(tmp_path.glob("seg-*.bseg")).unlink()
+        with pytest.raises(IndexError_, match="base_records"):
+            _store(tmp_path, roll_bytes=32).recover()
+
+    def test_wrong_shard_rejected(self, tmp_path):
+        writer = _fill(_store(tmp_path, shard=3), PAYLOADS)
+        writer.close()
+        with pytest.raises(IndexError_, match="belongs to shard"):
+            _store(tmp_path, shard=4).recover()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(IndexError_, match="kind"):
+            _store(tmp_path, kind="hog").append(b"payload")
+
+
+class TestCompaction:
+    def test_compact_preserves_content_and_fingerprint(self, tmp_path):
+        store = _fill(_store(tmp_path, roll_bytes=32), [b"w" * 40] * 5)
+        before = store.fingerprint()
+        assert store.stats()["n_sealed_segments"] >= 2
+        store.compact()
+        assert store.stats()["n_sealed_segments"] == 1
+        assert store.fingerprint() == before
+        store.close()
+        reader = _store(tmp_path, roll_bytes=32)
+        assert reader.recover() == [b"w" * 40] * 5
+        assert reader.fingerprint() == before
+
+    def test_compact_then_append_continues_the_chain(self, tmp_path):
+        store = _fill(_store(tmp_path, roll_bytes=32), [b"v" * 40] * 4)
+        store.compact()
+        store.append(b"after-compact")
+        store.close()
+        reader = _store(tmp_path, roll_bytes=32)
+        assert reader.recover() == [b"v" * 40] * 4 + [b"after-compact"]
+
+    def test_compact_noop_on_single_segment(self, tmp_path):
+        store = _fill(_store(tmp_path), PAYLOADS)
+        store.seal_active()
+        info = store.compact()
+        assert info is not None and info.n_records == len(PAYLOADS)
+        assert store.compactions == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the shared-memory byte arenas.
+
+The process-index tests exercise the arena cross-process; these pin
+the in-process contract — append-only refs stay valid forever, views
+are zero-copy, lifetime is explicit, and close() under live views
+still returns the memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.arena import (
+    ArenaReader,
+    ArenaRef,
+    SharedArena,
+    as_matrix,
+    attach_block,
+    unlink_block,
+)
+
+
+@pytest.fixture
+def arena():
+    with SharedArena(name_prefix="beestest", chunk_bytes=256) as arena:
+        yield arena
+
+
+class TestAppend:
+    def test_round_trip(self, arena):
+        ref = arena.append(b"hello arena")
+        assert bytes(arena.view(ref)) == b"hello arena"
+        assert ref.length == len(b"hello arena")
+
+    def test_refs_stay_valid_as_the_arena_grows(self, arena):
+        refs = [(arena.append(bytes([n]) * 50), bytes([n]) * 50) for n in range(20)]
+        # 20 * 56 aligned bytes > several 256-byte chunks.
+        assert arena.n_blocks > 1
+        for ref, expected in refs:
+            assert bytes(arena.view(ref)) == expected
+
+    def test_oversized_payload_gets_its_own_block(self, arena):
+        before = arena.n_blocks
+        ref = arena.append(b"x" * 1000)
+        assert arena.n_blocks == before + 1
+        assert ref.offset == 0
+        assert bytes(arena.view(ref)) == b"x" * 1000
+
+    def test_appends_are_aligned(self, arena):
+        arena.append(b"abc")  # 3 bytes, aligned up to 8
+        ref = arena.append(b"d")
+        assert ref.offset % 8 == 0
+
+    def test_view_is_zero_copy(self, arena):
+        ref = arena.append(b"\x00" * 8)
+        view = arena.view(ref)
+        view[0] = 0xAB
+        assert arena.view(ref)[0] == 0xAB
+
+    def test_used_and_allocated_accounting(self, arena):
+        arena.append(b"y" * 10)
+        assert arena.used_bytes == 10
+        assert arena.allocated_bytes >= 256
+
+    def test_unknown_ref_rejected(self, arena):
+        with pytest.raises(ConfigurationError):
+            arena.view(ArenaRef("no-such-block", 0, 1))
+
+    def test_append_after_close_rejected(self):
+        arena = SharedArena(name_prefix="beestest")
+        arena.close()
+        with pytest.raises(ConfigurationError):
+            arena.append(b"late")
+
+    def test_tiny_chunk_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedArena(chunk_bytes=4)
+
+
+class TestAsMatrix:
+    def test_reinterprets_rows(self, arena):
+        rows = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        ref = arena.append(rows.tobytes())
+        matrix = as_matrix(arena.view(ref), 3, 4, "uint8")
+        np.testing.assert_array_equal(matrix, rows)
+
+    def test_size_mismatch_rejected(self, arena):
+        ref = arena.append(b"\x00" * 12)
+        with pytest.raises(ConfigurationError):
+            as_matrix(arena.view(ref), 5, 4, "uint8")
+
+
+class TestLifetime:
+    def test_close_unlinks_blocks(self):
+        arena = SharedArena(name_prefix="beestest")
+        ref = arena.append(b"gone soon")
+        names = arena.block_names()
+        arena.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                attach_block(name)
+        assert not unlink_block(ref.block)
+
+    def test_close_is_idempotent_and_survives_live_views(self):
+        arena = SharedArena(name_prefix="beestest")
+        ref = arena.append(b"pinned by a view")
+        view = arena.view(ref)
+        arena.close()  # view alive: close defers, unlink still happens
+        arena.close()
+        assert bytes(view) == b"pinned by a view"
+
+    def test_reader_attaches_and_detaches(self):
+        arena = SharedArena(name_prefix="beestest")
+        ref = arena.append(b"cross-handle read")
+        reader = ArenaReader()
+        assert bytes(reader.view(ref)) == b"cross-handle read"
+        reader.forget([ref.block])
+        reader.close()
+        arena.close()
+
+    def test_reader_close_is_idempotent(self):
+        reader = ArenaReader()
+        reader.close()
+        reader.close()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import IndexError_
-from repro.kernels.voting import BucketStore
+from repro.kernels.voting import BucketStore, group_query_keys
 
 
 def _keys(rows):
@@ -96,3 +96,31 @@ class TestVotes:
         store.insert(_keys([[5]]), ref=100_000)
         store.insert(_keys([[5]]), ref=3)
         assert store.votes(_keys([[5]])) == {3: 1, 100_000: 1}
+
+
+class TestGroupedKeys:
+    def test_votes_equals_votes_from_grouped(self):
+        # The coordinator hashes and groups once, then ships the grouped
+        # form to every shard; both spellings must agree exactly.
+        rng = np.random.default_rng(3)
+        store = BucketStore(n_tables=4)
+        for ref in range(12):
+            store.insert(rng.integers(0, 16, (6, 4)), ref=ref)
+        query = rng.integers(0, 16, (6, 4))
+        assert store.votes_from_grouped(group_query_keys(query)) == store.votes(
+            query
+        )
+
+    def test_grouped_counts_are_per_table_multiplicities(self):
+        grouped = group_query_keys(_keys([[5, 7], [5, 8], [6, 7]]))
+        assert len(grouped) == 2
+        keys0, counts0 = grouped[0]
+        assert keys0.tolist() == [5, 6]
+        assert counts0.tolist() == [2, 1]
+        keys1, counts1 = grouped[1]
+        assert keys1.tolist() == [7, 8]
+        assert counts1.tolist() == [2, 1]
+
+    def test_rejects_non_2d_keys(self):
+        with pytest.raises(IndexError_):
+            group_query_keys(np.zeros(3, dtype=np.int64))
