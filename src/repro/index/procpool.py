@@ -53,7 +53,7 @@ import time
 import weakref
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Any, Callable, Concatenate, Optional, ParamSpec, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Optional, TypeVar
 
 import numpy as np
 
@@ -82,7 +82,10 @@ class WorkerCrashedError(IndexError_):
 
     With a ``segment_dir`` configured the shard is recoverable:
     :meth:`ProcessShardedIndex.recover_workers` respawns the worker and
-    replays its sealed segments.
+    replays its sealed segments.  The successful replies of *surviving*
+    workers in the same round are absorbed before this is raised (see
+    :meth:`ProcessShardedIndex._round`), so the coordinator's id/ref
+    maps never diverge from what live shards actually indexed.
     """
 
 
@@ -282,7 +285,14 @@ def _sweep_handles(handles: "list[_WorkerHandle]") -> None:
             unlink_block(name)
 
 
-_P = ParamSpec("_P")
+if TYPE_CHECKING:
+    # ParamSpec/Concatenate land in 3.10; the project supports 3.9, so
+    # keep them out of the runtime import path (annotations here are
+    # strings under ``from __future__ import annotations``).
+    from typing import Concatenate, ParamSpec
+
+    _P = ParamSpec("_P")
+
 _R = TypeVar("_R")
 
 
@@ -535,17 +545,24 @@ class ProcessShardedIndex:
         return payload
 
     def _round(
-        self, requests: "dict[int, tuple]", op: str
+        self,
+        requests: "dict[int, tuple]",
+        op: str,
+        on_ok: "Callable[[dict[int, Any]], None] | None" = None,
     ) -> "dict[int, Any]":
         """One batched fan-out: send to every shard, then gather.
 
         All requests are written before any reply is read, so workers
         execute concurrently; the recorded IPC latency is the
         coordinator-observed round-trip (queue wait included).  When a
-        worker dies mid-round, the replies of every *surviving* worker
-        are still drained before raising, so the request/response
-        streams of the survivors stay in lock-step and the pool remains
-        usable after :meth:`recover_workers`.
+        worker dies (or replies with an error) mid-round, the replies
+        of every *surviving* worker are still drained first, so the
+        request/response streams of the survivors stay in lock-step —
+        and ``on_ok`` is invoked with the successful replies *before*
+        the raise: live shards may already have indexed (and journaled)
+        their part of the round, and discarding those replies would
+        permanently desynchronize the coordinator's maps (a later vote
+        naming an orphaned id would KeyError during verification).
         """
         obs = get_obs()
         crashed: "list[int]" = []
@@ -568,11 +585,6 @@ class ProcessShardedIndex:
             finally:
                 if obs.enabled:
                     obs.index_worker_queue_depth.set(0, shard=shard_no)
-        if crashed:
-            raise WorkerCrashedError(
-                f"shard worker(s) {sorted(crashed)} died during {op!r}; "
-                "recover_workers() rebuilds them from their segments"
-            )
         replies: "dict[int, Any]" = {}
         errors: "list[str]" = []
         for shard_no, (status, payload) in raw.items():
@@ -580,6 +592,13 @@ class ProcessShardedIndex:
                 replies[shard_no] = payload
             else:
                 errors.append(f"shard {shard_no}: {payload}")
+        if on_ok is not None and replies:
+            on_ok(replies)
+        if crashed:
+            raise WorkerCrashedError(
+                f"shard worker(s) {sorted(crashed)} died during {op!r}; "
+                "recover_workers() rebuilds them from their segments"
+            )
         if errors:
             raise IndexError_(
                 f"worker error during {op!r}: " + "; ".join(errors)
@@ -617,7 +636,10 @@ class ProcessShardedIndex:
 
         The payload is journaled to the shard's segment store before
         the worker acknowledges, so a successful return means the add
-        is durable (when segments are configured).
+        survives a worker kill and is rebuilt by
+        :meth:`recover_workers` (when segments are configured; sealed
+        segments additionally survive OS crash/power loss — see
+        :mod:`repro.index.segments` for the exact contract).
         """
         self.add_batch([features])
 
@@ -643,18 +665,18 @@ class ProcessShardedIndex:
                 serialize_features(features)
             )
             routed.append((image_id, shard_no))
-        replies = self._round(
+        # on_ok registers every successful shard's adds even when a
+        # sibling shard crashes or errors in the same round — those
+        # workers indexed (and journaled) their part of the batch, and
+        # the coordinator's maps must reflect it.
+        self._round(
             {
                 shard_no: ("add", payloads)
                 for shard_no, payloads in payloads_by_shard.items()
             },
             op="add",
+            on_ok=self._absorb_add_replies,
         )
-        for shard_no, reply in replies.items():
-            for image_id, ref in reply["added"]:
-                self._ids[image_id] = shard_no
-                self._refs[image_id] = ref
-            self._absorb_stats(self._handles[shard_no], reply["stats"])
         journal = get_journal()
         if journal.enabled:
             for image_id, shard_no in routed:
@@ -665,6 +687,13 @@ class ProcessShardedIndex:
                     n_shards=self.n_shards,
                     shard_size=self._sizes[shard_no],
                 )
+
+    def _absorb_add_replies(self, replies: "dict[int, Any]") -> None:
+        for shard_no, reply in replies.items():
+            for image_id, ref in reply["added"]:
+                self._ids[image_id] = shard_no
+                self._refs[image_id] = ref
+            self._absorb_stats(self._handles[shard_no], reply["stats"])
 
     # -- queries -------------------------------------------------------------
 

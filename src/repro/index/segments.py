@@ -3,7 +3,11 @@
 Disaster deployments restart servers mid-build; the process-parallel
 index (:mod:`repro.index.procpool`) therefore journals every indexed
 feature payload to an **append-only segment file** before the add is
-acknowledged.  Sealed segments are immutable and mmap-ed on load, so a
+acknowledged.  The durability contract is two-tiered: appends are
+*flushed* (they survive a worker/process kill, the failure mode the
+recovery tests exercise), and segments are *fsynced at seal* (sealed
+data additionally survives an OS crash or power loss); an acknowledged
+add in the active tail is not yet power-loss durable.  Sealed segments are immutable and mmap-ed on load, so a
 restarted shard worker rebuilds its LSH tables by replaying payloads
 straight out of the page cache, and verifies the rebuild against the
 **content fingerprint chain** recorded at seal time — the same
@@ -23,18 +27,24 @@ On-disk layout (little-endian), one directory per shard::
 A file with a valid footer is **sealed**; a file without one is the
 **active tail**.  Recovery rules, in order of strictness:
 
-* every non-final segment must be sealed and internally consistent —
-  a corrupt interior is fatal (the data genuinely existed and is gone);
-* the final segment may be torn: the valid record prefix is kept, the
-  torn suffix (an append that never finished) is discarded;
+* every sealed segment must be internally consistent — a corrupt
+  interior is fatal (the data genuinely existed and is gone), and this
+  includes a final segment whose footer is intact at EOF;
+* the final segment may be torn **only when it carries no footer**: the
+  valid record prefix is kept, the torn suffix (an append that never
+  finished) is discarded;
 * ``base_records`` must chain contiguously across segments, and each
-  footer's cumulative fingerprint must extend the previous one.
+  footer's cumulative fingerprint must extend the previous one — except
+  that a later segment restarting at record 0 is an interrupted
+  compaction's output, which recovery verifies against and then
+  substitutes for the superseded inputs it duplicates.
 
 Compaction merges every sealed segment into one (payload order
 preserved, so all fingerprints are unchanged), writes it to a temp
 file, fsyncs, and atomically renames before deleting the inputs — a
-crash mid-compaction leaves either the old set or the new file, never
-less than the data.
+crash mid-compaction leaves the old set, the new file, or briefly
+both (rename done, inputs not yet unlinked), and recovery resolves
+each case to the same record sequence, never less than the data.
 """
 
 from __future__ import annotations
@@ -98,6 +108,27 @@ def _crc(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+def _sealed_at_eof(view: memoryview) -> bool:
+    """True if the file *ends* with a structurally valid footer.
+
+    Distinguishes a genuinely torn tail (the file simply stops where
+    the crash cut it off — no footer) from bitrot inside a sealed
+    segment (the footer is intact at EOF but an interior record fails
+    its CRC).  Only the former may be prefix-truncated; the latter is
+    acknowledged data that is gone, which must be fatal.
+    """
+    total = len(view)
+    if total < _HEADER.size + _FOOTER.size:
+        return False
+    offset = total - _FOOTER.size
+    sentinel, fmagic, _, _, _, footer_crc = _FOOTER.unpack_from(view, offset)
+    return (
+        sentinel == _SENTINEL
+        and fmagic == FOOTER_MAGIC
+        and footer_crc == _crc(bytes(view[offset : offset + _FOOTER.size - 4]))
+    )
+
+
 def _pack_header(kind: str, shard: int, base_records: int) -> bytes:
     kind_code = _KIND_CODES.get(kind)
     if kind_code is None:
@@ -143,7 +174,13 @@ class SegmentWriter:
         self.size_bytes = _HEADER.size
 
     def append(self, payload: "bytes | memoryview") -> None:
-        """Durably frame one payload (flushed before returning)."""
+        """Frame one payload, flushed to the OS before returning.
+
+        Flush (no fsync) means the record survives a worker/process
+        kill but not an OS crash or power loss until the segment is
+        sealed — :meth:`seal` is the fsync point.  See the module
+        docstring for the exact durability contract.
+        """
         payload = memoryview(payload)
         if payload.nbytes >= _SENTINEL:
             raise IndexError_("payload too large for the segment wire format")
@@ -227,12 +264,28 @@ class Segment:
         sealed = False
         segment_fp: "bytes | None" = None
         cumulative_fp: "bytes | None" = None
+        # A final segment may only be prefix-truncated when it really is
+        # a torn tail.  If a valid footer sits at EOF the file was
+        # sealed, and any parse failure before reaching that footer is
+        # interior corruption — fatal, exactly as for non-final
+        # segments.
+        sealed_eof = final and _sealed_at_eof(view)
+
+        def interior_corruption(detail: str) -> None:
+            if sealed_eof:
+                raise IndexError_(
+                    f"{self.path.name}: {detail} inside a sealed segment "
+                    "(valid footer at EOF; refusing to truncate)"
+                )
+
         while True:
             if offset + 4 > total:
+                interior_corruption("truncated record length")
                 break  # torn mid record-length
             (length,) = struct.unpack_from("<I", view, offset)
             if length == _SENTINEL:
                 if offset + _FOOTER.size > total:
+                    interior_corruption("misplaced footer sentinel")
                     break  # torn mid footer
                 _, fmagic, n_records, segment_fp, cumulative_fp, footer_crc = (
                     _FOOTER.unpack_from(view, offset)
@@ -255,16 +308,19 @@ class Segment:
                 sealed = True
                 break
             if offset + _RECORD.size + length > total:
+                interior_corruption("record overruns the file")
                 break  # torn mid payload
             _, payload_crc = _RECORD.unpack_from(view, offset)
             start = offset + _RECORD.size
             payload = view[start : start + length]
             if _crc(bytes(payload)) != payload_crc:
-                if final:
+                if final and not sealed_eof:
                     break  # torn tail: keep the valid prefix
                 raise IndexError_(
                     f"{self.path.name}: record {len(offsets)} CRC mismatch "
-                    "inside a non-final segment"
+                    "inside a "
+                    + ("sealed" if sealed_eof else "non-final")
+                    + " segment"
                 )
             chain.update(payload)
             offsets.append((start, length))
@@ -349,11 +405,15 @@ class ShardSegmentStore:
         its valid record prefix and atomically rewritten **in place**
         as a sealed segment (write sibling ``.tmp``, fsync, rename), so
         recovery itself is crash-safe: interrupted at any point, the
-        directory still recovers to the same record sequence.
+        directory still recovers to the same record sequence.  A
+        compaction interrupted between renaming the merged segment and
+        unlinking its inputs leaves both on disk; recovery detects the
+        merged segment (a later file restarting at ``base_records`` 0),
+        verifies it duplicates the leftover inputs, and drops them.
         """
         for stale in self.directory.glob("*.bseg.tmp"):
             stale.unlink()  # a rewrite that never reached its rename
-        paths = _segment_paths(self.directory)
+        paths = self._drop_superseded(_segment_paths(self.directory))
         payloads: "list[bytes]" = []
         expected_base = 0
         chain_before_tail = self._chain.clone()
@@ -401,6 +461,76 @@ class ShardSegmentStore:
             self.recovered_tail_records = len(torn_payloads)
             self._reseal_torn_tail(torn_path, torn_payloads, chain_before_tail)
         return payloads
+
+    def _drop_superseded(
+        self, paths: "list[pathlib.Path]"
+    ) -> "list[pathlib.Path]":
+        """Resolve an interrupted compaction before chain verification.
+
+        ``compact()`` seals the merged segment (``base_records`` 0),
+        atomically renames it into place, *then* unlinks its inputs — a
+        crash in that window leaves the merged segment plus some suffix
+        of the old sealed segments, whose record ranges overlap it.
+        The merged file always sorts after its inputs (it takes the
+        next sequence number), so any segment restarting the chain at
+        record 0 at a non-first position marks everything before it as
+        superseded.  Before dropping those files, verify the merged
+        segment really duplicates them: replaying its payloads must
+        reproduce each leftover input's sealed *cumulative* fingerprint
+        at the matching record count (both chains hash records from 0,
+        so the comparison holds even when a prefix of the inputs was
+        already unlinked).  On any mismatch, refuse and raise — that is
+        genuine divergence, not compaction residue.
+        """
+        restart = 0
+        for position, path in enumerate(paths):
+            if position == 0:
+                continue
+            with open(path, "rb") as handle:
+                header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                continue  # the main pass reports truncation properly
+            magic, _, _, _, _, base_records, _ = _HEADER.unpack(header)
+            if magic == MAGIC and base_records == 0:
+                restart = position
+        if restart == 0:
+            return paths
+        superseded = paths[:restart]
+        # Record count → (input path, its sealed cumulative fingerprint).
+        checkpoints: "dict[int, tuple[pathlib.Path, bytes]]" = {}
+        for path in superseded:
+            with Segment(path, final=False) as segment:
+                end = segment.info.base_records + segment.info.n_records
+                checkpoints[end] = (path, segment.info.cumulative_fingerprint)
+        merged_path = paths[restart]
+        with Segment(merged_path, final=restart == len(paths) - 1) as merged:
+            if not merged.info.sealed:
+                raise IndexError_(
+                    f"{merged_path.name}: chain restarts at record 0 but the "
+                    "segment is unsealed — cannot supersede earlier segments"
+                )
+            chain = FingerprintChain()
+            count = 0
+            for payload in merged.payloads():
+                chain.update(payload)
+                count += 1
+                checkpoint = checkpoints.pop(count, None)
+                if checkpoint is not None and chain.value() != checkpoint[1]:
+                    raise IndexError_(
+                        f"{merged_path.name}: does not duplicate superseded "
+                        f"segment {checkpoint[0].name} — refusing to drop it"
+                    )
+        if checkpoints:
+            leftover = ", ".join(
+                path.name for path, _ in sorted(checkpoints.values())
+            )
+            raise IndexError_(
+                f"{merged_path.name}: superseded segment(s) {leftover} hold "
+                "records beyond the merged segment — refusing to drop them"
+            )
+        for path in superseded:
+            path.unlink()
+        return paths[restart:]
 
     def _reseal_torn_tail(
         self,
@@ -453,7 +583,11 @@ class ShardSegmentStore:
         )
 
     def append(self, payload: "bytes | memoryview") -> None:
-        """Durably append one payload (rolls the segment when large)."""
+        """Append one payload (rolls and fsyncs the segment when large).
+
+        Durable against process kill immediately; durable against OS
+        crash/power loss once the segment seals (fsync happens at seal).
+        """
         if self._writer is None:
             self._open_writer()
         assert self._writer is not None

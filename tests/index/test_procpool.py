@@ -246,6 +246,41 @@ class TestCrashRecovery:
             index.compact()
             assert index.fingerprints() == before
 
+    def test_survivor_adds_absorbed_when_batch_crashes(self, corpus, tmp_path):
+        # An add round that loses one worker must still register the
+        # surviving workers' adds with the coordinator: those shards
+        # indexed (and journaled) their part of the batch, and dropping
+        # the replies would orphan the ids — a later vote naming one
+        # would KeyError during verification.
+        import dataclasses
+
+        from repro.index.sharded import shard_of
+
+        def minted(features, shard_no, tag):
+            for attempt in itertools.count():
+                image_id = f"{tag}-{attempt}"
+                if shard_of(image_id, 2) == shard_no:
+                    return dataclasses.replace(features, image_id=image_id)
+
+        with _pool(n_shards=2, segment_dir=tmp_path / "segs") as index:
+            _fill(index, corpus[:8])
+            victim_no = 0
+            doomed = minted(corpus[8], victim_no, "doomed")
+            survivor = minted(corpus[9], 1 - victim_no, "survivor")
+            victim = index._handles[victim_no]
+            victim.process.terminate()
+            victim.process.join(timeout=10)
+            with pytest.raises(WorkerCrashedError):
+                index.add_batch([doomed, survivor])
+            assert survivor.image_id in index
+            assert doomed.image_id not in index  # never reached its worker
+            assert index.recover_workers() == [victim_no]
+            reference = _fill(FeatureIndex(), corpus[:8])
+            reference.add(survivor)
+            assert len(index) == len(reference)
+            for query in corpus[10:] + [survivor]:
+                assert index.query(query) == reference.query(query)
+
     def test_in_memory_pool_restarts_empty(self, corpus):
         # Without a segment_dir a killed shard is rebuilt empty — the
         # coordinator must still converge instead of wedging.

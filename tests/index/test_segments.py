@@ -14,8 +14,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import IndexError_
 from repro.index.segments import (
+    _HEADER,
+    _RECORD,
     FingerprintChain,
     Segment,
+    SegmentWriter,
     ShardSegmentStore,
 )
 
@@ -161,6 +164,21 @@ class TestCorruption:
         with pytest.raises(IndexError_, match="base_records"):
             _store(tmp_path, roll_bytes=32).recover()
 
+    def test_sealed_final_segment_bitrot_is_fatal(self, tmp_path):
+        # A final segment with a valid footer at EOF was sealed: an
+        # interior payload CRC mismatch is bitrot in acknowledged data,
+        # not a torn tail — recovery must refuse to prefix-truncate.
+        writer = _fill(_store(tmp_path), PAYLOADS)
+        writer.close()  # single sealed (and final) segment
+        path = max(tmp_path.glob("seg-*.bseg"))
+        data = bytearray(path.read_bytes())
+        data[_HEADER.size + _RECORD.size] ^= 0xFF  # first payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexError_, match="sealed"):
+            _store(tmp_path).recover()
+        # the evidence must survive: no in-place reseal happened
+        assert path.read_bytes() == bytes(data)
+
     def test_wrong_shard_rejected(self, tmp_path):
         writer = _fill(_store(tmp_path, shard=3), PAYLOADS)
         writer.close()
@@ -199,3 +217,81 @@ class TestCompaction:
         info = store.compact()
         assert info is not None and info.n_records == len(PAYLOADS)
         assert store.compactions == 0
+
+
+class TestInterruptedCompaction:
+    """A crash between compact()'s rename and its input unlinks leaves
+    the merged segment *and* (some of) the old sealed inputs on disk;
+    recovery must resolve the overlap, never wedge the shard."""
+
+    PAYLOADS = [b"m" * 40] * 4
+
+    def _compact_leaving_inputs(self, tmp_path):
+        store = _fill(_store(tmp_path, roll_bytes=32), self.PAYLOADS)
+        store.seal_active()
+        inputs = {p: p.read_bytes() for p in tmp_path.glob("seg-*.bseg")}
+        assert len(inputs) >= 2
+        fingerprint = store.fingerprint()
+        store.compact()
+        store.close()
+        return inputs, fingerprint
+
+    def test_leftover_inputs_are_verified_and_dropped(self, tmp_path):
+        inputs, fingerprint = self._compact_leaving_inputs(tmp_path)
+        for path, data in inputs.items():  # resurrect every input
+            path.write_bytes(data)
+        reader = _store(tmp_path, roll_bytes=32)
+        assert reader.recover() == self.PAYLOADS
+        assert reader.fingerprint() == fingerprint
+        assert len(list(tmp_path.glob("seg-*.bseg"))) == 1
+
+    def test_partially_unlinked_inputs_are_dropped(self, tmp_path):
+        # The crash can also land mid-unlink: only a suffix of the old
+        # inputs survives, so the chain cannot be rebuilt from record 0
+        # out of the leftovers alone — the footer fingerprints carry
+        # the verification instead.
+        inputs, fingerprint = self._compact_leaving_inputs(tmp_path)
+        survivor = max(inputs)
+        survivor.write_bytes(inputs[survivor])
+        reader = _store(tmp_path, roll_bytes=32)
+        assert reader.recover() == self.PAYLOADS
+        assert reader.fingerprint() == fingerprint
+
+    def test_appends_continue_after_overlap_recovery(self, tmp_path):
+        inputs, _ = self._compact_leaving_inputs(tmp_path)
+        for path, data in inputs.items():
+            path.write_bytes(data)
+        resumed = _store(tmp_path, roll_bytes=32)
+        resumed.recover()
+        resumed.append(b"after-crash")
+        resumed.close()
+        reader = _store(tmp_path, roll_bytes=32)
+        assert reader.recover() == self.PAYLOADS + [b"after-crash"]
+
+    def test_divergent_restart_segment_refused(self, tmp_path):
+        # A later base-0 segment that does NOT duplicate its
+        # predecessors is divergence, not compaction residue.
+        store = _fill(_store(tmp_path), [b"a", b"b"])
+        store.close()
+        impostor = SegmentWriter(
+            tmp_path / "seg-00000001.bseg", "orb", 0, 0, FingerprintChain()
+        )
+        impostor.append(b"x")
+        impostor.append(b"y")
+        impostor.seal()
+        with pytest.raises(IndexError_, match="refusing to drop"):
+            _store(tmp_path).recover()
+
+    def test_short_restart_segment_refused(self, tmp_path):
+        # The leftover input holds records beyond the merged segment's
+        # end — dropping it would lose acknowledged data.
+        store = _fill(_store(tmp_path), [b"a", b"b", b"c"])
+        store.close()
+        short = SegmentWriter(
+            tmp_path / "seg-00000001.bseg", "orb", 0, 0, FingerprintChain()
+        )
+        short.append(b"a")
+        short.append(b"b")
+        short.seal()
+        with pytest.raises(IndexError_, match="beyond the merged"):
+            _store(tmp_path).recover()
